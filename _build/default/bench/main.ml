@@ -1,0 +1,429 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (Section VI), plus the ablations called out in DESIGN.md and a
+   Bechamel micro-benchmark suite for the runtime backbone.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default budgets
+     dune exec bench/main.exe table1          # Table I only
+     dune exec bench/main.exe fig6 fig7       # selected experiments
+     MC_ITERS=10000 dune exec bench/main.exe  # paper-scale Monte Carlo
+
+   Monte Carlo iteration counts default to a single-core-friendly budget;
+   the paper used 10,000 iterations (see EXPERIMENTS.md). *)
+
+module H = Hier_ssta
+module Form = Ssta_canonical.Form
+module Build = Ssta_timing.Build
+module Stats = Ssta_gauss.Stats
+module Iscas = Ssta_circuit.Iscas
+module N = Ssta_circuit.Netlist
+
+let mc_iters =
+  match Sys.getenv_opt "MC_ITERS" with
+  | Some s -> (try int_of_string s with _ -> 1000)
+  | None -> 1000
+
+let delta = 0.05
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table I: results of timing model extraction                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1_row name =
+  let nl = Iscas.build name in
+  let b = Build.characterize nl in
+  let model = H.Extract.extract ~delta b in
+  let stats = model.H.Timing_model.stats in
+  let io = H.Timing_model.io_delays model in
+  let mc =
+    Ssta_mc.Allpairs_mc.run ~iterations:mc_iters ~seed:42
+      (Ssta_mc.Sampler.ctx_of_build b)
+  in
+  let merr = ref 0.0 and verr = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j f ->
+          match f with
+          | Some f when mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) ->
+              let mm = mc.Ssta_mc.Allpairs_mc.means.(i).(j) in
+              let ms = mc.Ssta_mc.Allpairs_mc.stds.(i).(j) in
+              merr := Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
+              verr := Float.max !verr (abs_float (Form.std f -. ms) /. ms)
+          | _ -> ())
+        row)
+    io;
+  let pe, pv = H.Timing_model.compression model in
+  let paper = Iscas.paper_row name in
+  Printf.printf
+    "%-6s %5d %5d %5d %5d  %4.0f%% %4.0f%%  %5.2f%% %5.2f%%  %7.2f  | %5d %5d\n"
+    name stats.H.Timing_model.original_edges
+    stats.H.Timing_model.original_vertices stats.H.Timing_model.model_edges
+    stats.H.Timing_model.model_vertices (100.0 *. pe) (100.0 *. pv)
+    (100.0 *. !merr) (100.0 *. !verr)
+    stats.H.Timing_model.extraction_seconds paper.Iscas.eo paper.Iscas.vo;
+  (pe, pv, !merr, !verr)
+
+let run_table1 () =
+  header
+    (Printf.sprintf
+       "Table I: timing model extraction (delta=%.2f, MC=%d iterations)"
+       delta mc_iters);
+  Printf.printf
+    "%-6s %5s %5s %5s %5s  %5s %5s  %6s %6s  %7s  | %s\n" "name" "Eo" "Vo"
+    "Em" "Vm" "pe" "pv" "merr" "verr" "T(s)" "paper Eo/Vo";
+  let acc = ref (0.0, 0.0, 0.0, 0.0) in
+  let n = Array.length Iscas.names in
+  Array.iter
+    (fun name ->
+      let pe, pv, me, ve = table1_row name in
+      let a, b, c, d = !acc in
+      acc := (a +. pe, b +. pv, c +. me, d +. ve))
+    Iscas.names;
+  let a, b, c, d = !acc in
+  let fn = float_of_int n in
+  Printf.printf
+    "%-6s %29s  %4.0f%% %4.0f%%  %5.2f%% %5.2f%%   (paper: 20%% 19%% 0.59%% 1.06%%)\n"
+    "avg" "" (100.0 *. a /. fn) (100.0 *. b /. fn) (100.0 *. c /. fn)
+    (100.0 *. d /. fn)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: criticality histogram for c7552                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig6 () =
+  header "Fig. 6: edge criticality histogram (c7552, 20 bins)";
+  let b = Build.characterize (Iscas.build "c7552") in
+  let _, crit =
+    H.Extract.extract_with_criticality ~exact:true ~delta b
+  in
+  let cm = crit.H.Criticality.cm in
+  let hist = Stats.histogram ~lo:0.0 ~hi:1.0 ~bins:20 cm in
+  let total = Array.fold_left ( + ) 0 hist in
+  Printf.printf "criticality bin     count  histogram\n";
+  Array.iteri
+    (fun i c ->
+      let lo = float_of_int i /. 20.0 and hi = float_of_int (i + 1) /. 20.0 in
+      Printf.printf "[%4.2f, %4.2f%c  %7d  %s\n" lo hi
+        (if i = 19 then ']' else ')')
+        c
+        (String.make (max 0 (c * 60 / max 1 total)) '#'))
+    hist;
+  Printf.printf
+    "edges=%d; extreme bins hold %.0f%% of mass (paper: strongly bimodal)\n"
+    total
+    (100.0 *. float_of_int (hist.(0) + hist.(19)) /. float_of_int total)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: hierarchical timing analysis of 4 x c6288                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig7 () =
+  header
+    (Printf.sprintf "Fig. 7: hierarchical SSTA, 2x2 c6288 (MC=%d iterations)"
+       mc_iters);
+  let nl = Iscas.build "c6288" in
+  let b = Build.characterize nl in
+  let t0 = Unix.gettimeofday () in
+  let model = H.Extract.extract ~delta b in
+  Printf.printf "model extraction: %.2fs (%d -> %d edges)\n"
+    (Unix.gettimeofday () -. t0)
+    model.H.Timing_model.stats.H.Timing_model.original_edges
+    model.H.Timing_model.stats.H.Timing_model.model_edges;
+  let fp = H.Floorplan.mult_grid ~label:"c6288" ~build:b ~model () in
+  let dg = H.Design_grid.build fp in
+  let rep = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Replaced in
+  let glo = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Global_only in
+  let ctx = H.Hier_analysis.flatten fp dg in
+  let mc = Ssta_mc.Flat_mc.run ~iterations:mc_iters ~seed:7 ctx in
+  let delays = mc.Ssta_mc.Flat_mc.delays in
+  let mc_mean = Stats.mean delays and mc_std = Stats.std delays in
+  let d = rep.H.Hier_analysis.delay and g = glo.H.Hier_analysis.delay in
+  Printf.printf "Monte Carlo (flattened):  mean=%8.1f  std=%7.1f  (%.2fs)\n"
+    mc_mean mc_std mc.Ssta_mc.Flat_mc.wall_seconds;
+  Printf.printf
+    "proposed method:          mean=%8.1f  std=%7.1f  (%.4fs propagation + \
+     %.4fs one-time setup)\n"
+    d.Form.mean (Form.std d) rep.H.Hier_analysis.propagate_seconds
+    rep.H.Hier_analysis.setup_seconds;
+  Printf.printf "global correlation only:  mean=%8.1f  std=%7.1f\n"
+    g.Form.mean (Form.std g);
+  (* CDF series over normalized delay, like the paper's plot. *)
+  let lo = Stats.quantile delays 0.0005 and hi = Stats.quantile delays 0.9995 in
+  let span = hi -. lo in
+  let lo = lo -. (0.05 *. span) and hi = hi +. (0.05 *. span) in
+  Printf.printf
+    "\nnormalized delay |  MC    proposed  global-only   (CDF series)\n";
+  let points = 21 in
+  for i = 0 to points - 1 do
+    let x =
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))
+    in
+    let xn = (x -. lo) /. (hi -. lo) in
+    Printf.printf "      %4.2f       | %5.3f   %5.3f     %5.3f\n" xn
+      (H.Yield.empirical delays ~clock:x)
+      (Form.cdf d x) (Form.cdf g x)
+  done;
+  (* The paper's speedup claim: hierarchical propagation vs flattened MC at
+     10,000 iterations (scale measured cost if fewer iterations were run). *)
+  let mc10k =
+    mc.Ssta_mc.Flat_mc.wall_seconds *. (10000.0 /. float_of_int mc_iters)
+  in
+  Printf.printf
+    "\nspeedup vs MC at 10k iters (%s, %.1fs): %.0fx per analysis \
+     (propagation), %.0fx including one-time setup\n"
+    (if mc_iters >= 10000 then "measured" else "extrapolated")
+    mc10k
+    (mc10k /. rep.H.Hier_analysis.propagate_seconds)
+    (mc10k /. rep.H.Hier_analysis.wall_seconds);
+  Printf.printf
+    "ks distance MC vs proposed:     %.4f\nks distance MC vs global-only:  %.4f\n"
+    (Stats.ks_distance delays (Form.cdf d))
+    (Stats.ks_distance delays (Form.cdf g))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: criticality threshold delta (model size vs accuracy)      *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_delta () =
+  header "Ablation: delta sweep on c1908 (size vs accuracy tradeoff)";
+  let b = Build.characterize (Iscas.build "c1908") in
+  let g = b.Build.graph in
+  (* Reference: full-graph SSTA IO delays. *)
+  let reference =
+    Array.map
+      (fun input ->
+        let arr =
+          H.Propagate.forward g ~forms:b.Build.forms ~sources:[| input |]
+        in
+        Array.map (fun out -> arr.(out)) g.Ssta_timing.Tgraph.outputs)
+      g.Ssta_timing.Tgraph.inputs
+  in
+  Printf.printf "%-8s %5s %5s %5s %5s  %8s %8s  %6s\n" "delta" "Em" "Vm" "pe%"
+    "pv%" "merr%" "verr%" "T(s)";
+  List.iter
+    (fun d ->
+      let model = H.Extract.extract ~delta:d b in
+      let io = H.Timing_model.io_delays model in
+      let merr = ref 0.0 and verr = ref 0.0 in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j f ->
+              match (f, reference.(i).(j)) with
+              | Some f, Some r ->
+                  merr :=
+                    Float.max !merr
+                      (abs_float (f.Form.mean -. r.Form.mean) /. r.Form.mean);
+                  verr :=
+                    Float.max !verr
+                      (abs_float (Form.std f -. Form.std r) /. Form.std r)
+              | _ -> ())
+            row)
+        io;
+      let pe, pv = H.Timing_model.compression model in
+      let s = model.H.Timing_model.stats in
+      Printf.printf "%-8g %5d %5d %5.0f %5.0f  %8.3f %8.3f  %6.2f\n" d
+        s.H.Timing_model.model_edges s.H.Timing_model.model_vertices
+        (100. *. pe) (100. *. pv) (100. *. !merr) (100. *. !verr)
+        s.H.Timing_model.extraction_seconds)
+    [ 0.3; 0.1; 0.05; 0.01; 0.001 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: grid granularity at design level                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_grid () =
+  header "Ablation: grid granularity (cells/grid) on a 2x2 8-bit multiplier";
+  Printf.printf "%-12s %6s %6s  %10s %10s  %10s\n" "cells/grid" "tiles"
+    "dim" "hier mean" "hier std" "mc std";
+  List.iter
+    (fun budget ->
+      let nl = Ssta_circuit.Multiplier.make ~bits:8 () in
+      let b = Build.characterize ~cells_per_tile:budget nl in
+      let model = H.Extract.extract ~delta b in
+      let fp = H.Floorplan.mult_grid ~label:"m8" ~build:b ~model () in
+      let dg = H.Design_grid.build fp in
+      let rep = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Replaced in
+      let ctx = H.Hier_analysis.flatten fp dg in
+      let mc =
+        Ssta_mc.Flat_mc.run ~iterations:(max 500 (mc_iters / 2)) ~seed:3 ctx
+      in
+      let d = rep.H.Hier_analysis.delay in
+      Printf.printf "%-12d %6d %6d  %10.1f %10.2f  %10.2f\n" budget
+        (Array.length dg.H.Design_grid.tiles)
+        dg.H.Design_grid.basis.Ssta_variation.Basis.dims.Form.n_pcs
+        d.Form.mean (Form.std d)
+        (Stats.std mc.Ssta_mc.Flat_mc.delays))
+    [ 50; 100; 400 ]
+
+(* ------------------------------------------------------------------ *)
+(* Convergence: Table I accuracy columns vs MC depth                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_convergence () =
+  header
+    "Convergence: c432 model accuracy vs Monte Carlo iterations (noise floor)";
+  let b = Build.characterize (Iscas.build "c432") in
+  let model = H.Extract.extract ~delta b in
+  let io = H.Timing_model.io_delays model in
+  Printf.printf "%-10s %8s %8s   %s\n" "MC iters" "merr%" "verr%"
+    "(1/sqrt(2N) noise floor on sigma)";
+  List.iter
+    (fun iters ->
+      let mc =
+        Ssta_mc.Allpairs_mc.run ~iterations:iters ~seed:42
+          (Ssta_mc.Sampler.ctx_of_build b)
+      in
+      let merr = ref 0.0 and verr = ref 0.0 in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j f ->
+              match f with
+              | Some f when mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) ->
+                  let mm = mc.Ssta_mc.Allpairs_mc.means.(i).(j) in
+                  let ms = mc.Ssta_mc.Allpairs_mc.stds.(i).(j) in
+                  merr :=
+                    Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
+                  verr :=
+                    Float.max !verr (abs_float (Form.std f -. ms) /. ms)
+              | _ -> ())
+            row)
+        io;
+      Printf.printf "%-10d %8.2f %8.2f   %.2f%%\n" iters (100.0 *. !merr)
+        (100.0 *. !verr)
+        (100.0 /. sqrt (2.0 *. float_of_int iters)))
+    [ 250; 1000; 4000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: corner STA pessimism vs SSTA                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_corners () =
+  header "Ablation: corner-based STA pessimism vs SSTA (paper Section I)";
+  Printf.printf "%-6s %10s %10s %10s %10s  %8s\n" "name" "nominal"
+    "+3s corner" "glob corner" "ssta q99.87" "margin x";
+  List.iter
+    (fun name ->
+      let b = Build.characterize (Iscas.build name) in
+      let p = H.Corners.pessimism b in
+      Printf.printf "%-6s %10.1f %10.1f %10.1f %10.1f  %8.2f\n" name
+        p.H.Corners.nominal p.H.Corners.slow3 p.H.Corners.global_slow3
+        p.H.Corners.ssta_q9987 p.H.Corners.margin_ratio)
+    [ "c432"; "c880"; "c1908"; "c6288" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let dims = { Form.n_globals = 3; n_pcs = 100 } in
+  let rng = Ssta_gauss.Rng.create ~seed:1 in
+  let mk () =
+    Form.make ~mean:(Ssta_gauss.Rng.uniform rng *. 100.0)
+      ~globals:(Array.init 3 (fun _ -> Ssta_gauss.Rng.gaussian rng))
+      ~pcs:(Array.init 100 (fun _ -> Ssta_gauss.Rng.gaussian rng))
+      ~rand:(abs_float (Ssta_gauss.Rng.gaussian rng))
+  in
+  let fa = mk () and fb = mk () in
+  ignore dims;
+  let c432 = lazy (Build.characterize (Iscas.build "c432")) in
+  let tests =
+    [
+      Test.make ~name:"form_add_dim100"
+        (Staged.stage (fun () -> ignore (Form.add fa fb)));
+      Test.make ~name:"form_max2_dim100"
+        (Staged.stage (fun () -> ignore (Form.max2 fa fb)));
+      Test.make ~name:"form_covariance_dim100"
+        (Staged.stage (fun () -> ignore (Form.covariance fa fb)));
+      Test.make ~name:"ssta_forward_c432"
+        (Staged.stage (fun () ->
+             let b = Lazy.force c432 in
+             ignore (H.Propagate.forward_all b.Build.graph ~forms:b.Build.forms)));
+      Test.make ~name:"extract_c432"
+        (Staged.stage (fun () ->
+             ignore (H.Extract.extract ~delta (Lazy.force c432))));
+      Test.make ~name:"pca_36x36"
+        (Staged.stage
+           (let g =
+              Ssta_variation.Grid.make ~x0:0.0 ~y0:0.0 ~width:60.0
+                ~height:60.0 ~pitch:10.0
+            in
+            let basis_input =
+              Ssta_variation.Basis.make ~n_params:1
+                ~corr:Ssta_variation.Correlation.default ~pitch:10.0
+                g.Ssta_variation.Grid.tiles
+            in
+            let c =
+              Ssta_variation.Basis.local_covariance_matrix basis_input
+            in
+            fun () -> ignore (Ssta_linalg.Pca.of_covariance c)));
+      Test.make ~name:"mc_iteration_c432"
+        (Staged.stage
+           (let b = Lazy.force c432 in
+            let ctx = Ssta_mc.Sampler.ctx_of_build b in
+            let weights =
+              Array.make (Ssta_timing.Tgraph.n_edges b.Build.graph) 0.0
+            in
+            let mc_rng = Ssta_gauss.Rng.create ~seed:5 in
+            fun () ->
+              let s = Ssta_mc.Sampler.draw b.Build.basis mc_rng in
+              Ssta_mc.Sampler.fill_weights ctx s mc_rng weights;
+              ignore (Ssta_timing.Sta.design_delay b.Build.graph ~weights)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          Printf.printf "%-28s %12.1f ns/run\n" name t
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("ablation-delta", run_ablation_delta);
+    ("ablation-grid", run_ablation_grid);
+    ("ablation-corners", run_ablation_corners);
+    ("convergence", run_convergence);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,295 @@
+(* hssta - hierarchical statistical static timing analysis CLI.
+
+   Subcommands:
+     list                  list the bundled benchmark circuits
+     sta <circuit>         deterministic + statistical timing of one circuit
+     extract <circuit>     extract a statistical timing model (Table I row)
+     criticality <circuit> edge-criticality histogram (Fig. 6)
+     hier [<circuit>]      the 2x2 hierarchical experiment (Fig. 7)
+*)
+
+module H = Hier_ssta
+module Form = Ssta_canonical.Form
+module Build = Ssta_timing.Build
+module N = Ssta_circuit.Netlist
+module Stats = Ssta_gauss.Stats
+open Cmdliner
+
+let setup_logs =
+  let init style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const init $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let circuit_arg =
+  let doc = "Benchmark circuit name (see `hssta list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let delta_arg =
+  let doc = "Criticality threshold for edge removal (paper: 0.05)." in
+  Arg.(value & opt float 0.05 & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let iters_arg =
+  let doc = "Monte Carlo iterations (paper: 10000)." in
+  Arg.(value & opt int 2000 & info [ "mc-iterations"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for Monte Carlo runs." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* A circuit argument is either a bundled benchmark name or a path to an
+   ISCAS85 .bench netlist file. *)
+let build_circuit name =
+  if Filename.check_suffix name ".bench" && Sys.file_exists name then
+    try Ok (Ssta_circuit.Bench_format.load ~path:name)
+    with Failure m -> Error (`Msg m)
+  else
+    try Ok (Ssta_circuit.Iscas.build name)
+    with Invalid_argument m -> Error (`Msg m)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Array.iter
+      (fun name ->
+        let nl = Ssta_circuit.Iscas.build name in
+        Format.printf "%a@." N.pp_stats nl)
+      Ssta_circuit.Iscas.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark circuits")
+    Term.(const run $ const ())
+
+let sta_cmd =
+  let run () name =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let g = b.Build.graph in
+        let nominal =
+          Ssta_timing.Sta.design_delay g ~weights:(Build.nominal_weights b)
+        in
+        let arr = H.Propagate.forward_all g ~forms:b.Build.forms in
+        (match H.Propagate.max_over arr g.Ssta_timing.Tgraph.outputs with
+        | None -> prerr_endline "no output reachable"; exit 1
+        | Some f ->
+            Printf.printf "circuit:          %s\n" name;
+            Printf.printf "nominal delay:    %10.1f ps (corner STA)\n" nominal;
+            Printf.printf "SSTA delay:       %10.1f ps mean, %.1f ps sigma\n"
+              f.Form.mean (Form.std f);
+            List.iter
+              (fun p ->
+                Printf.printf "  yield %4.1f%% at %10.1f ps\n" (100.0 *. p)
+                  (H.Yield.clock_for_yield f ~yield:p))
+              [ 0.5; 0.9; 0.99; 0.999 ])
+  in
+  Cmd.v
+    (Cmd.info "sta"
+       ~doc:"Deterministic and statistical timing of one circuit")
+    Term.(const run $ setup_logs $ circuit_arg)
+
+let extract_cmd =
+  let run () name delta iters seed =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let model = H.Extract.extract ~delta b in
+        Format.printf "%a@." H.Timing_model.pp_stats model;
+        if iters > 0 then begin
+          let io = H.Timing_model.io_delays model in
+          let mc =
+            Ssta_mc.Allpairs_mc.run ~iterations:iters ~seed
+              (Ssta_mc.Sampler.ctx_of_build b)
+          in
+          let merr = ref 0.0 and verr = ref 0.0 and pairs = ref 0 in
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j f ->
+                  match f with
+                  | Some f when mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) ->
+                      incr pairs;
+                      let mm = mc.Ssta_mc.Allpairs_mc.means.(i).(j) in
+                      let ms = mc.Ssta_mc.Allpairs_mc.stds.(i).(j) in
+                      merr :=
+                        Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
+                      verr :=
+                        Float.max !verr (abs_float (Form.std f -. ms) /. ms)
+                  | _ -> ())
+                row)
+            io;
+          Printf.printf
+            "accuracy vs MC (%d iterations, %d IO pairs): merr=%.2f%% verr=%.2f%%\n"
+            iters !pairs (100.0 *. !merr) (100.0 *. !verr)
+        end
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Extract a statistical timing model and validate it against MC")
+    Term.(const run $ setup_logs $ circuit_arg $ delta_arg $ iters_arg $ seed_arg)
+
+let criticality_cmd =
+  let run () name delta =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let _, crit =
+          H.Extract.extract_with_criticality ~exact:true ~delta b
+        in
+        let cm = crit.H.Criticality.cm in
+        let hist = Stats.histogram ~lo:0.0 ~hi:1.0 ~bins:20 cm in
+        let total = Array.fold_left ( + ) 0 hist in
+        Array.iteri
+          (fun i c ->
+            Printf.printf "[%4.2f,%4.2f%c %6d %s\n"
+              (float_of_int i /. 20.0)
+              (float_of_int (i + 1) /. 20.0)
+              (if i = 19 then ']' else ')')
+              c
+              (String.make (max 0 (c * 60 / max 1 total)) '#'))
+          hist
+  in
+  Cmd.v
+    (Cmd.info "criticality"
+       ~doc:"Edge-criticality histogram of a circuit (paper Fig. 6)")
+    Term.(const run $ setup_logs $ circuit_arg $ delta_arg)
+
+let hier_cmd =
+  let circuit =
+    let doc = "Module circuit for the 2x2 experiment (must have equally many
+               inputs and outputs, e.g. c6288)." in
+    Arg.(value & pos 0 string "c6288" & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let run () name delta iters seed =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let model = H.Extract.extract ~delta b in
+        let fp =
+          try H.Floorplan.mult_grid ~label:name ~build:b ~model ()
+          with Failure m -> prerr_endline m; exit 1
+        in
+        let dg = H.Design_grid.build fp in
+        let rep = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Replaced in
+        let glo = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Global_only in
+        let d = rep.H.Hier_analysis.delay in
+        Printf.printf "proposed:     mean=%.1f ps  sigma=%.1f ps  (%.4fs)\n"
+          d.Form.mean (Form.std d) rep.H.Hier_analysis.wall_seconds;
+        Printf.printf "global-only:  mean=%.1f ps  sigma=%.1f ps\n"
+          glo.H.Hier_analysis.delay.Form.mean
+          (Form.std glo.H.Hier_analysis.delay);
+        if iters > 0 then begin
+          let ctx = H.Hier_analysis.flatten fp dg in
+          let mc = Ssta_mc.Flat_mc.run ~iterations:iters ~seed ctx in
+          Printf.printf "Monte Carlo:  mean=%.1f ps  sigma=%.1f ps  (%.2fs, %d iters)\n"
+            (Stats.mean mc.Ssta_mc.Flat_mc.delays)
+            (Stats.std mc.Ssta_mc.Flat_mc.delays)
+            mc.Ssta_mc.Flat_mc.wall_seconds iters
+        end
+  in
+  Cmd.v
+    (Cmd.info "hier"
+       ~doc:"Hierarchical SSTA of the paper's 2x2 experiment (Fig. 7)")
+    Term.(const run $ setup_logs $ circuit $ delta_arg $ iters_arg $ seed_arg)
+
+let paths_cmd =
+  let k_arg =
+    let doc = "Number of paths to report." in
+    Arg.(value & opt int 5 & info [ "k"; "paths" ] ~docv:"K" ~doc)
+  in
+  let run () name k =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        H.Path_report.report b.Build.graph ~forms:b.Build.forms ~k
+          Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "paths"
+       ~doc:"Report the statistically most critical paths of a circuit")
+    Term.(const run $ setup_logs $ circuit_arg $ k_arg)
+
+let corners_cmd =
+  let run () name =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        Format.printf "%a@." H.Corners.pp_pessimism (H.Corners.pessimism b)
+  in
+  Cmd.v
+    (Cmd.info "corners"
+       ~doc:"Compare corner-based STA margins against the SSTA distribution")
+    Term.(const run $ setup_logs $ circuit_arg)
+
+let model_cmd =
+  let out_arg =
+    let doc = "Output path for the serialized timing model." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run () name delta out =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let model = H.Extract.extract ~delta b in
+        H.Model_io.save model ~path:out;
+        Format.printf "%a@." H.Timing_model.pp_stats model;
+        Printf.printf "written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Extract a timing model and write it to a file (gray-box IP \
+             hand-off)")
+    Term.(const run $ setup_logs $ circuit_arg $ delta_arg $ out_arg)
+
+let model_info_cmd =
+  let path_arg =
+    let doc = "Serialized timing model file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run () path =
+    let m = H.Model_io.load ~path in
+    Format.printf "%a@." H.Timing_model.pp_stats m;
+    let io = H.Timing_model.io_delays m in
+    let connected = ref 0 and worst = ref None in
+    Array.iter
+      (Array.iter (function
+        | None -> ()
+        | Some f ->
+            incr connected;
+            (match !worst with
+            | Some (w : H.Timing_model.Form.t)
+              when w.H.Timing_model.Form.mean >= f.H.Timing_model.Form.mean ->
+                ()
+            | _ -> worst := Some f)))
+      io;
+    Printf.printf "connected IO pairs: %d\n" !connected;
+    match !worst with
+    | Some f ->
+        Format.printf "worst IO delay: %a@." Ssta_canonical.Form.pp f
+    | None -> print_endline "no connected IO pair"
+  in
+  Cmd.v
+    (Cmd.info "model-info" ~doc:"Inspect a serialized timing model")
+    Term.(const run $ setup_logs $ path_arg)
+
+let () =
+  let info =
+    Cmd.info "hssta" ~version:"1.0.0"
+      ~doc:"Hierarchical statistical static timing analysis (DATE'09 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
+            paths_cmd; corners_cmd; model_cmd; model_info_cmd;
+          ]))

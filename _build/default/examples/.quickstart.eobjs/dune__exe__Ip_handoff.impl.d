@@ -1,0 +1,1 @@
+examples/ip_handoff.ml: Array Filename Float Format Hier_ssta In_channel Int64 Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing Ssta_variation Sys

@@ -1,0 +1,1 @@
+examples/model_extraction.ml: Array Float Hier_ssta Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_timing Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hier_ssta Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing Ssta_variation

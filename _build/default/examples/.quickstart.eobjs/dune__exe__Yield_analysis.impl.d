@@ -1,0 +1,1 @@
+examples/yield_analysis.ml: Hier_ssta List Printf Ssta_canonical Ssta_circuit Ssta_timing

@@ -1,0 +1,98 @@
+(* The gray-box IP flow end-to-end (paper Section I motivation): an IP
+   vendor characterizes a macro and ships a timing-model *file* (no
+   netlist); an integrator loads two different macros, places them on a die
+   with free space between them, wires them and runs design-level SSTA -
+   checked against flattened Monte Carlo (which the integrator could not
+   run in reality, lacking the netlists).
+
+   Run with:  dune exec examples/ip_handoff.exe *)
+
+module H = Hier_ssta
+module Form = Ssta_canonical.Form
+module Tile = Ssta_variation.Tile
+module Stats = Ssta_gauss.Stats
+
+let vendor_ships name netlist =
+  (* Vendor side: characterize, extract, serialize. *)
+  let build = Ssta_timing.Build.characterize netlist in
+  let model = H.Extract.extract ~delta:0.05 build in
+  let path = Filename.temp_file name ".hssta-model" in
+  H.Model_io.save model ~path;
+  Printf.printf "vendor: %s -> %s (%d -> %d edges, %d bytes)\n" name path
+    model.H.Timing_model.stats.H.Timing_model.original_edges
+    model.H.Timing_model.stats.H.Timing_model.model_edges
+    (In_channel.with_open_bin path In_channel.length |> Int64.to_int);
+  (build, path)
+
+let () =
+  (* Two different macros: an 8x8 multiplier and a 16-bit carry-select
+     adder.  The multiplier's 16 product bits feed the adder's first
+     operand. *)
+  let mult = Ssta_circuit.Multiplier.make ~name:"mult8" ~bits:8 () in
+  let adder =
+    Ssta_circuit.Adder.carry_select ~name:"csel16" ~bits:16 ~block:4 ()
+  in
+  let mult_build, mult_path = vendor_ships "mult8" mult in
+  let adder_build, adder_path = vendor_ships "csel16" adder in
+
+  (* Integrator side: load the models (the netlist builds are only kept
+     around here so the example can run the golden MC afterwards). *)
+  let mult_model = H.Model_io.load ~path:mult_path in
+  let adder_model = H.Model_io.load ~path:adder_path in
+  Sys.remove mult_path;
+  Sys.remove adder_path;
+
+  (* Floorplan: macros side by side with a routing channel between them -
+     the uncovered area gets default-grid filler tiles (paper Fig. 4). *)
+  let mdie = mult_model.H.Timing_model.die in
+  let adie = adder_model.H.Timing_model.die in
+  let gap = 20.0 in
+  let die_w = Tile.width mdie +. gap +. Tile.width adie in
+  let die_h = 2.0 *. Float.max (Tile.height mdie) (Tile.height adie) in
+  let die = Tile.make ~x0:0.0 ~y0:0.0 ~x1:die_w ~y1:die_h in
+  let instances =
+    [|
+      { H.Floorplan.label = "mult"; build = Some mult_build;
+        model = mult_model; origin = (0.0, 0.0) };
+      { H.Floorplan.label = "adder"; build = Some adder_build;
+        model = adder_model; origin = (Tile.width mdie +. gap, 0.0) };
+    |]
+  in
+  (* Product bits -> adder operand A (ports 0..15). *)
+  let connections =
+    Array.init 16 (fun k ->
+        ( { H.Floorplan.inst = 0; port = k },
+          { H.Floorplan.inst = 1; port = k } ))
+  in
+  let fp = H.Floorplan.create ~die ~instances ~connections in
+  let dg = H.Design_grid.build fp in
+  let module_tiles =
+    Array.fold_left ( + ) 0 dg.H.Design_grid.instance_n_tiles
+  in
+  Printf.printf
+    "integrator: %d design PIs, %d POs; %d grid tiles (%d module + %d filler)\n"
+    (Array.length fp.H.Floorplan.ext_inputs)
+    (Array.length fp.H.Floorplan.ext_outputs)
+    (Array.length dg.H.Design_grid.tiles)
+    module_tiles
+    (Array.length dg.H.Design_grid.tiles - module_tiles);
+
+  let rep = H.Hier_analysis.analyze fp dg ~mode:H.Replace.Replaced in
+  let d = rep.H.Hier_analysis.delay in
+  Printf.printf "hierarchical SSTA:  mean %8.1f ps, sigma %6.1f ps (%.4fs)\n"
+    d.Form.mean (Form.std d) rep.H.Hier_analysis.wall_seconds;
+
+  (* Variance budget of the design delay. *)
+  Format.printf "%a@."
+    (fun ppf () ->
+      H.Diagnostics.pp ppf (H.Diagnostics.budget ~n_params:3 d))
+    ();
+
+  (* Golden check (vendor-only capability): flattened Monte Carlo. *)
+  let ctx = H.Hier_analysis.flatten fp dg in
+  let mc = Ssta_mc.Flat_mc.run ~iterations:3000 ~seed:5 ctx in
+  Printf.printf "flattened MC:       mean %8.1f ps, sigma %6.1f ps\n"
+    (Stats.mean mc.Ssta_mc.Flat_mc.delays)
+    (Stats.std mc.Ssta_mc.Flat_mc.delays);
+  Printf.printf "KS distance: %.4f\n"
+    (Stats.ks_distance mc.Ssta_mc.Flat_mc.delays (Form.cdf d))

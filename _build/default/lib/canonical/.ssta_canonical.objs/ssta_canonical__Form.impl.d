@@ -1,0 +1,1 @@
+lib/canonical/form.ml: Array Float Format List Ssta_gauss Ssta_linalg

@@ -1,0 +1,1 @@
+lib/canonical/form.mli: Format

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  n_inputs : int;
+  d0 : float;
+  sens : float array;
+  load_sens : float;
+}
+
+let make ~name ~n_inputs ~d0 ~sens ~load_sens =
+  if n_inputs <= 0 then invalid_arg "Cell.make: n_inputs must be positive";
+  if d0 <= 0.0 then invalid_arg "Cell.make: d0 must be positive";
+  if load_sens < 0.0 || Array.exists (fun s -> s < 0.0) sens then
+    invalid_arg "Cell.make: sensitivities must be non-negative";
+  { name; n_inputs; d0; sens; load_sens }
+
+let arc_delay t ~fanout ~pin =
+  if pin < 0 || pin >= t.n_inputs then
+    invalid_arg "Cell.arc_delay: pin out of range";
+  let fanout = max fanout 1 in
+  let load_factor = 1.0 +. (0.12 *. float_of_int (fanout - 1)) in
+  let pin_skew = 1.0 +. (0.04 *. float_of_int pin) in
+  t.d0 *. load_factor *. pin_skew
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%d (d0=%.1fps)" t.name t.n_inputs t.d0

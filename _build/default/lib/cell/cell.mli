@@ -1,0 +1,34 @@
+(** Standard cells with a first-order statistical delay model.
+
+    A cell's pin-to-output delay is
+
+    {v d = d0 * load_factor * (1 + sum_k sens_k * p_k + load_sens * r) v}
+
+    where [p_k] is process parameter [k] (unit sigma, split into global /
+    correlated-local / random parts by the {!Ssta_variation.Correlation}
+    model), and [r] is an independent random variable modeling load/wire
+    uncertainty.  The sensitivities are relative: [sens_k] is the fraction of
+    nominal delay gained per sigma of parameter [k]. *)
+
+type t = {
+  name : string;
+  n_inputs : int;
+  d0 : float;  (** nominal pin-to-output delay, picoseconds *)
+  sens : float array;  (** per-parameter relative delay sensitivity *)
+  load_sens : float;  (** relative sigma from load variation *)
+}
+
+val make :
+  name:string -> n_inputs:int -> d0:float -> sens:float array ->
+  load_sens:float -> t
+(** Raises [Invalid_argument] on non-positive [n_inputs] or [d0], or any
+    negative sensitivity. *)
+
+val arc_delay : t -> fanout:int -> pin:int -> float
+(** Nominal delay of the arc from input [pin] to the output when the output
+    drives [fanout] sinks: [d0] scaled by a mild linear load factor
+    ([+ 12%] per extra fanout) and a small deterministic per-pin skew, so
+    that different pins and instances do not have artificially identical
+    delays. *)
+
+val pp : Format.formatter -> t -> unit

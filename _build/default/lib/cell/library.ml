@@ -1,0 +1,39 @@
+let params = Ssta_variation.Param.defaults
+
+(* Paper Section VI: std deviations of transistor length, oxide thickness and
+   threshold voltage are 15.7%, 5.3% and 4.4% of nominal; load sigma 15%. *)
+let base_sens = [| 0.157; 0.053; 0.044 |]
+let load_sens = 0.15
+
+let cell name n_inputs d0 sens_scale =
+  Cell.make ~name ~n_inputs ~d0
+    ~sens:(Array.map (fun s -> s *. sens_scale) base_sens)
+    ~load_sens
+
+let inv = cell "inv" 1 20.0 1.10
+let buf = cell "buf" 1 35.0 0.95
+let nand2 = cell "nand2" 2 30.0 1.00
+let nand3 = cell "nand3" 3 38.0 1.05
+let nand4 = cell "nand4" 4 45.0 1.08
+let nor2 = cell "nor2" 2 32.0 1.02
+let nor3 = cell "nor3" 3 42.0 1.06
+let and2 = cell "and2" 2 45.0 0.95
+let and3 = cell "and3" 3 52.0 0.97
+let or2 = cell "or2" 2 48.0 0.96
+let or3 = cell "or3" 3 55.0 0.98
+let xor2 = cell "xor2" 2 60.0 0.90
+let xnor2 = cell "xnor2" 2 62.0 0.92
+let aoi21 = cell "aoi21" 3 40.0 1.04
+let oai21 = cell "oai21" 3 42.0 1.03
+let maj3 = cell "maj3" 3 65.0 0.93
+
+let default =
+  [|
+    inv; buf; nand2; nand3; nand4; nor2; nor3; and2; and3; or2; or3; xor2;
+    xnor2; aoi21; oai21; maj3;
+  |]
+
+let find name =
+  match Array.find_opt (fun c -> c.Cell.name = name) default with
+  | Some c -> c
+  | None -> raise Not_found

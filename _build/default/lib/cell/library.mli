@@ -1,0 +1,34 @@
+(** The default cell library.
+
+    A 90 nm-like library standing in for the paper's industrial library (see
+    DESIGN.md substitutions): nominal delays in the 20-65 ps range and
+    per-parameter sensitivities derived from the paper's variation setup -
+    sigma(L) = 15.7 %, sigma(Tox) = 5.3 %, sigma(Vth) = 4.4 % of nominal, and
+    15 % load sigma - with a mild per-cell scaling so different cell types do
+    not react identically. *)
+
+val params : Ssta_variation.Param.t array
+(** The three process parameters of the library, in sensitivity order. *)
+
+val default : Cell.t array
+(** All cells of the library. *)
+
+val find : string -> Cell.t
+(** Lookup by name; raises [Not_found]. *)
+
+val inv : Cell.t
+val buf : Cell.t
+val nand2 : Cell.t
+val nand3 : Cell.t
+val nand4 : Cell.t
+val nor2 : Cell.t
+val nor3 : Cell.t
+val and2 : Cell.t
+val and3 : Cell.t
+val or2 : Cell.t
+val or3 : Cell.t
+val xor2 : Cell.t
+val xnor2 : Cell.t
+val aoi21 : Cell.t
+val oai21 : Cell.t
+val maj3 : Cell.t

@@ -1,0 +1,1 @@
+lib/circuit/adder.ml: Array Gadgets Netlist Printf Ssta_cell

@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Buffer Filename Hashtbl In_channel List Netlist Out_channel Printf Queue Ssta_cell String

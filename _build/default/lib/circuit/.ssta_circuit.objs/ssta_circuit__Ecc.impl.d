@@ -1,0 +1,1 @@
+lib/circuit/ecc.ml: Array Gadgets List Netlist Ssta_cell

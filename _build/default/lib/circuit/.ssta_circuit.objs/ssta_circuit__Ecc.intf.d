@@ -1,0 +1,1 @@
+lib/circuit/ecc.mli: Netlist

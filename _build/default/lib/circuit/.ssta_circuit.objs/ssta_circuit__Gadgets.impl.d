@@ -1,0 +1,1 @@
+lib/circuit/gadgets.ml: Netlist Ssta_cell

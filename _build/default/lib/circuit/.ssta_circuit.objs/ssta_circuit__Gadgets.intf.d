@@ -1,0 +1,1 @@
+lib/circuit/gadgets.mli: Netlist Ssta_cell

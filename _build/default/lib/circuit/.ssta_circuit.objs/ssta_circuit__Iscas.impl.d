@@ -1,0 +1,1 @@
+lib/circuit/iscas.ml: Array Ecc List Multiplier Priority Random_logic

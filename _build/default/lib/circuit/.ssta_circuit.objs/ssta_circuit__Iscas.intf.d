@@ -1,0 +1,1 @@
+lib/circuit/iscas.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/multiplier.ml: Array Gadgets Netlist Printf Ssta_cell

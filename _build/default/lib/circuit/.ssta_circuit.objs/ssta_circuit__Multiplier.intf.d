@@ -1,0 +1,1 @@
+lib/circuit/multiplier.mli: Netlist

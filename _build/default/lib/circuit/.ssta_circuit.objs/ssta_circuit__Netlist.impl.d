@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Format List Printf Ssta_cell

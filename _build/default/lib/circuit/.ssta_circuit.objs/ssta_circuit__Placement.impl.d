@@ -1,0 +1,1 @@
+lib/circuit/placement.ml: Array Netlist Ssta_variation

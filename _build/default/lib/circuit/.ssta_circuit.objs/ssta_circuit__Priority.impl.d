@@ -1,0 +1,1 @@
+lib/circuit/priority.ml: Array Gadgets Netlist Ssta_cell

@@ -1,0 +1,1 @@
+lib/circuit/priority.mli: Netlist

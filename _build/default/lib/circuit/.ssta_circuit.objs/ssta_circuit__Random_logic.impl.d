@@ -1,0 +1,1 @@
+lib/circuit/random_logic.ml: Array Hashtbl Netlist Queue Ssta_cell Ssta_gauss

@@ -1,0 +1,1 @@
+lib/circuit/random_logic.mli: Netlist

@@ -1,0 +1,89 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+
+let xor = Gadgets.xor_cell
+
+let ripple_chain b ~a_bit ~b_bit ~carry_in ~bits =
+  let sums = Array.make bits (-1) in
+  let carry = ref carry_in in
+  for i = 0 to bits - 1 do
+    let s, c = Gadgets.full_adder ~xor b (a_bit i) (b_bit i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let ripple ?name ~bits () =
+  if bits < 1 then invalid_arg "Adder.ripple: bits must be >= 1";
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "rca%d" bits
+  in
+  let b = B.create ~name ~n_pi:((2 * bits) + 1) in
+  let a_bit i = i and b_bit i = bits + i in
+  let cin = 2 * bits in
+  let sums, cout = ripple_chain b ~a_bit ~b_bit ~carry_in:cin ~bits in
+  B.finish b ~outputs:(Array.append sums [| cout |])
+
+(* 2:1 mux as library gates: out = (sel & x1) | (~sel & x0). *)
+let mux b ~sel ~x0 ~x1 =
+  let nsel = B.add_gate b L.inv [| sel |] in
+  let t1 = B.add_gate b L.and2 [| sel; x1 |] in
+  let t0 = B.add_gate b L.and2 [| nsel; x0 |] in
+  B.add_gate b L.or2 [| t1; t0 |]
+
+let carry_select ?name ~bits ~block () =
+  if bits < 1 || block < 1 then
+    invalid_arg "Adder.carry_select: bits and block must be >= 1";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "csel%d_%d" bits block
+  in
+  let b = B.create ~name ~n_pi:((2 * bits) + 1) in
+  let a_bit i = i and b_bit i = bits + i in
+  let cin = 2 * bits in
+  (* Constant 0/1 carries for the speculative chains: derive stable local
+     constants from the carry-in (x AND NOT x = 0, x OR NOT x = 1). *)
+  let ncin = B.add_gate b L.inv [| cin |] in
+  let zero = B.add_gate b L.and2 [| cin; ncin |] in
+  let one = B.add_gate b L.or2 [| cin; ncin |] in
+  let sums = Array.make bits (-1) in
+  let carry = ref cin in
+  let pos = ref 0 in
+  let first = ref true in
+  while !pos < bits do
+    let width = min block (bits - !pos) in
+    let base = !pos in
+    if !first then begin
+      (* First block: plain ripple from the real carry-in. *)
+      let s, c =
+        ripple_chain b
+          ~a_bit:(fun i -> a_bit (base + i))
+          ~b_bit:(fun i -> b_bit (base + i))
+          ~carry_in:!carry ~bits:width
+      in
+      Array.blit s 0 sums base width;
+      carry := c;
+      first := false
+    end
+    else begin
+      let s0, c0 =
+        ripple_chain b
+          ~a_bit:(fun i -> a_bit (base + i))
+          ~b_bit:(fun i -> b_bit (base + i))
+          ~carry_in:zero ~bits:width
+      in
+      let s1, c1 =
+        ripple_chain b
+          ~a_bit:(fun i -> a_bit (base + i))
+          ~b_bit:(fun i -> b_bit (base + i))
+          ~carry_in:one ~bits:width
+      in
+      for i = 0 to width - 1 do
+        sums.(base + i) <- mux b ~sel:!carry ~x0:s0.(i) ~x1:s1.(i)
+      done;
+      carry := mux b ~sel:!carry ~x0:c0 ~x1:c1
+    end;
+    pos := !pos + width
+  done;
+  B.finish b ~outputs:(Array.append sums [| !carry |])

@@ -1,0 +1,12 @@
+(** Adder generators (used by the examples and as additional structural
+    workloads): ripple-carry and carry-select architectures over the shared
+    {!Gadgets} adder cells. *)
+
+val ripple : ?name:string -> bits:int -> unit -> Netlist.t
+(** [2*bits + 1] inputs (a, b, carry-in), [bits + 1] outputs (sum, carry). *)
+
+val carry_select : ?name:string -> bits:int -> block:int -> unit -> Netlist.t
+(** Carry-select adder with [block]-bit blocks: each block computes both
+    carry polarities with ripple chains and multiplexes on the incoming
+    carry.  Same interface as {!ripple}; shallower but larger - a natural
+    workload for comparing delay distributions. *)

@@ -1,0 +1,233 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+module N = Netlist
+
+type def = { gate : string; fanin_names : string list; line : int }
+
+let fail_line line msg = failwith (Printf.sprintf "bench: line %d: %s" line msg)
+
+(* "g12 = NAND(g1, g5)" -> ("g12", "NAND", ["g1"; "g5"]). *)
+let parse_def line_no line =
+  match String.index_opt line '=' with
+  | None -> fail_line line_no "expected '='"
+  | Some eq ->
+      let name = String.trim (String.sub line 0 eq) in
+      let rhs =
+        String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+      in
+      (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
+      | Some lp, Some rp when rp > lp ->
+          let gate =
+            String.uppercase_ascii (String.trim (String.sub rhs 0 lp))
+          in
+          let args = String.sub rhs (lp + 1) (rp - lp - 1) in
+          let fanin_names =
+            String.split_on_char ',' args
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          if name = "" then fail_line line_no "missing signal name";
+          if fanin_names = [] then fail_line line_no "gate with no fanins";
+          (name, { gate; fanin_names; line = line_no })
+      | _ -> fail_line line_no "expected GATE(args)")
+
+(* Balanced tree of 2-input cells over already-built signals. *)
+let rec tree b cell = function
+  | [] -> invalid_arg "Bench_format.tree: empty"
+  | [ s ] -> s
+  | signals ->
+      let rec pair = function
+        | [] -> []
+        | [ s ] -> [ s ]
+        | a :: b' :: rest -> B.add_gate b cell [| a; b' |] :: pair rest
+      in
+      tree b cell (pair signals)
+
+let build_gate b ~line gate fanins =
+  let arity = List.length fanins in
+  let arr = Array.of_list fanins in
+  let wide base_cell final =
+    (* Reduce all but the last input with the monotone base cell, then apply
+       the (possibly inverting) final 2-input cell. *)
+    match fanins with
+    | [ _ ] | [] -> fail_line line (gate ^ " needs at least 2 inputs")
+    | _ ->
+        let rec split_last acc = function
+          | [] -> assert false
+          | [ x ] -> (List.rev acc, x)
+          | x :: rest -> split_last (x :: acc) rest
+        in
+        let init, last = split_last [] fanins in
+        let reduced = tree b base_cell init in
+        B.add_gate b final [| reduced; last |]
+  in
+  match (gate, arity) with
+  | ("NOT" | "INV"), 1 -> B.add_gate b L.inv arr
+  | ("BUFF" | "BUF"), 1 -> B.add_gate b L.buf arr
+  | "AND", 2 -> B.add_gate b L.and2 arr
+  | "AND", 3 -> B.add_gate b L.and3 arr
+  | "AND", _ -> tree b L.and2 fanins
+  | "OR", 2 -> B.add_gate b L.or2 arr
+  | "OR", 3 -> B.add_gate b L.or3 arr
+  | "OR", _ -> tree b L.or2 fanins
+  | "NAND", 2 -> B.add_gate b L.nand2 arr
+  | "NAND", 3 -> B.add_gate b L.nand3 arr
+  | "NAND", 4 -> B.add_gate b L.nand4 arr
+  | "NAND", _ -> wide L.and2 L.nand2
+  | "NOR", 2 -> B.add_gate b L.nor2 arr
+  | "NOR", 3 -> B.add_gate b L.nor3 arr
+  | "NOR", _ -> wide L.or2 L.nor2
+  | "XOR", 2 -> B.add_gate b L.xor2 arr
+  | "XOR", _ -> tree b L.xor2 fanins
+  | "XNOR", 2 -> B.add_gate b L.xnor2 arr
+  | "XNOR", _ -> wide L.xor2 L.xnor2
+  | "AOI21", 3 -> B.add_gate b L.aoi21 arr
+  | "OAI21", 3 -> B.add_gate b L.oai21 arr
+  | "MAJ3", 3 -> B.add_gate b L.maj3 arr
+  | _ ->
+      fail_line line
+        (Printf.sprintf "unsupported gate %s/%d" gate arity)
+
+let parse ~name text =
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 997 in
+  let def_order = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         let line_no = i + 1 in
+         let line =
+           match String.index_opt raw '#' with
+           | Some h -> String.sub raw 0 h
+           | None -> raw
+         in
+         let line = String.trim line in
+         if line <> "" then
+           let upper = String.uppercase_ascii line in
+           if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then begin
+             match String.rindex_opt line ')' with
+             | Some rp ->
+                 inputs :=
+                   String.trim (String.sub line 6 (rp - 6)) :: !inputs
+             | None -> fail_line line_no "unterminated INPUT"
+           end
+           else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT("
+           then begin
+             match String.rindex_opt line ')' with
+             | Some rp ->
+                 outputs :=
+                   String.trim (String.sub line 7 (rp - 7)) :: !outputs
+             | None -> fail_line line_no "unterminated OUTPUT"
+           end
+           else begin
+             let sig_name, def = parse_def line_no line in
+             if Hashtbl.mem defs sig_name then
+               fail_line line_no ("redefinition of " ^ sig_name);
+             Hashtbl.replace defs sig_name def;
+             def_order := sig_name :: !def_order
+           end);
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  if inputs = [] then failwith "bench: no INPUT declarations";
+  if outputs = [] then failwith "bench: no OUTPUT declarations";
+  List.iter
+    (fun i ->
+      if Hashtbl.mem defs i then
+        failwith (Printf.sprintf "bench: signal %s is both INPUT and defined" i))
+    inputs;
+  (* Kahn topological order over the definitions. *)
+  let remaining = Hashtbl.create 997 in
+  let dependents = Hashtbl.create 997 in
+  let ready = Queue.create () in
+  let known name = Hashtbl.mem defs name || List.mem name inputs in
+  Hashtbl.iter
+    (fun sig_name def ->
+      let pending =
+        List.fold_left
+          (fun k f ->
+            if not (known f) then
+              fail_line def.line ("undefined signal " ^ f);
+            if Hashtbl.mem defs f then begin
+              Hashtbl.replace dependents f
+                (sig_name
+                :: (try Hashtbl.find dependents f with Not_found -> []));
+              k + 1
+            end
+            else k)
+          0 def.fanin_names
+      in
+      Hashtbl.replace remaining sig_name pending;
+      if pending = 0 then Queue.push sig_name ready)
+    defs;
+  let b = B.create ~name ~n_pi:(List.length inputs) in
+  let ids = Hashtbl.create 997 in
+  List.iteri (fun i n -> Hashtbl.replace ids n i) inputs;
+  let settled = ref 0 in
+  while not (Queue.is_empty ready) do
+    let sig_name = Queue.pop ready in
+    let def = Hashtbl.find defs sig_name in
+    let fanins =
+      List.map (fun f -> Hashtbl.find ids f) def.fanin_names
+    in
+    let id = build_gate b ~line:def.line def.gate fanins in
+    Hashtbl.replace ids sig_name id;
+    incr settled;
+    List.iter
+      (fun dep ->
+        let k = Hashtbl.find remaining dep - 1 in
+        Hashtbl.replace remaining dep k;
+        if k = 0 then Queue.push dep ready)
+      (try Hashtbl.find dependents sig_name with Not_found -> [])
+  done;
+  if !settled <> Hashtbl.length defs then
+    failwith "bench: combinational loop detected";
+  let out_ids =
+    List.map
+      (fun o ->
+        try Hashtbl.find ids o
+        with Not_found -> failwith ("bench: undefined OUTPUT " ^ o))
+      outputs
+  in
+  B.finish b ~outputs:(Array.of_list out_ids)
+
+let gate_name cell =
+  match cell.Ssta_cell.Cell.name with
+  | "inv" -> "NOT"
+  | "buf" -> "BUFF"
+  | "nand2" | "nand3" | "nand4" -> "NAND"
+  | "nor2" | "nor3" -> "NOR"
+  | "and2" | "and3" -> "AND"
+  | "or2" | "or3" -> "OR"
+  | "xor2" -> "XOR"
+  | "xnor2" -> "XNOR"
+  | "aoi21" -> "AOI21"
+  | "oai21" -> "OAI21"
+  | "maj3" -> "MAJ3"
+  | other -> String.uppercase_ascii other
+
+let to_string nl =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" nl.N.name);
+  let node i = Printf.sprintf "n%d" i in
+  for i = 0 to N.n_pis nl - 1 do
+    Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (node i))
+  done;
+  Array.iter
+    (fun o -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (node o)))
+    nl.N.outputs;
+  Array.iteri
+    (fun g gate ->
+      let id = N.n_pis nl + g in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (node id) (gate_name gate.N.cell)
+           (String.concat ", "
+              (Array.to_list (Array.map node gate.N.fanins)))))
+    nl.N.gates;
+  Buffer.contents buf
+
+let load ~path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  parse ~name text
+
+let save nl ~path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string nl))

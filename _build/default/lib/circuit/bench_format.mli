@@ -1,0 +1,28 @@
+(** Reader/writer for the ISCAS85 ".bench" netlist format.
+
+    The original benchmarks the paper evaluates on are distributed in this
+    format ([INPUT(g)], [OUTPUT(g)], [g = NAND(a, b)], [#] comments); users
+    who have the real netlists can load them directly instead of using the
+    bundled generators.
+
+    Parsing notes:
+    - definitions may appear in any order; a Kahn topological sort orders
+      the gates (combinational circuits only - cycles are rejected);
+    - gate types map to the default {!Ssta_cell.Library} cells by arity;
+      arities beyond the library's widest cell are decomposed into balanced
+      trees of 2-input cells with the inverting stage (if any) last, which
+      preserves the timing-graph character if not the exact gate count;
+    - the writer emits the non-standard names [AOI21]/[OAI21]/[MAJ3] for
+      library cells without a .bench primitive; the parser accepts them, so
+      write/read round-trips. *)
+
+val parse : name:string -> string -> Netlist.t
+(** Raises [Failure] with a line-numbered message on syntax errors,
+    undefined signals, redefinitions or cycles. *)
+
+val to_string : Netlist.t -> string
+
+val load : path:string -> Netlist.t
+(** [name] is the file's basename without extension. *)
+
+val save : Netlist.t -> path:string -> unit

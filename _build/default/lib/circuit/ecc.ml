@@ -1,0 +1,69 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+
+let data_bits = 32
+let check_bits = 8
+
+(* Each data bit participates in the three syndrome trees selected by its
+   decode pattern; patterns enumerate 3-subsets of the 8 syndromes so all 32
+   data bits get distinct patterns (C(8,3) = 56 >= 32). *)
+let patterns =
+  let pats = ref [] in
+  for a = 0 to check_bits - 1 do
+    for b = a + 1 to check_bits - 1 do
+      for c = b + 1 to check_bits - 1 do
+        pats := (a, b, c) :: !pats
+      done
+    done
+  done;
+  Array.of_list (List.rev !pats)
+
+let make ?name ~expand_xor () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> if expand_xor then "ecc_nand" else "ecc_xor"
+  in
+  let n_pi = data_bits + check_bits + 1 in
+  let b = B.create ~name ~n_pi in
+  let data i = i and check k = data_bits + k in
+  let enable = data_bits + check_bits in
+  let xor = if expand_xor then Gadgets.xor_nand else Gadgets.xor_cell in
+  (* Syndrome k: XOR tree over the data bits whose pattern contains k, plus
+     the check bit. *)
+  let members k =
+    let rec collect i acc =
+      if i >= data_bits then List.rev acc
+      else
+        let a, b', c = patterns.(i) in
+        if a = k || b' = k || c = k then collect (i + 1) (data i :: acc)
+        else collect (i + 1) acc
+    in
+    collect 0 [ check k ]
+  in
+  let syndrome =
+    Array.init check_bits (fun k ->
+        let rec tree = function
+          | [] -> assert false
+          | [ s ] -> s
+          | signals ->
+              let rec pair = function
+                | [] -> []
+                | [ s ] -> [ s ]
+                | x :: y :: rest -> xor b x y :: pair rest
+              in
+              tree (pair signals)
+        in
+        tree (members k))
+  in
+  let gated =
+    Array.map (fun s -> B.add_gate b L.and2 [| s; enable |]) syndrome
+  in
+  let outputs =
+    Array.init data_bits (fun i ->
+        let a, b', c = patterns.(i) in
+        let t = B.add_gate b L.and2 [| gated.(a); gated.(b') |] in
+        let dec = B.add_gate b L.and2 [| t; gated.(c) |] in
+        xor b (data i) dec)
+  in
+  B.finish b ~outputs

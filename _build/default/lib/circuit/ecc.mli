@@ -1,0 +1,9 @@
+(** Single-error-correction circuit generator in the mold of ISCAS85
+    c499/c1355 (32-bit data, 8 check bits, one enable): eight XOR syndrome
+    trees, a 3-of-8 syndrome decoder per data bit and a correcting XOR per
+    output.  [expand_xor] replaces every XOR cell with its four-NAND
+    decomposition - exactly the relation between c499 (202 gates) and c1355
+    (546 gates) in the original suite. *)
+
+val make : ?name:string -> expand_xor:bool -> unit -> Netlist.t
+(** 41 primary inputs (32 data, 8 check, 1 enable), 32 primary outputs. *)

@@ -1,0 +1,37 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+
+let xor_nand b x y =
+  let n1 = B.add_gate b L.nand2 [| x; y |] in
+  let n2 = B.add_gate b L.nand2 [| x; n1 |] in
+  let n3 = B.add_gate b L.nand2 [| y; n1 |] in
+  B.add_gate b L.nand2 [| n2; n3 |]
+
+let xor_cell b x y = B.add_gate b L.xor2 [| x; y |]
+
+let half_adder ~xor b x y =
+  let sum = xor b x y in
+  let carry = B.add_gate b L.and2 [| x; y |] in
+  (sum, carry)
+
+let full_adder ~xor b x y z =
+  let s1 = xor b x y in
+  let sum = xor b s1 z in
+  let carry = B.add_gate b L.maj3 [| x; y; z |] in
+  (sum, carry)
+
+let reduce_tree b cell signals =
+  if cell.Ssta_cell.Cell.n_inputs <> 2 then
+    invalid_arg "Gadgets.reduce_tree: cell must be 2-input";
+  let rec round = function
+    | [] -> invalid_arg "Gadgets.reduce_tree: empty signal list"
+    | [ s ] -> s
+    | signals ->
+        let rec pair = function
+          | [] -> []
+          | [ s ] -> [ s ]
+          | a :: b' :: rest -> B.add_gate b cell [| a; b' |] :: pair rest
+        in
+        round (pair signals)
+  in
+  round signals

@@ -1,0 +1,28 @@
+(** Small reusable logic constructions shared by the structural circuit
+    generators: NAND-decomposed XOR, half and full adders, balanced
+    reduction trees. *)
+
+val xor_nand : Netlist.Builder.t -> int -> int -> int
+(** XOR built from four NAND2 gates (the decomposition used by the ISCAS85
+    c1355/c6288 netlists). *)
+
+val xor_cell : Netlist.Builder.t -> int -> int -> int
+(** XOR as a single [xor2] library cell. *)
+
+val half_adder :
+  xor:(Netlist.Builder.t -> int -> int -> int) ->
+  Netlist.Builder.t -> int -> int -> int * int
+(** [(sum, carry)]; carry is an [and2]. *)
+
+val full_adder :
+  xor:(Netlist.Builder.t -> int -> int -> int) ->
+  Netlist.Builder.t -> int -> int -> int -> int * int
+(** [(sum, carry)]; sum is two cascaded XORs, carry a [maj3] majority cell
+    (9 gates total with NAND-decomposed XOR, matching the c6288 full-adder
+    gate count). *)
+
+val reduce_tree :
+  Netlist.Builder.t -> Ssta_cell.Cell.t -> int list -> int
+(** Balanced binary tree of a 2-input cell over the signals; raises
+    [Invalid_argument] on the empty list, returns the signal itself for a
+    singleton. *)

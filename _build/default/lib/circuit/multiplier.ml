@@ -1,0 +1,61 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+
+let make ?name ~bits () =
+  if bits < 2 then invalid_arg "Multiplier.make: bits must be >= 2";
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "mult%d" bits
+  in
+  let b = B.create ~name ~n_pi:(2 * bits) in
+  let a_in i = i and b_in j = bits + j in
+  let xor = Gadgets.xor_nand in
+  (* Partial products pp.(i).(j) = a_j AND b_i, weight i + j. *)
+  let pp =
+    Array.init bits (fun i ->
+        Array.init bits (fun j ->
+            B.add_gate b L.and2 [| a_in j; b_in i |]))
+  in
+  (* Row-by-row reduction: [acc] holds bits of weight i .. i+bits-1 after
+     absorbing pp row i; [top_carry] (weight i+bits) feeds the next row's
+     last adder cell. Bit 0 of each row is a final product bit. *)
+  let outputs = Array.make (2 * bits) (-1) in
+  outputs.(0) <- pp.(0).(0);
+  let acc = Array.init bits (fun j -> pp.(0).(j)) in
+  let top_carry = ref None in
+  for i = 1 to bits - 1 do
+    let carry = ref None in
+    let next = Array.make bits (-1) in
+    for j = 0 to bits - 1 do
+      let x = pp.(i).(j) in
+      let y =
+        if j < bits - 1 then Some acc.(j + 1)
+        else !top_carry (* weight i-1+bits = (i+j) for j = bits-1 *)
+      in
+      let sum, c =
+        match (y, !carry) with
+        | Some y, Some c -> Gadgets.full_adder ~xor b x y c
+        | Some y, None -> Gadgets.half_adder ~xor b x y
+        | None, Some c -> Gadgets.half_adder ~xor b x c
+        | None, None -> (x, -1)
+      in
+      next.(j) <- sum;
+      carry := if c >= 0 then Some c else None
+    done;
+    outputs.(i) <- next.(0);
+    Array.blit next 0 acc 0 bits;
+    top_carry := !carry
+  done;
+  (* After the last row: acc.(1..bits-1) are product bits bits..2*bits-2 and
+     the final top carry is the MSB. *)
+  for j = 1 to bits - 1 do
+    outputs.(bits - 1 + j) <- acc.(j)
+  done;
+  let msb =
+    match !top_carry with
+    | Some c -> c
+    | None ->
+        (* Cannot happen for bits >= 2, but keep the output well-defined. *)
+        B.add_gate b L.and2 [| acc.(bits - 1); acc.(bits - 1) |]
+  in
+  outputs.((2 * bits) - 1) <- msb;
+  B.finish b ~outputs

@@ -1,0 +1,112 @@
+module Cell = Ssta_cell.Cell
+
+type gate = { cell : Cell.t; fanins : int array }
+
+type t = {
+  name : string;
+  n_pi : int;
+  gates : gate array;
+  outputs : int array;
+}
+
+let n_nodes t = t.n_pi + Array.length t.gates
+let n_gates t = Array.length t.gates
+let n_pis t = t.n_pi
+let n_pos t = Array.length t.outputs
+
+let n_edges t =
+  Array.fold_left (fun acc g -> acc + Array.length g.fanins) 0 t.gates
+
+let is_pi t node = node < t.n_pi
+
+let gate_of_node t node =
+  if node < t.n_pi then None else Some t.gates.(node - t.n_pi)
+
+let fanout_counts t =
+  let counts = Array.make (n_nodes t) 0 in
+  Array.iter
+    (fun g ->
+      Array.iter (fun src -> counts.(src) <- counts.(src) + 1) g.fanins)
+    t.gates;
+  counts
+
+let levels t =
+  let lv = Array.make (n_nodes t) 0 in
+  Array.iteri
+    (fun i g ->
+      let m = Array.fold_left (fun acc src -> max acc lv.(src)) 0 g.fanins in
+      lv.(t.n_pi + i) <- m + 1)
+    t.gates;
+  lv
+
+let depth t = Array.fold_left max 0 (levels t)
+
+let validate t =
+  Array.iteri
+    (fun i g ->
+      let id = t.n_pi + i in
+      if Array.length g.fanins <> g.cell.Cell.n_inputs then
+        failwith
+          (Printf.sprintf "netlist %s: gate %d arity %d but cell %s wants %d"
+             t.name i (Array.length g.fanins) g.cell.Cell.name
+             g.cell.Cell.n_inputs);
+      Array.iter
+        (fun src ->
+          if src < 0 || src >= id then
+            failwith
+              (Printf.sprintf
+                 "netlist %s: gate %d fanin %d breaks topological order"
+                 t.name i src))
+        g.fanins)
+    t.gates;
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= n_nodes t then
+        failwith (Printf.sprintf "netlist %s: output id %d out of range" t.name o))
+    t.outputs
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: pi=%d po=%d gates=%d edges=%d depth=%d" t.name
+    (n_pis t) (n_pos t) (n_gates t) (n_edges t) (depth t)
+
+module Builder = struct
+  type t = {
+    name : string;
+    n_pi : int;
+    mutable rev_gates : gate list;
+    mutable count : int;
+  }
+
+  let create ~name ~n_pi =
+    if n_pi <= 0 then invalid_arg "Builder.create: need at least one PI";
+    { name; n_pi; rev_gates = []; count = 0 }
+
+  let n_nodes b = b.n_pi + b.count
+
+  let add_gate b cell fanins =
+    if Array.length fanins <> cell.Cell.n_inputs then
+      invalid_arg
+        (Printf.sprintf "Builder.add_gate: %s wants %d fanins, got %d"
+           cell.Cell.name cell.Cell.n_inputs (Array.length fanins));
+    let id = n_nodes b in
+    Array.iter
+      (fun src ->
+        if src < 0 || src >= id then
+          invalid_arg "Builder.add_gate: fanin not yet defined")
+      fanins;
+    b.rev_gates <- { cell; fanins = Array.copy fanins } :: b.rev_gates;
+    b.count <- b.count + 1;
+    id
+
+  let finish b ~outputs =
+    let nl =
+      {
+        name = b.name;
+        n_pi = b.n_pi;
+        gates = Array.of_list (List.rev b.rev_gates);
+        outputs = Array.copy outputs;
+      }
+    in
+    validate nl;
+    nl
+end

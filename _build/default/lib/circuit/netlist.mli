@@ -1,0 +1,61 @@
+(** Combinational gate-level netlists.
+
+    Nodes are numbered so that ids [0 .. n_pi-1] are primary inputs and id
+    [n_pi + g] is the output of gate [g].  Gates are stored in topological
+    order: every fanin of gate [g] has a smaller node id.  This invariant is
+    enforced by {!Builder} and checked by {!validate}. *)
+
+type gate = { cell : Ssta_cell.Cell.t; fanins : int array }
+
+type t = private {
+  name : string;
+  n_pi : int;
+  gates : gate array;
+  outputs : int array;  (** node ids of primary outputs *)
+}
+
+val n_nodes : t -> int
+(** [n_pi + number of gates]. *)
+
+val n_gates : t -> int
+val n_pis : t -> int
+val n_pos : t -> int
+
+val n_edges : t -> int
+(** Total fanin count = edge count of the gate-level timing graph. *)
+
+val gate_of_node : t -> int -> gate option
+(** [None] for primary-input nodes. *)
+
+val is_pi : t -> int -> bool
+
+val fanout_counts : t -> int array
+(** Per node: number of gate input pins it drives (primary outputs do not
+    count as fanout). *)
+
+val levels : t -> int array
+(** Topological level per node: 0 for PIs, [1 + max fanin level] for gates. *)
+
+val depth : t -> int
+(** Maximum level over all nodes. *)
+
+val validate : t -> unit
+(** Checks the topological-order invariant, fanin arities matching cells, and
+    output ids in range; raises [Failure] with a description otherwise. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : name:string -> n_pi:int -> t
+  val n_nodes : t -> int
+
+  val add_gate : t -> Ssta_cell.Cell.t -> int array -> int
+  (** Returns the node id of the new gate's output.  Raises
+      [Invalid_argument] if the fanin count does not match the cell or any
+      fanin id is out of range (not yet defined). *)
+
+  val finish : t -> outputs:int array -> netlist
+end

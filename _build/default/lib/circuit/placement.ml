@@ -1,0 +1,39 @@
+module Tile = Ssta_variation.Tile
+module Grid = Ssta_variation.Grid
+
+type t = { die : Tile.t; positions : (float * float) array }
+
+let place nl =
+  let n = Netlist.n_gates nl in
+  if n = 0 then invalid_arg "Placement.place: netlist has no gates";
+  let levels = Netlist.levels nl in
+  let order = Array.init n (fun g -> g) in
+  Array.sort
+    (fun a b ->
+      let la = levels.(Netlist.n_pis nl + a)
+      and lb = levels.(Netlist.n_pis nl + b) in
+      if la <> lb then compare la lb else compare a b)
+    order;
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  let positions = Array.make n (0.0, 0.0) in
+  (* Columns advance with level (data flows left to right): item k of the
+     sorted order goes to column k / rows, row k mod rows. *)
+  Array.iteri
+    (fun k g ->
+      let col = k / rows and row = k mod rows in
+      positions.(g) <- (float_of_int col +. 0.5, float_of_int row +. 0.5))
+    order;
+  let die =
+    Tile.make ~x0:0.0 ~y0:0.0 ~x1:(float_of_int cols) ~y1:(float_of_int rows)
+  in
+  { die; positions }
+
+let cells_per_tile t grid =
+  let counts = Array.make (Grid.n_tiles grid) 0 in
+  Array.iter
+    (fun p ->
+      let i = Grid.index_of_point grid p in
+      counts.(i) <- counts.(i) + 1)
+    t.positions;
+  counts

@@ -1,0 +1,19 @@
+(** Levelized placement of a netlist onto a die.
+
+    The paper needs on-die cell locations only to assign cells to correlation
+    grids (Section V), so a simple deterministic placement suffices: gates
+    are sorted by topological level and laid out row-major on a unit cell
+    lattice over a near-square die.  Data flows left-to-right across the die,
+    giving the spatially-coherent structure real placements have (neighboring
+    logic stages sit in neighboring grids). *)
+
+type t = private {
+  die : Ssta_variation.Tile.t;  (** the die rectangle, origin (0,0) *)
+  positions : (float * float) array;  (** per gate, cell centers *)
+}
+
+val place : Netlist.t -> t
+(** Placement of all gates (primary inputs occupy no area). *)
+
+val cells_per_tile : t -> Ssta_variation.Grid.t -> int array
+(** Occupancy per grid tile (for the "< 100 cells per grid" budget check). *)

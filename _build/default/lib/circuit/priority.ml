@@ -1,0 +1,51 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+
+let buses = 3
+let lines = 9
+
+let make ?(name = "priority27") () =
+  let n_pi = (buses * lines) + lines in
+  let b = B.create ~name ~n_pi in
+  let request bus line = (bus * lines) + line in
+  let mask line = (buses * lines) + line in
+  (* Masked requests. *)
+  let masked =
+    Array.init buses (fun bus ->
+        Array.init lines (fun line ->
+            B.add_gate b L.and2 [| request bus line; mask line |]))
+  in
+  (* Per-bus priority chain: a line is granted if requested and no
+     lower-numbered line of the same bus is. *)
+  let grants =
+    Array.init buses (fun bus ->
+        let grant = Array.make lines (-1) in
+        grant.(0) <- masked.(bus).(0);
+        let above = ref masked.(bus).(0) in
+        for line = 1 to lines - 1 do
+          let blocked = B.add_gate b L.inv [| !above |] in
+          grant.(line) <- B.add_gate b L.and2 [| masked.(bus).(line); blocked |];
+          if line < lines - 1 then
+            above := B.add_gate b L.or2 [| !above; masked.(bus).(line) |]
+        done;
+        grant)
+  in
+  (* Bus-level "some channel granted" outputs. *)
+  let bus_any =
+    Array.init buses (fun bus ->
+        Gadgets.reduce_tree b L.or2 (Array.to_list grants.(bus)))
+  in
+  (* 4-bit channel encoder over the 27 grant lines: bit k = OR of grants of
+     lines whose number has bit k set. *)
+  let encoder_bit k =
+    let signals = ref [] in
+    for bus = 0 to buses - 1 do
+      for line = 0 to lines - 1 do
+        if (line lsr k) land 1 = 1 then
+          signals := grants.(bus).(line) :: !signals
+      done
+    done;
+    Gadgets.reduce_tree b L.or2 !signals
+  in
+  let encoded = Array.init 4 encoder_bit in
+  B.finish b ~outputs:(Array.append bus_any encoded)

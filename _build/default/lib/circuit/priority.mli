@@ -1,0 +1,6 @@
+(** Priority / interrupt-controller generator in the mold of ISCAS85 c432
+    (a 27-channel interrupt controller): three 9-line request buses gated by
+    a 9-bit enable mask, per-bus priority chains, bus-level grant outputs and
+    a 4-bit encoded channel number.  36 inputs, 7 outputs, ~160 gates. *)
+
+val make : ?name:string -> unit -> Netlist.t

@@ -1,0 +1,131 @@
+module B = Netlist.Builder
+module L = Ssta_cell.Library
+module Rng = Ssta_gauss.Rng
+
+type spec = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;
+  seed : int;
+  locality : float;
+}
+
+(* Cell mix: mostly 2-input gates with some inverters and 3-input cells,
+   roughly the profile of the ISCAS85 suite. *)
+let weighted_cells =
+  [|
+    (L.nand2, 22); (L.nor2, 14); (L.and2, 14); (L.or2, 10); (L.xor2, 8);
+    (L.xnor2, 4); (L.inv, 10); (L.buf, 3); (L.nand3, 5); (L.nor3, 4);
+    (L.and3, 3); (L.aoi21, 2); (L.oai21, 1);
+  |]
+
+let total_weight =
+  Array.fold_left (fun acc (_, w) -> acc + w) 0 weighted_cells
+
+let pick_cell rng =
+  let r = Rng.int rng total_weight in
+  let rec go i acc =
+    let cell, w = weighted_cells.(i) in
+    if r < acc + w then cell else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let make spec =
+  if spec.n_pi <= 0 || spec.n_po <= 0 || spec.n_gates <= 0 then
+    invalid_arg "Random_logic.make: counts must be positive";
+  let rng = Rng.create ~seed:spec.seed in
+  let b = B.create ~name:spec.name ~n_pi:spec.n_pi in
+  (* Dangling pool: signals without fanout yet, consumed oldest-first once
+     the pool exceeds the output budget. *)
+  let dangling = Queue.create () in
+  let in_pool = Hashtbl.create 97 in
+  let push id =
+    if not (Hashtbl.mem in_pool id) then begin
+      Queue.push id dangling;
+      Hashtbl.replace in_pool id ()
+    end
+  in
+  (* The queue may hold stale ids (already consumed as random fanins); skip
+     them.  Returns [None] once the live pool is exhausted. *)
+  let rec pop () =
+    match Queue.take_opt dangling with
+    | None -> None
+    | Some id ->
+        if Hashtbl.mem in_pool id then begin
+          Hashtbl.remove in_pool id;
+          Some id
+        end
+        else pop ()
+  in
+  let live_pool_size () = Hashtbl.length in_pool in
+  for pi = 0 to spec.n_pi - 1 do
+    push pi
+  done;
+  let next_unused_pi = ref 0 in
+  let pick_fanin b_nodes =
+    (* Recent-window draw with probability [locality], else uniform. *)
+    if Rng.uniform rng < spec.locality then begin
+      let window = max 8 (b_nodes / 8) in
+      let lo = max 0 (b_nodes - window) in
+      lo + Rng.int rng (b_nodes - lo)
+    end
+    else Rng.int rng b_nodes
+  in
+  for _g = 0 to spec.n_gates - 1 do
+    let cell = pick_cell rng in
+    let arity = cell.Ssta_cell.Cell.n_inputs in
+    let nodes = B.n_nodes b in
+    let fanins = Array.make arity (-1) in
+    let used = Hashtbl.create 4 in
+    let take slot v =
+      fanins.(slot) <- v;
+      Hashtbl.replace used v ()
+    in
+    (* Slot 0: drain the dangling pool (keeps everything observable), or an
+       unused PI early on so no input is left floating. *)
+    if !next_unused_pi < spec.n_pi && Rng.uniform rng < 0.5 then begin
+      take 0 !next_unused_pi;
+      incr next_unused_pi
+    end
+    else if live_pool_size () > spec.n_po then
+      match pop () with
+      | Some id -> take 0 id
+      | None -> take 0 (pick_fanin nodes)
+    else take 0 (pick_fanin nodes);
+    for slot = 1 to arity - 1 do
+      let rec draw tries =
+        let v = pick_fanin nodes in
+        if Hashtbl.mem used v && tries < 8 then draw (tries + 1) else v
+      in
+      take slot (draw 0)
+    done;
+    let id = B.add_gate b cell fanins in
+    Array.iter (fun v -> Hashtbl.remove in_pool v) fanins;
+    push id
+  done;
+  let live = Queue.create () in
+  Queue.iter
+    (fun id -> if Hashtbl.mem in_pool id then Queue.push id live)
+    dangling;
+  (* Merge surplus dangling signals pairwise so exactly n_po remain. *)
+  while Queue.length live > spec.n_po do
+    let x = Queue.pop live in
+    let y = Queue.pop live in
+    Queue.push (B.add_gate b L.or2 [| x; y |]) live
+  done;
+  let outputs = Array.make spec.n_po (-1) in
+  let n_live = Queue.length live in
+  for i = 0 to n_live - 1 do
+    outputs.(i) <- Queue.pop live
+  done;
+  (* If the pool came up short, pad with distinct late gates. *)
+  let next = ref (B.n_nodes b - 1) in
+  for i = n_live to spec.n_po - 1 do
+    while Array.exists (fun o -> o = !next) outputs do
+      decr next
+    done;
+    outputs.(i) <- !next;
+    decr next
+  done;
+  B.finish b ~outputs

@@ -1,0 +1,27 @@
+(** Seeded random combinational logic, shaped to a target size.
+
+    Stands in for the ISCAS85 circuits we cannot redistribute (see DESIGN.md):
+    the generator controls primary input/output counts, gate count, cell mix
+    and a locality parameter governing reconvergence and logical depth, which
+    are the graph statistics the timing-model extraction results depend on.
+
+    Construction maintains a pool of currently fanout-free signals; while the
+    pool exceeds the target output count, new gates consume from it, so the
+    finished circuit has every gate observable at some output.  The result is
+    deterministic in [seed]. *)
+
+type spec = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;  (** target; actual count can differ by a few mop-up gates *)
+  seed : int;
+  locality : float;
+      (** 0..1: probability that a fanin is drawn from the recent window
+          rather than uniformly from all earlier signals; higher means
+          deeper, narrower circuits *)
+}
+
+val make : spec -> Netlist.t
+(** Raises [Invalid_argument] on non-positive counts or [n_po] larger than
+    reachable signals. *)

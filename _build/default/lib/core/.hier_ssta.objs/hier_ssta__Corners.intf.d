@@ -1,0 +1,1 @@
+lib/core/corners.mli: Format Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array Float Propagate Ssta_canonical Ssta_gauss Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/design_grid.ml: Array Floorplan List Ssta_variation Timing_model

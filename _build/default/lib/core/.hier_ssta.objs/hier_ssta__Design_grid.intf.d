@@ -1,0 +1,1 @@
+lib/core/design_grid.mli: Floorplan Ssta_variation

@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Format Ssta_canonical

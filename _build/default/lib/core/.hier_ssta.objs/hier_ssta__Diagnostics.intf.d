@@ -1,0 +1,1 @@
+lib/core/diagnostics.mli: Format Ssta_canonical

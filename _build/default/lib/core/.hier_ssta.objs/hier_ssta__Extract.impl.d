@@ -1,0 +1,1 @@
+lib/core/extract.ml: Array Criticality Design_grid Floorplan Hier_analysis Reduce Replace Ssta_canonical Ssta_circuit Ssta_timing Ssta_variation Timing_model Unix

@@ -1,0 +1,1 @@
+lib/core/extract.mli: Criticality Design_grid Floorplan Hier_analysis Ssta_timing Timing_model

@@ -1,0 +1,1 @@
+lib/core/floorplan.ml: Array Hashtbl List Printf Ssta_timing Ssta_variation Timing_model

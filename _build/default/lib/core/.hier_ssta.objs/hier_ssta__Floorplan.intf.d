@@ -1,0 +1,1 @@
+lib/core/floorplan.mli: Ssta_timing Ssta_variation Timing_model

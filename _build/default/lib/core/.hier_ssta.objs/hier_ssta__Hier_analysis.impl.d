@@ -1,0 +1,1 @@
+lib/core/hier_analysis.ml: Array Design_grid Float Floorplan Printf Propagate Replace Ssta_canonical Ssta_mc Ssta_timing Ssta_variation Timing_model Unix

@@ -1,0 +1,1 @@
+lib/core/hier_analysis.mli: Design_grid Floorplan Replace Ssta_canonical Ssta_mc Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/min_analysis.ml: Array Ssta_canonical Ssta_timing

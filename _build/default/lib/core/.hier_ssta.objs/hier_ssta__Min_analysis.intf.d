@@ -1,0 +1,1 @@
+lib/core/min_analysis.mli: Ssta_canonical Ssta_timing

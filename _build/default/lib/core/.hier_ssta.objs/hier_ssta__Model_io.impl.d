@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Array Buffer Fun List Printf Ssta_canonical Ssta_linalg Ssta_timing Ssta_variation String Timing_model

@@ -1,0 +1,1 @@
+lib/core/path_report.ml: Array Format Hashtbl List Propagate Ssta_canonical Ssta_timing String

@@ -1,0 +1,1 @@
+lib/core/path_report.mli: Format Ssta_canonical Ssta_timing

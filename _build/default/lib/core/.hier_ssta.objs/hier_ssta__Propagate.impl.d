@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Array Ssta_canonical Ssta_timing

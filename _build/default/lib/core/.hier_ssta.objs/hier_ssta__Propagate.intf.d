@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Ssta_canonical Ssta_timing

@@ -1,0 +1,1 @@
+lib/core/reduce.mli: Ssta_canonical Ssta_timing

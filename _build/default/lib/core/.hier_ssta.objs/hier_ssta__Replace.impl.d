@@ -1,0 +1,1 @@
+lib/core/replace.ml: Array Design_grid Floorplan Ssta_canonical Ssta_linalg Ssta_variation Timing_model

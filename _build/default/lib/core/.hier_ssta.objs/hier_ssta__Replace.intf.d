@@ -1,0 +1,1 @@
+lib/core/replace.mli: Design_grid Floorplan Ssta_canonical Ssta_linalg

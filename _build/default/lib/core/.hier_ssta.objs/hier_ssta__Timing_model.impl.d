@@ -1,0 +1,1 @@
+lib/core/timing_model.ml: Array Format Propagate Ssta_canonical Ssta_timing Ssta_variation

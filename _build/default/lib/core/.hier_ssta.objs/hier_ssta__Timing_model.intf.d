@@ -1,0 +1,1 @@
+lib/core/timing_model.mli: Format Ssta_canonical Ssta_timing Ssta_variation

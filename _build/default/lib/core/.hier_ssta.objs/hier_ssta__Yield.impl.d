@@ -1,0 +1,1 @@
+lib/core/yield.ml: Array Ssta_canonical

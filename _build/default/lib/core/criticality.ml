@@ -1,0 +1,188 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+module Normal = Ssta_gauss.Normal
+
+type result = {
+  keep : bool array;
+  cm : float array;
+  exact_evals : int;
+  screened_pairs : int;
+}
+
+(* Full backward passes, computed lazily per output and retained: the
+   criticality loop touches every output for almost every input, so an
+   eviction policy would thrash (one backward pass costs a full canonical
+   sweep).  Memory is |O| * |V| * dim floats - a few hundred MB at c7552
+   scale, well within reach. *)
+module Req_cache = struct
+  type t = {
+    g : Tgraph.t;
+    forms : Form.t array;
+    passes : Form.t option array option array;
+  }
+
+  let create g forms n_outputs =
+    { g; forms; passes = Array.make n_outputs None }
+
+  let get t ~out ~j =
+    match t.passes.(j) with
+    | Some forms -> forms
+    | None ->
+        let forms = Propagate.backward_to t.g ~forms:t.forms out in
+        t.passes.(j) <- Some forms;
+        forms
+end
+
+let compute ?(exact = false) ~delta g ~forms =
+  if not (delta > 0.0 && delta < 1.0) then
+    invalid_arg "Criticality.compute: delta must lie in (0, 1)";
+  let m = Tgraph.n_edges g in
+  let nv = Tgraph.n_vertices g in
+  let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
+  let no = Array.length outputs in
+  let keep = Array.make m false in
+  (* Best exact tightness z-score seen per edge (neg_infinity = never
+     evaluated); converted to a probability at the end. *)
+  let cm_z = Array.make m neg_infinity in
+  let floor_p = 1e-3 in
+  let z_delta = Normal.quantile delta in
+  let z_floor = Normal.quantile floor_p in
+  (* Per-edge decision threshold in z-space: in threshold mode an edge is
+     settled by any witness >= delta; in exact mode the bar rises to the best
+     exact criticality found so far (bounds below it cannot improve cm). *)
+  let bar = Array.make m (if exact then z_floor else z_delta) in
+  let exact_evals = ref 0 in
+  let screened = ref 0 in
+  (* Edge delay scalars. *)
+  let d_mu = Array.map (fun f -> f.Form.mean) forms in
+  let d_var = Array.map Form.variance forms in
+  let d_sig = Array.map sqrt d_var in
+  (* Backward scalar tables per output; the full passes are retained in the
+     cache for the exact evaluations. *)
+  let cache = Req_cache.create g forms no in
+  let req_mu = Array.make_matrix no nv nan in
+  let req_sig = Array.make_matrix no nv nan in
+  Array.iteri
+    (fun j out ->
+      let req = Req_cache.get cache ~out ~j in
+      let mu, sig_ = Propagate.scalar_summaries req in
+      req_mu.(j) <- mu;
+      req_sig.(j) <- sig_)
+    outputs;
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  Array.iter
+    (fun input ->
+      let arr = Propagate.forward g ~forms ~sources:[| input |] in
+      let a_mu, a_sig = Propagate.scalar_summaries arr in
+      Array.iteri
+        (fun j out ->
+          match arr.(out) with
+          | None -> () (* input does not reach this output *)
+          | Some mform ->
+              let m_mu = mform.Form.mean in
+              let m_sig = Form.std mform in
+              let rmu = req_mu.(j) and rsig = req_sig.(j) in
+              for e = 0 to m - 1 do
+                let s = Array.unsafe_get src e in
+                let amu = Array.unsafe_get a_mu s in
+                if amu = amu (* reachable from input *) then begin
+                  let d = Array.unsafe_get dst e in
+                  let rm = Array.unsafe_get rmu d in
+                  if rm = rm (* reaches output *) then begin
+                    incr screened;
+                    let mu_de = amu +. Array.unsafe_get d_mu e +. rm in
+                    let theta_max =
+                      Array.unsafe_get a_sig s
+                      +. Array.unsafe_get d_sig e
+                      +. Array.unsafe_get rsig d
+                      +. m_sig
+                    in
+                    let z_bound =
+                      if mu_de >= m_mu then infinity
+                      else (mu_de -. m_mu) /. theta_max
+                    in
+                    if z_bound > Array.unsafe_get bar e then begin
+                      (* Survivor: exact tightness z-score, allocation-free.
+                         With de = a + d + r (independent private randoms),
+                         Var de and Cov(de, M) decompose into pairwise
+                         covariances of the stored forms, so no canonical sum
+                         needs to be materialized. *)
+                      let req = Req_cache.get cache ~out ~j in
+                      match (arr.(s), req.(d)) with
+                      | Some a, Some r ->
+                          incr exact_evals;
+                          let de_form = forms.(e) in
+                          let var_de =
+                            Form.variance a +. d_var.(e) +. Form.variance r
+                            +. 2.0
+                               *. (Form.covariance a de_form
+                                  +. Form.covariance a r
+                                  +. Form.covariance de_form r)
+                          in
+                          let cov_dem =
+                            Form.covariance a mform
+                            +. Form.covariance de_form mform
+                            +. Form.covariance r mform
+                          in
+                          let m_var = m_sig *. m_sig in
+                          let theta2 =
+                            var_de +. m_var -. (2.0 *. cov_dem)
+                          in
+                          (* Identity detection: when every i->j path runs
+                             through e (or ties are perfectly correlated),
+                             M_ij IS d_e - same mean and same linear part -
+                             but the canonical forms carry the shared private
+                             randoms as if independent, which would collapse
+                             the tightness to 1/2.  The criticality of such
+                             an edge is 1 by definition (P(de >= de) = 1). *)
+                          let scale = var_de +. m_var +. 1e-30 in
+                          let rand_de2 =
+                            let ra = a.Form.rand
+                            and rd = de_form.Form.rand
+                            and rr = r.Form.rand
+                            in
+                            (ra *. ra) +. (rd *. rd) +. (rr *. rr)
+                          in
+                          let linear_dist2 =
+                            var_de -. rand_de2 +. m_var
+                            -. (mform.Form.rand *. mform.Form.rand)
+                            -. (2.0 *. cov_dem)
+                          in
+                          (* Thresholds are deliberately not machine-epsilon
+                             tight: an edge whose M differs from de only by a
+                             strongly-dominated competitor (tightness already
+                             > ~0.98) lands here too, which is where it
+                             belongs - competing paths at statistical parity
+                             shift M's mean by a sizable fraction of sigma
+                             and are rejected by the mean test. *)
+                          let same_path =
+                            m_mu -. mu_de <= 0.02 *. m_sig +. 1e-30
+                            && linear_dist2 <= 1e-4 *. scale
+                            && m_var <= var_de +. (1e-3 *. scale)
+                          in
+                          let z =
+                            if same_path then infinity
+                            else if theta2 <= 1e-12 *. scale then
+                              if mu_de >= m_mu then infinity else neg_infinity
+                            else (mu_de -. m_mu) /. sqrt theta2
+                          in
+                          if z >= z_delta then keep.(e) <- true;
+                          if z > cm_z.(e) then cm_z.(e) <- z;
+                          if exact then bar.(e) <- Float.max bar.(e) z
+                          else if keep.(e) then bar.(e) <- infinity
+                      | _ -> ()
+                    end
+                  end
+                end
+              done)
+        outputs)
+    inputs;
+  let cm =
+    Array.map
+      (fun z ->
+        if z = neg_infinity then 0.0
+        else if z = infinity then 1.0
+        else Normal.cdf z)
+      cm_z
+  in
+  { keep; cm; exact_evals = !exact_evals; screened_pairs = !screened }

@@ -1,0 +1,53 @@
+(** Edge criticality with respect to input-output pairs (paper Section IV-B).
+
+    The criticality [c_ij] of edge [e] for pair [(i, j)] is the probability
+    that [e] lies on the critical path from input [i] to output [j]:
+    with [d_e = a_e + d + r_e] (max delay over i->j paths through [e], paper
+    eq. (15)) and [M_ij] the max i->j delay, [c_ij = P(d_e >= M_ij)] (paper
+    eqs. (13)-(14)); the maximum criticality [c_m] is the max over pairs.
+
+    Evaluating the exact tightness probability for every (edge, pair) triple
+    is O(E |I| |O| dim); we avoid most of it with a conservative scalar
+    screen (see DESIGN.md): since std(X+Y) <= std X + std Y, for
+    mu_de < mu_M the exact P(de >= M) = Phi((mu_de - mu_M)/theta) is bounded
+    above by Phi((mu_de - mu_M)/theta_max) with
+    theta_max = sigma_ae + sigma_d + sigma_re + sigma_M.  Triples whose bound
+    stays below the threshold are discarded with six flops; exact canonical
+    evaluation only runs on survivors.
+
+    One subtlety of the canonical framework: when {e every} i->j path runs
+    through [e], [M_ij] and [d_e] are the same path delay, but the forms
+    carry their (shared) private random parts as if independent, which would
+    collapse the tightness to 1/2.  Such pairs are detected by statistical
+    identity (same mean, same linear part, no extra variance in [M]) and
+    reported with criticality 1, matching the definition [P(de >= de) = 1]
+    and the paper's Fig. 6 spike at criticality 1.  Edges that are dominant
+    but not identical (true tightness between roughly 0.7 and 1) remain
+    somewhat underestimated for the same reason; such edges are still far
+    above any removal threshold, and the end-to-end extraction accuracy
+    tests bound the effect. *)
+
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type result = {
+  keep : bool array;  (** per edge: some pair has criticality >= delta *)
+  cm : float array;
+      (** per edge: exact maximum criticality when [exact] was requested,
+          otherwise a lower bound that is correct on the keep/remove side of
+          [delta] (kept edges carry the first witness >= delta, removed
+          edges their best evaluated value, 0 if screened out) *)
+  exact_evals : int;  (** number of full tightness evaluations performed *)
+  screened_pairs : int;  (** number of (edge, pair) screens performed *)
+}
+
+val compute :
+  ?exact:bool ->
+  delta:float ->
+  Tgraph.t ->
+  forms:Form.t array ->
+  result
+(** [exact] (default false) makes [cm] the exact per-edge maximum
+    criticality (needed for the paper's Fig. 6 histogram) at the cost of
+    more exact evaluations; criticalities whose screen bound is below
+    [1e-3] are reported as 0. *)

@@ -1,0 +1,70 @@
+module Tile = Ssta_variation.Tile
+module Grid = Ssta_variation.Grid
+module Basis = Ssta_variation.Basis
+
+type t = {
+  tiles : Tile.t array;
+  basis : Basis.t;
+  instance_tile_offset : int array;
+  instance_n_tiles : int array;
+}
+
+let build (fp : Floorplan.t) =
+  let instances = fp.Floorplan.instances in
+  let first = instances.(0).Floorplan.model.Timing_model.basis in
+  let pitch = first.Basis.pitch in
+  let corr = first.Basis.corr in
+  let n_params = first.Basis.n_params in
+  Array.iter
+    (fun inst ->
+      let b = inst.Floorplan.model.Timing_model.basis in
+      if
+        b.Basis.pitch <> pitch || b.Basis.corr <> corr
+        || b.Basis.n_params <> n_params
+      then failwith "Design_grid.build: instances disagree on variation model")
+    instances;
+  let tiles = ref [] and count = ref 0 in
+  let offsets = Array.make (Array.length instances) 0 in
+  let counts = Array.make (Array.length instances) 0 in
+  Array.iteri
+    (fun i inst ->
+      offsets.(i) <- !count;
+      let dx, dy = inst.Floorplan.origin in
+      let mod_tiles =
+        inst.Floorplan.model.Timing_model.basis.Basis.tiles
+      in
+      counts.(i) <- Array.length mod_tiles;
+      Array.iter
+        (fun tile ->
+          tiles := Tile.translate tile ~dx ~dy :: !tiles;
+          incr count)
+        mod_tiles)
+    instances;
+  (* Fill the uncovered remainder with default-pitch tiles. *)
+  let module_dies = Array.map Floorplan.instance_die instances in
+  let die = fp.Floorplan.die in
+  let filler =
+    Grid.make ~x0:die.Tile.x0 ~y0:die.Tile.y0 ~width:(Tile.width die)
+      ~height:(Tile.height die) ~pitch
+  in
+  Array.iter
+    (fun tile ->
+      let c = Tile.center tile in
+      if not (Array.exists (fun d -> Tile.contains d c) module_dies) then begin
+        tiles := tile :: !tiles;
+        incr count
+      end)
+    filler.Grid.tiles;
+  let tiles = Array.of_list (List.rev !tiles) in
+  let basis = Basis.make ~n_params ~corr ~pitch tiles in
+  {
+    tiles;
+    basis;
+    instance_tile_offset = offsets;
+    instance_n_tiles = counts;
+  }
+
+let design_tile_of_instance t ~inst tile =
+  if tile < 0 || tile >= t.instance_n_tiles.(inst) then
+    invalid_arg "Design_grid.design_tile_of_instance: tile out of range";
+  t.instance_tile_offset.(inst) + tile

@@ -1,0 +1,24 @@
+(** Heterogeneous design-level grid partition and basis (paper Section V,
+    Fig. 4): the die areas covered by module instances keep the instances'
+    own characterization grids (translated to their origins) so that the
+    design-level covariance restricted to one instance's tiles equals the
+    module-level covariance C - the property the independent-variable
+    replacement (paper eqs. (16)-(19)) relies on.  The remaining die area is
+    covered by default-pitch tiles (tiles whose center falls inside a module
+    are omitted; a small geometric approximation of the paper's clipped
+    grids, documented in DESIGN.md). *)
+
+type t = private {
+  tiles : Ssta_variation.Tile.t array;
+  basis : Ssta_variation.Basis.t;  (** design-level basis over [tiles] *)
+  instance_tile_offset : int array;
+      (** index of instance i's first tile within [tiles] *)
+  instance_n_tiles : int array;
+}
+
+val build : Floorplan.t -> t
+(** Raises [Failure] if the instances disagree on grid pitch, correlation
+    model or parameter count. *)
+
+val design_tile_of_instance : t -> inst:int -> int -> int
+(** Design-level index of a module-level tile. *)

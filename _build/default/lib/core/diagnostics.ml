@@ -1,0 +1,58 @@
+module Form = Ssta_canonical.Form
+
+type budget = {
+  total_variance : float;
+  global_per_param : float array;
+  local_per_param : float array;
+  random : float;
+}
+
+let budget ~n_params (f : Form.t) =
+  if Array.length f.Form.globals <> n_params then
+    invalid_arg "Diagnostics.budget: global coefficient count mismatch";
+  let n_pcs = Array.length f.Form.pcs in
+  if n_params = 0 || n_pcs mod n_params <> 0 then
+    invalid_arg "Diagnostics.budget: PC dimension not a parameter multiple";
+  let block = n_pcs / n_params in
+  let global_per_param =
+    Array.map (fun g -> g *. g) f.Form.globals
+  in
+  let local_per_param =
+    Array.init n_params (fun k ->
+        let acc = ref 0.0 in
+        for i = k * block to ((k + 1) * block) - 1 do
+          let v = f.Form.pcs.(i) in
+          acc := !acc +. (v *. v)
+        done;
+        !acc)
+  in
+  let random = f.Form.rand *. f.Form.rand in
+  {
+    total_variance = Form.variance f;
+    global_per_param;
+    local_per_param;
+    random;
+  }
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let fraction_global b =
+  if b.total_variance <= 0.0 then 0.0
+  else sum b.global_per_param /. b.total_variance
+
+let fraction_local b =
+  if b.total_variance <= 0.0 then 0.0
+  else sum b.local_per_param /. b.total_variance
+
+let fraction_random b =
+  if b.total_variance <= 0.0 then 0.0 else b.random /. b.total_variance
+
+let pp ppf b =
+  let pct v = if b.total_variance <= 0.0 then 0.0 else 100.0 *. v /. b.total_variance in
+  Format.fprintf ppf "@[<v>total sigma: %.3f@," (sqrt b.total_variance);
+  Array.iteri
+    (fun k g ->
+      Format.fprintf ppf "param %d: global %5.1f%%  local %5.1f%%@," k (pct g)
+        (pct b.local_per_param.(k)))
+    b.global_per_param;
+  Format.fprintf ppf "random: %5.1f%%@]" (pct b.random)

@@ -1,0 +1,27 @@
+(** Variance budgeting: decompose a canonical delay's variance into the
+    contribution of each variation source.  This is the "delay-yield
+    information to designers" the paper motivates SSTA with - it tells a
+    designer whether a spread is dominated by die-to-die (global) variation,
+    by spatially-correlated within-die variation, or by uncorrelatable
+    random effects (which only margin can cover). *)
+
+module Form = Ssta_canonical.Form
+
+type budget = {
+  total_variance : float;
+  global_per_param : float array;  (** variance via each global variable *)
+  local_per_param : float array;
+      (** variance via each parameter's correlated-local PC block *)
+  random : float;  (** variance of the private random part *)
+}
+
+val budget : n_params:int -> Form.t -> budget
+(** Raises [Invalid_argument] if the form's PC dimension is not a multiple
+    of [n_params]. *)
+
+val fraction_global : budget -> float
+val fraction_local : budget -> float
+val fraction_random : budget -> float
+
+val pp : Format.formatter -> budget -> unit
+(** One line per source with percentages. *)

@@ -1,0 +1,114 @@
+module Build = Ssta_timing.Build
+module Tgraph = Ssta_timing.Tgraph
+
+(* Delay increment per additional external sink on each output port: the
+   output-driving arcs were characterized at their internal fanout with a
+   12%-per-sink load slope (Cell.arc_delay), so one extra sink scales each
+   final arc by slope = 0.12 / (1 + 0.12 (fanout - 1)); the increment is the
+   statistical max over the port's fanin arcs (paper future work). *)
+let output_load_increments (b : Build.t) =
+  let module Form = Ssta_canonical.Form in
+  let g = b.Build.graph in
+  let fanouts = Ssta_circuit.Netlist.fanout_counts b.Build.netlist in
+  Array.map
+    (fun out ->
+      let lo = g.Tgraph.fanin_lo.(out) and hi = g.Tgraph.fanin_hi.(out) in
+      if hi <= lo then Form.zero b.Build.basis.Ssta_variation.Basis.dims
+      else begin
+        let fanout = max fanouts.(out) 1 in
+        let slope = 0.12 /. (1.0 +. (0.12 *. float_of_int (fanout - 1))) in
+        let arcs = ref [] in
+        for e = lo to hi - 1 do
+          arcs := Form.scale slope b.Build.forms.(e) :: !arcs
+        done;
+        Form.max_list !arcs
+      end)
+    g.Tgraph.outputs
+
+let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
+  let t0 = Unix.gettimeofday () in
+  let g = b.Build.graph in
+  let crit = Criticality.compute ~exact ~delta g ~forms:b.Build.forms in
+  let work = Reduce.of_graph g ~forms:b.Build.forms ~keep:crit.Criticality.keep in
+  Reduce.reduce work;
+  let graph, forms, _inputs, _outputs = Reduce.freeze work in
+  let removed =
+    Array.fold_left
+      (fun acc k -> if k then acc else acc + 1)
+      0 crit.Criticality.keep
+  in
+  let stats =
+    {
+      Timing_model.original_edges = Tgraph.n_edges g;
+      original_vertices = Tgraph.n_vertices g;
+      model_edges = Tgraph.n_edges graph;
+      model_vertices = Tgraph.n_vertices graph;
+      removed_edges = removed;
+      exact_evals = crit.Criticality.exact_evals;
+      extraction_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let model =
+    {
+      Timing_model.name = b.Build.netlist.Ssta_circuit.Netlist.name;
+      graph;
+      forms;
+      basis = b.Build.basis;
+      die = b.Build.placement.Ssta_circuit.Placement.die;
+      delta;
+      output_load = output_load_increments b;
+      stats;
+    }
+  in
+  (model, crit)
+
+let extract ?delta b = fst (extract_with_criticality ?delta b)
+
+let extract_design ?(delta = 0.05) ~name (fp : Floorplan.t)
+    (dg : Design_grid.t) (res : Hier_analysis.result) =
+  let t0 = Unix.gettimeofday () in
+  let g = res.Hier_analysis.graph in
+  let forms = res.Hier_analysis.forms in
+  let crit = Criticality.compute ~delta g ~forms in
+  let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
+  Reduce.reduce work;
+  let graph, rforms, _inputs, _outputs = Reduce.freeze work in
+  let removed =
+    Array.fold_left
+      (fun acc k -> if k then acc else acc + 1)
+      0 crit.Criticality.keep
+  in
+  (* Each design output is an instance output port; its load increment is
+     the instance's, rewritten over the design basis. *)
+  let output_load =
+    Array.map
+      (fun ({ Floorplan.inst; port } as _p) ->
+        let model = fp.Floorplan.instances.(inst).Floorplan.model in
+        let m =
+          Some (Replace.matrix dg fp ~inst)
+        in
+        Replace.transform_form dg ~mode:Replace.Replaced ~m ~inst
+          model.Timing_model.output_load.(port))
+      fp.Floorplan.ext_outputs
+  in
+  let stats =
+    {
+      Timing_model.original_edges = Tgraph.n_edges g;
+      original_vertices = Tgraph.n_vertices g;
+      model_edges = Tgraph.n_edges graph;
+      model_vertices = Tgraph.n_vertices graph;
+      removed_edges = removed;
+      exact_evals = crit.Criticality.exact_evals;
+      extraction_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  {
+    Timing_model.name;
+    graph;
+    forms = rforms;
+    basis = dg.Design_grid.basis;
+    die = fp.Floorplan.die;
+    delta;
+    output_load;
+    stats;
+  }

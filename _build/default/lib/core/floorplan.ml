@@ -1,0 +1,109 @@
+module Tile = Ssta_variation.Tile
+
+type instance = {
+  label : string;
+  build : Ssta_timing.Build.t option;
+  model : Timing_model.t;
+  origin : float * float;
+}
+
+type port = { inst : int; port : int }
+
+type t = {
+  die : Tile.t;
+  instances : instance array;
+  connections : (port * port) array;
+  ext_inputs : port array;
+  ext_outputs : port array;
+}
+
+let instance_die inst =
+  let dx, dy = inst.origin in
+  Tile.translate inst.model.Timing_model.die ~dx ~dy
+
+let inside outer inner =
+  inner.Tile.x0 >= outer.Tile.x0 -. 1e-9
+  && inner.Tile.y0 >= outer.Tile.y0 -. 1e-9
+  && inner.Tile.x1 <= outer.Tile.x1 +. 1e-9
+  && inner.Tile.y1 <= outer.Tile.y1 +. 1e-9
+
+let create ~die ~instances ~connections =
+  let n = Array.length instances in
+  if n = 0 then failwith "Floorplan.create: no instances";
+  Array.iteri
+    (fun i inst ->
+      let idie = instance_die inst in
+      if not (inside die idie) then
+        failwith
+          (Printf.sprintf "Floorplan.create: instance %d (%s) outside die" i
+             inst.label);
+      for j = 0 to i - 1 do
+        if Tile.overlaps idie (instance_die instances.(j)) then
+          failwith
+            (Printf.sprintf "Floorplan.create: instances %d and %d overlap" j
+               i)
+      done)
+    instances;
+  let check_port kind p limit_of =
+    if p.inst < 0 || p.inst >= n then
+      failwith (Printf.sprintf "Floorplan.create: bad %s instance" kind);
+    let limit = limit_of instances.(p.inst).model in
+    if p.port < 0 || p.port >= limit then
+      failwith (Printf.sprintf "Floorplan.create: bad %s port index" kind)
+  in
+  let driven = Hashtbl.create 97 in
+  Array.iter
+    (fun (src, dst) ->
+      check_port "source" src Timing_model.n_outputs;
+      check_port "sink" dst Timing_model.n_inputs;
+      if Hashtbl.mem driven (dst.inst, dst.port) then
+        failwith "Floorplan.create: input port driven twice";
+      Hashtbl.replace driven (dst.inst, dst.port) ())
+    connections;
+  let used_out = Hashtbl.create 97 in
+  Array.iter
+    (fun (src, _) -> Hashtbl.replace used_out (src.inst, src.port) ())
+    connections;
+  let ext_inputs = ref [] and ext_outputs = ref [] in
+  Array.iteri
+    (fun i inst ->
+      for p = 0 to Timing_model.n_inputs inst.model - 1 do
+        if not (Hashtbl.mem driven (i, p)) then
+          ext_inputs := { inst = i; port = p } :: !ext_inputs
+      done;
+      for p = 0 to Timing_model.n_outputs inst.model - 1 do
+        if not (Hashtbl.mem used_out (i, p)) then
+          ext_outputs := { inst = i; port = p } :: !ext_outputs
+      done)
+    instances;
+  if !ext_inputs = [] then failwith "Floorplan.create: design has no inputs";
+  if !ext_outputs = [] then failwith "Floorplan.create: design has no outputs";
+  {
+    die;
+    instances;
+    connections;
+    ext_inputs = Array.of_list (List.rev !ext_inputs);
+    ext_outputs = Array.of_list (List.rev !ext_outputs);
+  }
+
+let mult_grid ~label ?build ~model () =
+  let n_in = Timing_model.n_inputs model
+  and n_out = Timing_model.n_outputs model in
+  if n_in <> n_out then
+    failwith "Floorplan.mult_grid: module must have as many outputs as inputs";
+  let mdie = model.Timing_model.die in
+  let w = Tile.width mdie and h = Tile.height mdie in
+  let die = Tile.make ~x0:0.0 ~y0:0.0 ~x1:(2.0 *. w) ~y1:(2.0 *. h) in
+  let at ox oy i =
+    { label = Printf.sprintf "%s_%d" label i; build; model; origin = (ox, oy) }
+  in
+  (* Column 1: instances 0 (bottom) and 1 (top); column 2: 2 and 3. *)
+  let instances =
+    [| at 0.0 0.0 0; at 0.0 h 1; at w 0.0 2; at w h 3 |]
+  in
+  let connect src_inst dst_inst =
+    Array.init n_out (fun p ->
+        ({ inst = src_inst; port = p }, { inst = dst_inst; port = p }))
+  in
+  let connections = Array.append (connect 0 3) (connect 1 2) in
+  create ~die ~instances ~connections

@@ -1,0 +1,54 @@
+(** Hierarchical designs: pre-characterized modules placed on a top-level
+    die and wired port-to-port (paper Section V and the Fig. 7 experiment). *)
+
+module Tile = Ssta_variation.Tile
+
+type instance = {
+  label : string;
+  build : Ssta_timing.Build.t option;
+      (** the module's characterization context, kept when available for
+          flattened Monte Carlo reference runs; [None] for gray-box models
+          (loaded from a file, or extracted from a design by
+          {!Extract.extract_design}) whose netlists are not around *)
+  model : Timing_model.t;
+  origin : float * float;  (** translation of the module die on the top die *)
+}
+
+type port = { inst : int; port : int }
+(** An instance input or output, by index into the module's port list. *)
+
+type t = private {
+  die : Tile.t;
+  instances : instance array;
+  connections : (port * port) array;  (** (from output, to input) *)
+  ext_inputs : port array;  (** unconnected module inputs = design PIs *)
+  ext_outputs : port array;  (** unconnected module outputs = design POs *)
+}
+
+val create :
+  die:Tile.t ->
+  instances:instance array ->
+  connections:(port * port) array ->
+  t
+(** Validates: instance dies fit in the top die and do not overlap each
+    other; connection ports exist; every input port has at most one driver.
+    Unconnected inputs/outputs become the design's primary inputs/outputs.
+    Raises [Failure] with a description otherwise. *)
+
+val instance_die : instance -> Tile.t
+(** The module die translated to its origin. *)
+
+val mult_grid :
+  label:string ->
+  ?build:Ssta_timing.Build.t ->
+  model:Timing_model.t ->
+  unit ->
+  t
+(** The paper's Section VI-B experimental circuit: four instances of the
+    module (intended: the c6288 16x16 multiplier, whose input and output
+    counts are both 32) abutted in two columns with maximal correlation,
+    the outputs of the first-column modules cross-connected to the inputs of
+    the second-column modules: instance [0] feeds instance [3], instance [1]
+    feeds instance [2].  Requires the module's output count to equal its
+    input count.  Design PIs are the inputs of instances 0 and 1, design POs
+    the outputs of instances 2 and 3. *)

@@ -1,0 +1,220 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+module Basis = Ssta_variation.Basis
+module Build = Ssta_timing.Build
+
+type result = {
+  graph : Tgraph.t;
+  forms : Form.t array;
+  arrival : Form.t option array;
+  po_delays : Form.t option array;
+  delay : Form.t;
+  setup_seconds : float;
+  propagate_seconds : float;
+  wall_seconds : float;
+}
+
+let stitch_vertices graphs =
+  let n = Array.length graphs in
+  let offsets = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i g ->
+      offsets.(i) <- !total;
+      total := !total + Tgraph.n_vertices g)
+    graphs;
+  (offsets, !total)
+
+let analyze (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
+  let t0 = Unix.gettimeofday () in
+  let instances = fp.Floorplan.instances in
+  let graphs =
+    Array.map (fun i -> i.Floorplan.model.Timing_model.graph) instances
+  in
+  let offsets, n_vertices = stitch_vertices graphs in
+  let dims = dg.Design_grid.basis.Basis.dims in
+  (* External sinks per (instance, output port): each sink beyond the one
+     the characterization assumed costs the port's load increment. *)
+  let extra_sinks =
+    Array.map
+      (fun inst ->
+        Array.make (Timing_model.n_outputs inst.Floorplan.model) 0)
+      instances
+  in
+  Array.iter
+    (fun ({ Floorplan.inst; port }, _) ->
+      extra_sinks.(inst).(port) <- extra_sinks.(inst).(port) + 1)
+    fp.Floorplan.connections;
+  Array.iter
+    (fun row ->
+      Array.iteri (fun p k -> row.(p) <- max 0 (k - 1)) row)
+    extra_sinks;
+  let edges = ref [] and forms = ref [] in
+  Array.iteri
+    (fun i inst ->
+      let g = graphs.(i) in
+      let model = inst.Floorplan.model in
+      (* Output-port index per model vertex (for load increments). *)
+      let port_of_vertex = Array.make (Tgraph.n_vertices g) (-1) in
+      Array.iteri
+        (fun p v -> port_of_vertex.(v) <- p)
+        g.Tgraph.outputs;
+      let base_forms =
+        Array.mapi
+          (fun e f ->
+            let p = port_of_vertex.(g.Tgraph.dst.(e)) in
+            if p >= 0 && extra_sinks.(i).(p) > 0 then
+              Form.add f
+                (Form.scale
+                   (float_of_int extra_sinks.(i).(p))
+                   model.Timing_model.output_load.(p))
+            else f)
+          model.Timing_model.forms
+      in
+      let tf = Replace.transform_instance dg fp ~mode ~inst:i base_forms in
+      Array.iteri
+        (fun e s ->
+          edges := (offsets.(i) + s, offsets.(i) + g.Tgraph.dst.(e)) :: !edges;
+          forms := tf.(e) :: !forms)
+        g.Tgraph.src)
+    instances;
+  let port_in { Floorplan.inst; port } =
+    offsets.(inst) + graphs.(inst).Tgraph.inputs.(port)
+  in
+  let port_out { Floorplan.inst; port } =
+    offsets.(inst) + graphs.(inst).Tgraph.outputs.(port)
+  in
+  Array.iter
+    (fun (src, dst) ->
+      edges := (port_out src, port_in dst) :: !edges;
+      forms := Form.constant dims 0.0 :: !forms)
+    fp.Floorplan.connections;
+  let inputs = Array.map port_in fp.Floorplan.ext_inputs in
+  let outputs = Array.map port_out fp.Floorplan.ext_outputs in
+  let edges = Array.of_list !edges and weights = Array.of_list !forms in
+  let graph, perm = Tgraph.make_sorted ~n_vertices ~edges ~inputs ~outputs in
+  let forms = Array.map (fun i -> weights.(i)) perm in
+  let t1 = Unix.gettimeofday () in
+  let arrival = Propagate.forward_all graph ~forms in
+  let po_delays = Array.map (fun v -> arrival.(v)) graph.Tgraph.outputs in
+  let delay =
+    match Propagate.max_over arrival graph.Tgraph.outputs with
+    | Some d -> d
+    | None -> failwith "Hier_analysis.analyze: no design output is reachable"
+  in
+  let t2 = Unix.gettimeofday () in
+  {
+    graph;
+    forms;
+    arrival;
+    po_delays;
+    delay;
+    setup_seconds = t1 -. t0;
+    propagate_seconds = t2 -. t1;
+    wall_seconds = t2 -. t0;
+  }
+
+let flatten_graph (fp : Floorplan.t) =
+  let instances = fp.Floorplan.instances in
+  let build_of (i : Floorplan.instance) =
+    match i.Floorplan.build with
+    | Some b -> b
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Hier_analysis: instance %s is gray-box (no netlist); flattened \
+              analysis is impossible - that is the point of timing models"
+             i.Floorplan.label)
+  in
+  let graphs = Array.map (fun i -> (build_of i).Build.graph) instances in
+  let offsets, n_vertices = stitch_vertices graphs in
+  let edges = ref [] and payload = ref [] in
+  Array.iteri
+    (fun i inst ->
+      let g = graphs.(i) in
+      Array.iteri
+        (fun e s ->
+          edges := (offsets.(i) + s, offsets.(i) + g.Tgraph.dst.(e)) :: !edges;
+          payload := `Module (i, e) :: !payload)
+        g.Tgraph.src;
+      ignore inst)
+    instances;
+  let port_in { Floorplan.inst; port } =
+    offsets.(inst) + graphs.(inst).Tgraph.inputs.(port)
+  in
+  let port_out { Floorplan.inst; port } =
+    offsets.(inst) + graphs.(inst).Tgraph.outputs.(port)
+  in
+  Array.iter
+    (fun (src, dst) ->
+      edges := (port_out src, port_in dst) :: !edges;
+      payload := `Interconnect :: !payload)
+    fp.Floorplan.connections;
+  let inputs = Array.map port_in fp.Floorplan.ext_inputs in
+  let outputs = Array.map port_out fp.Floorplan.ext_outputs in
+  let graph, perm =
+    Tgraph.make_sorted ~n_vertices ~edges:(Array.of_list !edges) ~inputs
+      ~outputs
+  in
+  let payload = Array.of_list !payload in
+  (graph, Array.map (fun i -> payload.(i)) perm)
+
+let flatten (fp : Floorplan.t) (dg : Design_grid.t) =
+  let graph, payload = flatten_graph fp in
+  let zero_edge =
+    { Build.nominal = 0.0; sens = [||]; tile = 0; random_sigma = 0.0 }
+  in
+  let sparse =
+    Array.map
+      (function
+        | `Interconnect -> zero_edge
+        | `Module (i, e) ->
+            let s =
+              match fp.Floorplan.instances.(i).Floorplan.build with
+              | Some b -> b.Build.sparse.(e)
+              | None -> assert false (* flatten_graph already checked *)
+            in
+            {
+              s with
+              Build.tile =
+                Design_grid.design_tile_of_instance dg ~inst:i s.Build.tile;
+            })
+      payload
+  in
+  { Ssta_mc.Sampler.graph; sparse; basis = dg.Design_grid.basis }
+
+let flat_form (fp : Floorplan.t) (dg : Design_grid.t) =
+  let graph, payload = flatten_graph fp in
+  let dims = dg.Design_grid.basis.Basis.dims in
+  let dbasis = dg.Design_grid.basis in
+  let forms =
+    Array.map
+      (function
+        | `Interconnect -> Form.constant dims 0.0
+        | `Module (i, e) ->
+            let s =
+              match fp.Floorplan.instances.(i).Floorplan.build with
+              | Some b -> b.Build.sparse.(e)
+              | None -> assert false (* flatten_graph already checked *)
+            in
+            Basis.delay_form dbasis ~nominal:s.Build.nominal
+              ~tile:(Design_grid.design_tile_of_instance dg ~inst:i s.Build.tile)
+              ~sens:s.Build.sens
+              ~extra_random_sigma:
+                (let vr = dbasis.Basis.corr.Ssta_variation.Correlation.var_random in
+                 let param_rand =
+                   Array.fold_left
+                     (fun acc sv ->
+                       acc +. (s.Build.nominal *. sv *. s.Build.nominal *. sv *. vr))
+                     0.0 s.Build.sens
+                 in
+                 sqrt (Float.max 0.0 ((s.Build.random_sigma *. s.Build.random_sigma) -. param_rand)))
+              (* delay_form re-adds the parameter random variance; pass only
+                 the load component so the total random sigma matches the
+                 module characterization *))
+      payload
+  in
+  let arrival = Propagate.forward_all graph ~forms in
+  match Propagate.max_over arrival graph.Tgraph.outputs with
+  | Some d -> d
+  | None -> failwith "Hier_analysis.flat_form: no design output reachable"

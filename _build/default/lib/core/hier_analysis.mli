@@ -1,0 +1,42 @@
+(** Design-level hierarchical SSTA (paper Section V, Fig. 5): stitch the
+    pre-characterized instance models into one design-level timing graph,
+    rewrite every model form over the design basis (by independent-variable
+    replacement, or keeping only global correlation for the paper's
+    baseline), and propagate arrival times from design PIs to design POs.
+
+    Also provides the flattened-netlist projection used by the Monte Carlo
+    reference (the paper's golden comparison for Fig. 7). *)
+
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type result = {
+  graph : Tgraph.t;  (** the stitched design-level graph *)
+  forms : Form.t array;
+  arrival : Form.t option array;
+  po_delays : Form.t option array;  (** per design PO *)
+  delay : Form.t;  (** design delay: statistical max over POs *)
+  setup_seconds : float;
+      (** one-time design-load cost: variable replacement + stitching *)
+  propagate_seconds : float;
+      (** per-analysis cost: the design-level arrival propagation (what the
+          paper's speedup-vs-Monte-Carlo comparison is about) *)
+  wall_seconds : float;  (** setup + propagation *)
+}
+
+val analyze :
+  Floorplan.t -> Design_grid.t -> mode:Replace.mode -> result
+(** Raises [Failure] if no design output is reachable. *)
+
+val flatten :
+  Floorplan.t -> Design_grid.t -> Ssta_mc.Sampler.ctx
+(** The flattened design at gate level: instance timing graphs plus
+    zero-delay interconnect edges, with every gate's correlation tile mapped
+    into the design grid.  Feed to {!Ssta_mc.Flat_mc.run} for the golden
+    Monte Carlo distribution. *)
+
+val flat_form :
+  Floorplan.t -> Design_grid.t -> Form.t
+(** Canonical SSTA on the flattened design over the design basis (no model
+    extraction involved) - the "flat SSTA" reference separating model
+    compression error from hierarchical propagation error. *)

@@ -1,0 +1,46 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+let forward_min g ~forms ~sources =
+  if Array.length forms <> Tgraph.n_edges g then
+    invalid_arg "Min_analysis: form count does not match edges";
+  let n = Tgraph.n_vertices g in
+  let arr = Array.make n None in
+  let d0 =
+    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims forms.(0)
+  in
+  Array.iter (fun v -> arr.(v) <- Some (Form.zero d0)) sources;
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  for i = 0 to Array.length src - 1 do
+    match arr.(src.(i)) with
+    | None -> ()
+    | Some a ->
+        let t = Form.add a forms.(i) in
+        let d = dst.(i) in
+        arr.(d) <-
+          (match arr.(d) with
+          | None -> Some t
+          | Some prev -> Some (Form.min2 prev t))
+  done;
+  arr
+
+let forward_min_all g ~forms = forward_min g ~forms ~sources:g.Tgraph.inputs
+
+let min_over arr vertices =
+  Array.fold_left
+    (fun acc v ->
+      match (acc, arr.(v)) with
+      | None, x -> x
+      | x, None -> x
+      | Some a, Some b -> Some (Form.min2 a b))
+    None vertices
+
+let shortest_io_delays g ~forms =
+  Array.map
+    (fun input ->
+      let arr = forward_min g ~forms ~sources:[| input |] in
+      Array.map (fun out -> arr.(out)) g.Tgraph.outputs)
+    g.Tgraph.inputs
+
+let hold_slack ~early ~hold_time = Form.add_const early (-.hold_time)

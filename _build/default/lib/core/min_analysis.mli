@@ -1,0 +1,30 @@
+(** Statistical shortest-path (early-arrival) analysis - the hold-time side
+    of timing sign-off.  The paper's framework covers it for free: the
+    statistical minimum is [-max(-A, -B)] in the same canonical form, and
+    the propagation is the dual single sweep.
+
+    Early arrivals matter in hierarchical flows for the same reason late
+    arrivals do: a gray-box model that only preserved maxima could not be
+    reused for hold checks, so {!shortest_io_delays} gives model builders
+    the dual delay matrix. *)
+
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+val forward_min :
+  Tgraph.t -> forms:Form.t array -> sources:int array -> Form.t option array
+(** Earliest statistical arrival per vertex ([None] where unreachable). *)
+
+val forward_min_all : Tgraph.t -> forms:Form.t array -> Form.t option array
+
+val min_over : Form.t option array -> int array -> Form.t option
+(** Statistical minimum over chosen vertices (e.g. earliest output). *)
+
+val shortest_io_delays :
+  Tgraph.t -> forms:Form.t array -> Form.t option array array
+(** Per (input, output): the canonical minimum path delay. *)
+
+val hold_slack :
+  early:Form.t -> hold_time:float -> Form.t
+(** Slack form [early - hold_time]; its positive-probability is the hold
+    yield. *)

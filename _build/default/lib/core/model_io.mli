@@ -1,0 +1,20 @@
+(** Serialization of pre-characterized timing models.
+
+    This is the hand-off artifact of the paper's flow: an IP vendor runs
+    {!Extract.extract} on the module netlist and ships the resulting model
+    file; the integrator loads it and runs {!Hier_analysis} without ever
+    seeing the netlist (gray-box IP protection, paper Section I).
+
+    The format is a line-oriented text format (`hssta-timing-model v1`):
+    human-inspectable, independent of OCaml marshalling, and bit-exact -
+    floats are written with round-trip precision, and the PCA eigenvector
+    matrix is stored verbatim so the model's coefficient vectors remain
+    valid (re-running PCA could flip eigenvector signs). *)
+
+val to_string : Timing_model.t -> string
+val of_string : string -> Timing_model.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : Timing_model.t -> path:string -> unit
+val load : path:string -> Timing_model.t
+(** Raises [Sys_error] on IO problems, [Failure] on parse errors. *)

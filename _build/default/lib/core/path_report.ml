@@ -1,0 +1,134 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type path = {
+  vertices : int list;
+  edges : int list;
+  delay : Form.t;
+  criticality : float;
+}
+
+let fanin_edges g v =
+  let lo = g.Tgraph.fanin_lo.(v) and hi = g.Tgraph.fanin_hi.(v) in
+  let rec collect i acc = if i >= hi then List.rev acc else collect (i + 1) (i :: acc) in
+  collect lo []
+
+(* Maximum-likelihood prefix: walk backward following, at each vertex, the
+   fanin arc whose [arrival(src) + delay] is tightest against the vertex's
+   own arrival. *)
+let ml_prefix g ~forms ~arrival v0 =
+  let rec walk v vertices edges =
+    match fanin_edges g v with
+    | [] -> Some (v :: vertices, edges)
+    | fanin ->
+        let best = ref None in
+        List.iter
+          (fun e ->
+            match arrival.(g.Tgraph.src.(e)) with
+            | None -> ()
+            | Some a_src -> (
+                match arrival.(v) with
+                | None -> ()
+                | Some a_v ->
+                    let tp = Form.tightness (Form.add a_src forms.(e)) a_v in
+                    (match !best with
+                    | Some (_, tp') when tp' >= tp -> ()
+                    | _ -> best := Some (e, tp))))
+          fanin;
+        (match !best with
+        | None -> None (* no reachable fanin: v itself must be a source *)
+        | Some (e, _) -> walk g.Tgraph.src.(e) (v :: vertices) (e :: edges))
+  in
+  match arrival.(v0) with None -> None | Some _ -> walk v0 [] []
+
+let path_of g ~forms ~arrival ~endpoint vertices edges =
+  ignore g;
+  let delay =
+    match edges with
+    | [] ->
+        (match forms with
+        | [||] -> Form.constant { Form.n_globals = 0; n_pcs = 0 } 0.0
+        | _ -> Form.constant (Form.dims forms.(0)) 0.0)
+    | e :: rest ->
+        List.fold_left (fun acc e' -> Form.add acc forms.(e')) forms.(e) rest
+  in
+  let criticality =
+    match arrival.(endpoint) with
+    | None -> 0.0
+    | Some a -> Form.tightness delay a
+  in
+  { vertices; edges; delay; criticality }
+
+let trace g ~forms ~arrival ~endpoint =
+  match ml_prefix g ~forms ~arrival endpoint with
+  | None -> None
+  | Some (vertices, edges) ->
+      Some (path_of g ~forms ~arrival ~endpoint vertices edges)
+
+let top_paths g ~forms ~arrival ~endpoint ~k =
+  match trace g ~forms ~arrival ~endpoint with
+  | None -> []
+  | Some best ->
+      let seen = Hashtbl.create 17 in
+      let key p = String.concat "," (List.map string_of_int p.edges) in
+      Hashtbl.replace seen (key best) ();
+      let candidates = ref [ best ] in
+      (* Branch: at each vertex of the best path, divert onto each alternate
+         fanin arc, complete the upstream side with ML tracing, and keep the
+         best path's suffix downstream.  varr.(i-1) -e(i-1)-> varr.(i). *)
+      let varr = Array.of_list best.vertices in
+      let earr = Array.of_list best.edges in
+      let n = Array.length earr in
+      for i = 1 to n do
+        let v = varr.(i) in
+        let chosen = earr.(i - 1) in
+        let downstream_edges = Array.to_list (Array.sub earr i (n - i)) in
+        let downstream_vertices =
+          Array.to_list (Array.sub varr (i + 1) (n - i))
+        in
+        List.iter
+          (fun e ->
+            if e <> chosen && arrival.(g.Tgraph.src.(e)) <> None then
+              match ml_prefix g ~forms ~arrival (g.Tgraph.src.(e)) with
+              | None -> ()
+              | Some (pre_vertices, pre_edges) ->
+                  let vs = pre_vertices @ (v :: downstream_vertices) in
+                  let es = pre_edges @ (e :: downstream_edges) in
+                  let p = path_of g ~forms ~arrival ~endpoint vs es in
+                  let kk = key p in
+                  if not (Hashtbl.mem seen kk) then begin
+                    Hashtbl.replace seen kk ();
+                    candidates := p :: !candidates
+                  end)
+          (fanin_edges g v)
+      done;
+      let sorted =
+        List.sort (fun a b -> compare b.criticality a.criticality) !candidates
+      in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      take k sorted
+
+let report g ~forms ~k ppf =
+  let arrival = Propagate.forward_all g ~forms in
+  let worst =
+    Array.fold_left
+      (fun acc v ->
+        match (acc, arrival.(v)) with
+        | None, Some f -> Some (v, f)
+        | Some (_, fb), Some f when f.Form.mean > fb.Form.mean -> Some (v, f)
+        | acc, _ -> acc)
+      None g.Tgraph.outputs
+  in
+  match worst with
+  | None -> Format.fprintf ppf "no reachable output@."
+  | Some (endpoint, f) ->
+      Format.fprintf ppf "worst endpoint %d: arrival %a@." endpoint Form.pp f;
+      List.iteri
+        (fun i p ->
+          Format.fprintf ppf "#%d crit=%.3f mean=%.1f sigma=%.1f [%s]@." (i + 1)
+            p.criticality p.delay.Form.mean (Form.std p.delay)
+            (String.concat "->" (List.map string_of_int p.vertices)))
+        (top_paths g ~forms ~arrival ~endpoint ~k)

@@ -1,0 +1,39 @@
+(** Statistically-critical path reporting.
+
+    Deterministic STA reports one critical path; under variation each path
+    is critical only with some probability, so a useful report ranks paths
+    by their probability of dominating.  The tracer walks backward from an
+    endpoint choosing, at every vertex, the fanin arc with the highest
+    tightness against the vertex's arrival - the maximum-likelihood critical
+    path - and can enumerate the top-k paths per endpoint by exploring the
+    runner-up arcs. *)
+
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type path = {
+  vertices : int list;  (** input ... output, in order *)
+  edges : int list;  (** edge indices along the path *)
+  delay : Form.t;  (** canonical sum of the edge delays *)
+  criticality : float;
+      (** tightness of this path's delay against the endpoint arrival -
+          the probability the path sets the endpoint's timing *)
+}
+
+val trace :
+  Tgraph.t -> forms:Form.t array -> arrival:Form.t option array ->
+  endpoint:int -> path option
+(** Maximum-likelihood critical path into [endpoint]; [None] if the
+    endpoint is unreachable. *)
+
+val top_paths :
+  Tgraph.t -> forms:Form.t array -> arrival:Form.t option array ->
+  endpoint:int -> k:int -> path list
+(** Up to [k] distinct paths into [endpoint], ordered by decreasing
+    criticality.  Exploration is greedy (branch on the runner-up arc at
+    each vertex of the best path), which is exact for trees and a good
+    heuristic on reconvergent logic. *)
+
+val report :
+  Tgraph.t -> forms:Form.t array -> k:int -> Format.formatter -> unit
+(** Print the top-k paths of the design's worst endpoint. *)

@@ -1,0 +1,76 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+let check g forms =
+  if Array.length forms <> Tgraph.n_edges g then
+    invalid_arg "Propagate: form array length does not match edge count"
+
+let forward g ~forms ~sources =
+  check g forms;
+  let n = Tgraph.n_vertices g in
+  let arr = Array.make n None in
+  let d0 =
+    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims forms.(0)
+  in
+  Array.iter (fun v -> arr.(v) <- Some (Form.zero d0)) sources;
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  for i = 0 to Array.length src - 1 do
+    match arr.(src.(i)) with
+    | None -> ()
+    | Some a ->
+        let t = Form.add a forms.(i) in
+        let d = dst.(i) in
+        arr.(d) <-
+          (match arr.(d) with
+          | None -> Some t
+          | Some prev -> Some (Form.max2 prev t))
+  done;
+  arr
+
+let forward_all g ~forms = forward g ~forms ~sources:g.Tgraph.inputs
+
+let backward_to g ~forms out =
+  check g forms;
+  let n = Tgraph.n_vertices g in
+  let req = Array.make n None in
+  let d0 =
+    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims forms.(0)
+  in
+  req.(out) <- Some (Form.zero d0);
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  for i = Array.length src - 1 downto 0 do
+    match req.(dst.(i)) with
+    | None -> ()
+    | Some r ->
+        let t = Form.add r forms.(i) in
+        let s = src.(i) in
+        req.(s) <-
+          (match req.(s) with
+          | None -> Some t
+          | Some prev -> Some (Form.max2 prev t))
+  done;
+  req
+
+let max_over arr vertices =
+  Array.fold_left
+    (fun acc v ->
+      match (acc, arr.(v)) with
+      | None, x -> x
+      | x, None -> x
+      | Some a, Some b -> Some (Form.max2 a b))
+    None vertices
+
+let scalar_summaries arr =
+  let n = Array.length arr in
+  let mu = Array.make n nan and sigma = Array.make n nan in
+  Array.iteri
+    (fun v form ->
+      match form with
+      | None -> ()
+      | Some f ->
+          mu.(v) <- f.Form.mean;
+          sigma.(v) <- Form.std f)
+    arr;
+  (mu, sigma)

@@ -1,0 +1,29 @@
+(** Block-based canonical arrival-time propagation (paper Section II):
+    a single PERT-like sweep over the timing graph computing, per vertex,
+    the statistical maximum over fanin edges of [arrival(src) + delay]. *)
+
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+val forward :
+  Tgraph.t -> forms:Form.t array -> sources:int array -> Form.t option array
+(** Arrival forms with arrival 0 at every vertex of [sources]; [None] where
+    unreachable.  [sources] will usually be the graph's inputs (block-based
+    SSTA) or one input (the exclusive arrival times of paper eq. (15)). *)
+
+val forward_all : Tgraph.t -> forms:Form.t array -> Form.t option array
+(** [forward] from all primary inputs. *)
+
+val backward_to :
+  Tgraph.t -> forms:Form.t array -> int -> Form.t option array
+(** Per vertex, the canonical maximum path delay from the vertex to the
+    given output - the negated required time with required time 0 at the
+    output (paper eq. (15)'s [r_e]). *)
+
+val max_over : Form.t option array -> int array -> Form.t option
+(** Statistical max of the forms at the given vertices ([None] if none are
+    reachable); e.g. the circuit delay as the max over outputs. *)
+
+val scalar_summaries : Form.t option array -> float array * float array
+(** Per-vertex (mean, sigma) with [nan] at unreachable vertices - the
+    compact tables the criticality screening works from. *)

@@ -1,0 +1,199 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type edge = {
+  mutable esrc : int;
+  mutable edst : int;
+  mutable weight : Form.t;
+  mutable alive : bool;
+}
+
+type vertex = {
+  mutable fanin : edge list;
+  mutable fanout : edge list;
+  is_input : bool;
+  is_output : bool;
+  mutable valive : bool;
+}
+
+type t = {
+  vertices : vertex array;
+  inputs : int array;
+  outputs : int array;
+  mutable live_edges : int;
+}
+
+let of_graph g ~forms ~keep =
+  let n = Tgraph.n_vertices g in
+  let is_in = Array.make n false and is_out = Array.make n false in
+  Array.iter (fun v -> is_in.(v) <- true) g.Tgraph.inputs;
+  Array.iter (fun v -> is_out.(v) <- true) g.Tgraph.outputs;
+  let vertices =
+    Array.init n (fun v ->
+        {
+          fanin = [];
+          fanout = [];
+          is_input = is_in.(v);
+          is_output = is_out.(v);
+          valive = is_in.(v) || is_out.(v);
+        })
+  in
+  let live = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if keep.(i) then begin
+        let d = g.Tgraph.dst.(i) in
+        let e = { esrc = s; edst = d; weight = forms.(i); alive = true } in
+        vertices.(s).fanout <- e :: vertices.(s).fanout;
+        vertices.(d).fanin <- e :: vertices.(d).fanin;
+        vertices.(s).valive <- true;
+        vertices.(d).valive <- true;
+        incr live
+      end)
+    g.Tgraph.src;
+  {
+    vertices;
+    inputs = Array.copy g.Tgraph.inputs;
+    outputs = Array.copy g.Tgraph.outputs;
+    live_edges = !live;
+  }
+
+let n_live_edges t = t.live_edges
+
+let n_live_vertices t =
+  Array.fold_left (fun acc v -> if v.valive then acc + 1 else acc) 0 t.vertices
+
+let is_port v = v.is_input || v.is_output
+
+let kill_edge t e =
+  if e.alive then begin
+    e.alive <- false;
+    let s = t.vertices.(e.esrc) and d = t.vertices.(e.edst) in
+    s.fanout <- List.filter (fun x -> x != e) s.fanout;
+    d.fanin <- List.filter (fun x -> x != e) d.fanin;
+    t.live_edges <- t.live_edges - 1
+  end
+
+let prune t =
+  let removed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    Array.iter
+      (fun v ->
+        if v.valive && not (is_port v) && (v.fanin = [] || v.fanout = [])
+        then begin
+          List.iter (kill_edge t) v.fanin;
+          List.iter (kill_edge t) v.fanout;
+          v.valive <- false;
+          incr removed;
+          continue_ := true
+        end)
+      t.vertices
+  done;
+  !removed
+
+let serial_pass t =
+  let merged = ref 0 in
+  Array.iteri
+    (fun _vi v ->
+      if v.valive && not (is_port v) then begin
+        match (v.fanin, v.fanout) with
+        | [ e_in ], (_ :: _ as fanout) ->
+            (* Forward serial merge (paper Fig. 1a): route every fanout edge
+               of v directly from v's unique predecessor. *)
+            let u = e_in.esrc in
+            List.iter
+              (fun f ->
+                f.esrc <- u;
+                f.weight <- Form.add e_in.weight f.weight;
+                t.vertices.(u).fanout <- f :: t.vertices.(u).fanout)
+              fanout;
+            v.fanout <- [];
+            kill_edge t e_in;
+            v.valive <- false;
+            incr merged
+        | (_ :: _ as fanin), [ e_out ] ->
+            (* Reverse serial merge (paper Fig. 1b). *)
+            let w = e_out.edst in
+            List.iter
+              (fun f ->
+                f.edst <- w;
+                f.weight <- Form.add f.weight e_out.weight;
+                t.vertices.(w).fanin <- f :: t.vertices.(w).fanin)
+              fanin;
+            v.fanin <- [];
+            kill_edge t e_out;
+            v.valive <- false;
+            incr merged
+        | _ -> ()
+      end)
+    t.vertices;
+  !merged
+
+let parallel_pass t =
+  let merged = ref 0 in
+  Array.iter
+    (fun v ->
+      if v.valive && v.fanout <> [] then begin
+        let by_dst = Hashtbl.create 7 in
+        List.iter
+          (fun e ->
+            let prev = try Hashtbl.find by_dst e.edst with Not_found -> [] in
+            Hashtbl.replace by_dst e.edst (e :: prev))
+          v.fanout;
+        Hashtbl.iter
+          (fun _dst edges ->
+            match edges with
+            | [] | [ _ ] -> ()
+            | first :: rest ->
+                first.weight <-
+                  List.fold_left
+                    (fun acc e -> Form.max2 acc e.weight)
+                    first.weight rest;
+                List.iter (kill_edge t) rest;
+                merged := !merged + List.length rest)
+          by_dst
+      end)
+    t.vertices;
+  !merged
+
+let reduce t =
+  ignore (prune t : int);
+  let continue_ = ref true in
+  while !continue_ do
+    let p = parallel_pass t in
+    let s = serial_pass t in
+    let d = prune t in
+    continue_ := p + s + d > 0
+  done
+
+let freeze t =
+  let n = Array.length t.vertices in
+  let new_id = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if t.vertices.(v).valive then begin
+      new_id.(v) <- !count;
+      incr count
+    end
+  done;
+  let edges = ref [] and weights = ref [] in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun e ->
+          if e.alive then begin
+            edges := (new_id.(e.esrc), new_id.(e.edst)) :: !edges;
+            weights := e.weight :: !weights
+          end)
+        v.fanout)
+    t.vertices;
+  let edges = Array.of_list !edges and weights = Array.of_list !weights in
+  let map_ports ids = Array.map (fun v -> new_id.(v)) ids in
+  let inputs = map_ports t.inputs and outputs = map_ports t.outputs in
+  let graph, perm =
+    Tgraph.make_sorted ~n_vertices:!count ~edges ~inputs ~outputs
+  in
+  let forms = Array.map (fun i -> weights.(i)) perm in
+  (graph, forms, inputs, outputs)

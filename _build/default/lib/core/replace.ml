@@ -1,0 +1,67 @@
+module Form = Ssta_canonical.Form
+module Mat = Ssta_linalg.Mat
+module Pca = Ssta_linalg.Pca
+module Basis = Ssta_variation.Basis
+
+type mode = Replaced | Global_only
+
+let matrix (dg : Design_grid.t) (fp : Floorplan.t) ~inst =
+  let model = fp.Floorplan.instances.(inst).Floorplan.model in
+  let mbasis = model.Timing_model.basis in
+  let pca = mbasis.Basis.pca in
+  let n = Basis.n_tiles mbasis in
+  let m_design = Array.length dg.Design_grid.tiles in
+  let offset = dg.Design_grid.instance_tile_offset.(inst) in
+  let dpca = dg.Design_grid.basis.Basis.pca in
+  (* B_n: the design factor rows of this instance's tiles (n x m). *)
+  let bn =
+    Mat.init n m_design (fun i j ->
+        Mat.get dpca.Pca.factor (offset + i) j)
+  in
+  (* A^{-1} padded with zero rows for clamped eigen components (n x n). *)
+  let pinv = pca.Pca.pinv_factor in
+  let retained = pca.Pca.retained in
+  let a_inv =
+    Mat.init n n (fun i j -> if i < retained then Mat.get pinv i j else 0.0)
+  in
+  Mat.mul a_inv bn
+
+let transform_form (dg : Design_grid.t) ~mode ~m ~inst (f : Form.t) =
+  let dbasis = dg.Design_grid.basis in
+  let n_params = dbasis.Basis.n_params in
+  let m_design = Basis.n_tiles dbasis in
+  let n_mod = dg.Design_grid.instance_n_tiles.(inst) in
+  if Array.length f.Form.pcs <> n_params * n_mod then
+    invalid_arg "Replace.transform_form: form does not match module basis";
+  let pcs = Array.make (n_params * m_design) 0.0 in
+  (match mode with
+  | Replaced ->
+      let m =
+        match m with
+        | Some m -> m
+        | None -> invalid_arg "Replace.transform_form: missing matrix"
+      in
+      for k = 0 to n_params - 1 do
+        let block = Array.sub f.Form.pcs (k * n_mod) n_mod in
+        let out = Mat.tmul_vec m block in
+        Array.blit out 0 pcs (k * m_design) m_design
+      done
+  | Global_only ->
+      (* Identity into the instance's private design slots: within-module
+         correlation is preserved, cross-module local correlation dropped. *)
+      let offset = dg.Design_grid.instance_tile_offset.(inst) in
+      for k = 0 to n_params - 1 do
+        for i = 0 to n_mod - 1 do
+          pcs.((k * m_design) + offset + i) <- f.Form.pcs.((k * n_mod) + i)
+        done
+      done);
+  Form.make ~mean:f.Form.mean ~globals:(Array.copy f.Form.globals) ~pcs
+    ~rand:f.Form.rand
+
+let transform_instance dg fp ~mode ~inst forms =
+  let m =
+    match mode with
+    | Replaced -> Some (matrix dg fp ~inst)
+    | Global_only -> None
+  in
+  Array.map (transform_form dg ~mode ~m ~inst) forms

@@ -1,0 +1,36 @@
+(** Independent-variable replacement (paper eq. (19) and Fig. 5 step 3).
+
+    At design level the correlated local variables decompose as
+    [p^t_l = B x^t]; restricted to the tiles of one instance this reads
+    [p_l = B_n x^t], while the module model was characterized with
+    [p_l = A x].  Hence [x = A^{-1} B_n x^t], and every canonical form of
+    the instance's model can be rewritten over the design variables by the
+    linear coefficient transform [a -> (A^{-1} B_n)^T a].
+
+    In the normalized PCA convention (DESIGN.md) [A = U sqrt(L)], so
+    [A^{-1} = L^{-1/2} U^T] restricted to the retained eigenvalues (clamped
+    components carry zero coefficients in every model form, so dropping them
+    is lossless).
+
+    The [`Global_only] mode is the paper's comparison baseline: each
+    instance's local PCs are mapped to its private slots of the design basis
+    so different instances share only the global variables. *)
+
+module Form = Ssta_canonical.Form
+module Mat = Ssta_linalg.Mat
+
+type mode = Replaced | Global_only
+
+val matrix : Design_grid.t -> Floorplan.t -> inst:int -> Mat.t
+(** The replacement matrix [M] with [x = M x^t]; dimensions
+    (module tiles) x (design tiles). *)
+
+val transform_form :
+  Design_grid.t -> mode:mode -> m:Mat.t option -> inst:int -> Form.t -> Form.t
+(** Rewrite one canonical form of instance [inst] over the design basis.
+    For [Replaced], [m] must be the instance's {!matrix}. *)
+
+val transform_instance :
+  Design_grid.t -> Floorplan.t -> mode:mode -> inst:int ->
+  Form.t array -> Form.t array
+(** Rewrite all edge forms of an instance's model. *)

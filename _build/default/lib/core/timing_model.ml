@@ -1,0 +1,47 @@
+module Form = Ssta_canonical.Form
+module Tgraph = Ssta_timing.Tgraph
+
+type stats = {
+  original_edges : int;
+  original_vertices : int;
+  model_edges : int;
+  model_vertices : int;
+  removed_edges : int;
+  exact_evals : int;
+  extraction_seconds : float;
+}
+
+type t = {
+  name : string;
+  graph : Tgraph.t;
+  forms : Form.t array;
+  basis : Ssta_variation.Basis.t;
+  die : Ssta_variation.Tile.t;
+  delta : float;
+  output_load : Form.t array;
+  stats : stats;
+}
+
+let n_inputs t = Array.length t.graph.Tgraph.inputs
+let n_outputs t = Array.length t.graph.Tgraph.outputs
+
+let io_delays t =
+  let outputs = t.graph.Tgraph.outputs in
+  Array.map
+    (fun input ->
+      let arr = Propagate.forward t.graph ~forms:t.forms ~sources:[| input |] in
+      Array.map (fun out -> arr.(out)) outputs)
+    t.graph.Tgraph.inputs
+
+let compression t =
+  ( float_of_int t.stats.model_edges /. float_of_int t.stats.original_edges,
+    float_of_int t.stats.model_vertices /. float_of_int t.stats.original_vertices
+  )
+
+let pp_stats ppf t =
+  let pe, pv = compression t in
+  Format.fprintf ppf
+    "%s: Eo=%d Vo=%d Em=%d Vm=%d pe=%.0f%% pv=%.0f%% (delta=%g, %.2fs)"
+    t.name t.stats.original_edges t.stats.original_vertices
+    t.stats.model_edges t.stats.model_vertices (100.0 *. pe) (100.0 *. pv)
+    t.delta t.stats.extraction_seconds

@@ -1,0 +1,1 @@
+lib/gauss/normal.mli:

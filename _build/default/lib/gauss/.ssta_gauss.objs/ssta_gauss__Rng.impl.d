@@ -1,0 +1,1 @@
+lib/gauss/rng.ml: Array Int64

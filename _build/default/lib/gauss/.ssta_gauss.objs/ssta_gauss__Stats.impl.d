@@ -1,0 +1,1 @@
+lib/gauss/stats.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/gauss/stats.mli: Format

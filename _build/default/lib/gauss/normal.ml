@@ -1,0 +1,119 @@
+let pi = 4.0 *. atan 1.0
+let sqrt2 = sqrt 2.0
+let inv_sqrt_2pi = 1.0 /. sqrt (2.0 *. pi)
+
+(* Complementary error function after Numerical Recipes' [erfcc]: a Chebyshev
+   fit on t = 1/(1+z/2) with fractional error below 1.2e-7 everywhere. *)
+let erfc x =
+  let z = abs_float x in
+  let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t
+                                                 *. (-0.82215223
+                                                    +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0.0 then ans else 2.0 -. ans
+
+let erf x = 1.0 -. erfc x
+let pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+let cdf x = 0.5 *. erfc (-.x /. sqrt2)
+
+(* Acklam's rational approximation for the inverse normal CDF, then one
+   Halley refinement using [cdf]/[pdf] to reach near machine precision. *)
+let quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Normal.quantile: p must lie in (0, 1)";
+  let a =
+    [|
+      -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+      1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00;
+    |]
+  and b =
+    [|
+      -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+      6.680131188771972e+01; -1.328068155288572e+01;
+    |]
+  and c =
+    [|
+      -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+      -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00;
+    |]
+  and d =
+    [|
+      7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+      3.754408661907416e+00;
+    |]
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then
+      let q = sqrt (-2.0 *. log p) in
+      (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+      *. q
+      +. c.(5)
+      |> fun num ->
+      num
+      /. ((((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1.0)
+    else if p <= 1.0 -. p_low then
+      let q = p -. 0.5 in
+      let r = q *. q in
+      ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+       *. r
+      +. a.(5))
+      *. q
+      /. (((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r
+           +. b.(4))
+           *. r)
+         +. 1.0)
+    else
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+         *. q
+        +. c.(5))
+      /. ((((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1.0)
+  in
+  (* Halley's method step on f(x) = cdf x - p. *)
+  let e = cdf x -. p in
+  let u = e *. sqrt (2.0 *. pi) *. exp (0.5 *. x *. x) in
+  x -. (u /. (1.0 +. (0.5 *. x *. u)))
+
+type max_moments = { tightness : float; mean : float; variance : float }
+
+let clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov =
+  let theta2 = var_a +. var_b -. (2.0 *. cov) in
+  let scale = var_a +. var_b +. 1e-30 in
+  if theta2 <= 1e-12 *. scale then
+    (* A - B is (numerically) a constant: the max is simply the variable with
+       the larger mean. *)
+    if mean_a >= mean_b then
+      { tightness = 1.0; mean = mean_a; variance = var_a }
+    else { tightness = 0.0; mean = mean_b; variance = var_b }
+  else
+    let theta = sqrt theta2 in
+    let alpha = (mean_a -. mean_b) /. theta in
+    let tp = cdf alpha in
+    let ph = pdf alpha in
+    let mean = (tp *. mean_a) +. ((1.0 -. tp) *. mean_b) +. (theta *. ph) in
+    let second =
+      (tp *. (var_a +. (mean_a *. mean_a)))
+      +. ((1.0 -. tp) *. (var_b +. (mean_b *. mean_b)))
+      +. ((mean_a +. mean_b) *. theta *. ph)
+    in
+    let variance = Float.max 0.0 (second -. (mean *. mean)) in
+    { tightness = tp; mean; variance }

@@ -1,0 +1,45 @@
+(** Standard-normal distribution functions and Clark's max-of-Gaussians
+    moments.
+
+    These are the numerical primitives behind the canonical-form operations of
+    statistical static timing analysis: the tightness probability (paper
+    eq. (6)) and the mean/variance of [max{A,B}] (paper eqs. (7)-(8), after
+    Clark 1961). *)
+
+val pi : float
+(** The constant pi. *)
+
+val erf : float -> float
+(** Error function, fractional accuracy better than 1.3e-7. *)
+
+val erfc : float -> float
+(** Complementary error function [1 - erf x], accurate for large [x]. *)
+
+val pdf : float -> float
+(** [pdf x] is the standard normal density phi(x). *)
+
+val cdf : float -> float
+(** [cdf x] is the standard normal cumulative Phi(x). *)
+
+val quantile : float -> float
+(** [quantile p] is the inverse of {!cdf} for [p] in (0, 1); raises
+    [Invalid_argument] outside that open interval.  Accuracy is refined by a
+    Halley step to near machine precision. *)
+
+type max_moments = {
+  tightness : float;  (** P(A >= B), paper eq. (6) *)
+  mean : float;  (** E[max(A,B)], paper eq. (7) *)
+  variance : float;  (** Var[max(A,B)], paper eq. (8), clamped at 0 *)
+}
+
+val clark_max :
+  mean_a:float ->
+  var_a:float ->
+  mean_b:float ->
+  var_b:float ->
+  cov:float ->
+  max_moments
+(** Moments of the maximum of two jointly Gaussian variables.  When the
+    discriminant [var_a + var_b - 2 cov] is (numerically) zero the variables
+    differ by a constant and the result degenerates to the variable with the
+    larger mean. *)

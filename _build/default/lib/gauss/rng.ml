@@ -1,0 +1,77 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float;
+  mutable has_spare : bool;
+}
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tt = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let uniform t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let rec gaussian t =
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare
+  end
+  else
+    let u = (2.0 *. uniform t) -. 1.0 in
+    let v = (2.0 *. uniform t) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then gaussian t
+    else begin
+      let f = sqrt (-2.0 *. log s /. s) in
+      t.spare <- v *. f;
+      t.has_spare <- true;
+      u *. f
+    end
+
+let gaussian_fill t a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- gaussian t
+  done
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create ~seed

@@ -1,0 +1,39 @@
+(** Sample statistics used to compare SSTA results against Monte Carlo. *)
+
+module Welford : sig
+  type t
+  (** Streaming mean/variance accumulator (numerically stable). *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased sample variance; 0 for fewer than two samples. *)
+
+  val std : t -> float
+end
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [0,1]: linear interpolation on the sorted
+    sample.  The input array is not modified. *)
+
+val empirical_cdf : float array -> float array * float array
+(** [empirical_cdf xs] is [(sorted_values, probabilities)] where
+    [probabilities.(i) = (i+1) / n]. *)
+
+val histogram : ?lo:float -> ?hi:float -> bins:int -> float array -> int array
+(** Counts per bin over [lo, hi] (defaults: sample min/max).  Values landing
+    exactly on [hi] go to the last bin. *)
+
+val ks_distance : float array -> (float -> float) -> float
+(** Kolmogorov-Smirnov distance between the sample and a reference CDF. *)
+
+val pp_summary : Format.formatter -> float array -> unit
+(** One-line [n/mean/std/q01/q50/q99] summary, for logs and examples. *)

@@ -1,0 +1,1 @@
+lib/linalg/pca.ml: Array Float Mat Ssta_gauss Sym_eig

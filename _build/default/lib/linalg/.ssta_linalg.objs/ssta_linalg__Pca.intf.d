@@ -1,0 +1,1 @@
+lib/linalg/pca.mli: Mat Ssta_gauss

@@ -1,0 +1,60 @@
+let attempt c boost =
+  let n, m = Mat.dims c in
+  if n <> m then invalid_arg "Cholesky.factor: matrix not square";
+  let l = Mat.make n n in
+  let ok = ref true in
+  (try
+     for j = 0 to n - 1 do
+       let sum = ref (Mat.get c j j +. boost) in
+       for k = 0 to j - 1 do
+         let v = Mat.get l j k in
+         sum := !sum -. (v *. v)
+       done;
+       if !sum <= 0.0 then begin
+         ok := false;
+         raise Exit
+       end;
+       let diag = sqrt !sum in
+       Mat.set l j j diag;
+       for i = j + 1 to n - 1 do
+         let s = ref (Mat.get c i j) in
+         for k = 0 to j - 1 do
+           s := !s -. (Mat.get l i k *. Mat.get l j k)
+         done;
+         Mat.set l i j (!s /. diag)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+let factor ?jitter c =
+  let n, _ = Mat.dims c in
+  let max_diag = ref 1e-300 in
+  for i = 0 to n - 1 do
+    max_diag := Float.max !max_diag (abs_float (Mat.get c i i))
+  done;
+  let base_jitter =
+    match jitter with Some j -> j | None -> 1e-10 *. !max_diag
+  in
+  let rec go boost tries =
+    match attempt c boost with
+    | Some l -> l
+    | None when tries > 0 ->
+        go (Float.max base_jitter (boost *. 100.0)) (tries - 1)
+    | None -> failwith "Cholesky.factor: matrix is not positive definite"
+  in
+  go 0.0 6
+
+let solve_lower l b =
+  let n, m = Mat.dims l in
+  if n <> m || Array.length b <> n then
+    invalid_arg "Cholesky.solve_lower: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get l i k *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get l i i
+  done;
+  x

@@ -1,0 +1,12 @@
+(** Cholesky factorization of symmetric positive-(semi)definite matrices,
+    used for correlated Monte Carlo sampling. *)
+
+val factor : ?jitter:float -> Mat.t -> Mat.t
+(** [factor c] returns the lower-triangular [l] with [l * l^T = c].
+    If a pivot is non-positive, [jitter] (default [1e-10] times the largest
+    diagonal entry) is added to the diagonal and the factorization restarts;
+    raises [Failure] if the matrix is too indefinite to repair within a few
+    attempts. *)
+
+val solve_lower : Mat.t -> float array -> float array
+(** [solve_lower l b] solves [l x = b] by forward substitution. *)

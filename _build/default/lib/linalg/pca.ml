@@ -1,0 +1,53 @@
+type t = {
+  dim : int;
+  values : float array;
+  vectors : Mat.t;
+  factor : Mat.t;
+  pinv_factor : Mat.t;
+  retained : int;
+}
+
+let of_covariance ?min_eig c =
+  let { Sym_eig.values; vectors } = Sym_eig.decompose c in
+  let n = Array.length values in
+  let largest = if n = 0 then 0.0 else Float.max values.(0) 0.0 in
+  let floor_v =
+    match min_eig with Some v -> v | None -> 1e-9 *. largest
+  in
+  let values = Array.map (fun v -> if v < floor_v then 0.0 else v) values in
+  let retained = Array.fold_left (fun k v -> if v > 0.0 then k + 1 else k) 0 values in
+  let factor =
+    Mat.init n n (fun i j -> Mat.get vectors i j *. sqrt values.(j))
+  in
+  let pinv_factor =
+    Mat.init retained n (fun i j -> Mat.get vectors j i /. sqrt values.(i))
+  in
+  { dim = n; values; vectors; factor; pinv_factor; retained }
+
+let of_parts ~values ~vectors =
+  let n = Array.length values in
+  let r, c = Mat.dims vectors in
+  if r <> n || c <> n then invalid_arg "Pca.of_parts: dimension mismatch";
+  Array.iteri
+    (fun i v ->
+      if v < 0.0 then invalid_arg "Pca.of_parts: negative eigenvalue";
+      if i > 0 && v > values.(i - 1) +. 1e-12 then
+        invalid_arg "Pca.of_parts: eigenvalues not decreasing")
+    values;
+  let retained =
+    Array.fold_left (fun k v -> if v > 0.0 then k + 1 else k) 0 values
+  in
+  let factor = Mat.init n n (fun i j -> Mat.get vectors i j *. sqrt values.(j)) in
+  let pinv_factor =
+    Mat.init retained n (fun i j -> Mat.get vectors j i /. sqrt values.(i))
+  in
+  { dim = n; values; vectors; factor; pinv_factor; retained }
+
+let coeff_row t i = Mat.row t.factor i
+
+let sample t rng =
+  let z = Array.make t.dim 0.0 in
+  Ssta_gauss.Rng.gaussian_fill rng z;
+  Mat.mul_vec t.factor z
+
+let covariance t = Mat.mul t.factor (Mat.transpose t.factor)

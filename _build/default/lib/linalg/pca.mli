@@ -1,0 +1,45 @@
+(** Principal component analysis of a covariance matrix, in the {e normalized}
+    convention used throughout this repository (see DESIGN.md):
+
+    the correlated vector [p] with covariance [c] is written [p = f * x] where
+    [x] is standard normal and [f = u * sqrt(lambda)] column-scales the
+    orthonormal eigenvector matrix [u].  The paper's orthogonal convention
+    (PCs with eigenvalue variances) is equivalent; the normalized one makes
+    Var(a . x) = |a|^2 and simplifies both sampling and the variable
+    replacement of paper eq. (19). *)
+
+type t = private {
+  dim : int;
+  values : float array;  (** eigenvalues, decreasing, floored at [min_eig] *)
+  vectors : Mat.t;  (** orthonormal eigenvectors (columns) *)
+  factor : Mat.t;  (** [u * sqrt(lambda)]: maps standard-normal PCs to p *)
+  pinv_factor : Mat.t;
+      (** [sqrt(lambda)^-1 * u^T] restricted to retained components: maps p
+          back to standard-normal PCs *)
+  retained : int;  (** number of eigenvalues kept (above the floor) *)
+}
+
+val of_covariance : ?min_eig:float -> Mat.t -> t
+(** Eigenvalues below [min_eig] (default [1e-9] times the largest eigenvalue)
+    are clamped to zero and excluded from [pinv_factor]; the truncated
+    correlation model of the paper can make covariance matrices slightly
+    indefinite, and clamping is the documented repair. *)
+
+val of_parts : values:float array -> vectors:Mat.t -> t
+(** Rebuild a decomposition from serialized eigenvalues and eigenvectors
+    (e.g. when loading a timing model from disk): recomputes [factor] and
+    [pinv_factor] deterministically.  Eigenvector sign conventions are
+    whatever the serialized matrix carries, so coefficient vectors written
+    against it stay consistent.  Raises [Invalid_argument] on dimension
+    mismatch, negative eigenvalues or increasing order. *)
+
+val coeff_row : t -> int -> float array
+(** [coeff_row t i] is row [i] of [factor]: the PC coefficients expressing
+    correlated variable [i] (paper eq. (2), row of [A]). *)
+
+val sample : t -> Ssta_gauss.Rng.t -> float array
+(** Draw one realization of the correlated vector [p = factor * z]. *)
+
+val covariance : t -> Mat.t
+(** Reconstructed covariance [factor * factor^T] (equals the input up to the
+    eigenvalue floor). *)

@@ -1,0 +1,77 @@
+type decomposition = { values : float array; vectors : Mat.t }
+
+(* Cyclic Jacobi: repeatedly zero the largest off-diagonal entries with Givens
+   rotations until the off-diagonal Frobenius mass is negligible. *)
+let decompose ?(max_sweeps = 64) c =
+  let n, m = Mat.dims c in
+  if n <> m then invalid_arg "Sym_eig.decompose: matrix not square";
+  let scale =
+    let s = ref 1e-300 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        s := Float.max !s (abs_float (Mat.get c i j))
+      done
+    done;
+    !s
+  in
+  if not (Mat.is_symmetric ~tol:(1e-8 *. scale) c) then
+    invalid_arg "Sym_eig.decompose: matrix not symmetric";
+  let a = Mat.to_arrays c in
+  let v = Mat.to_arrays (Mat.identity n) in
+  let off_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    sqrt (2.0 *. !s)
+  in
+  let eps = 1e-13 *. float_of_int n *. scale in
+  let sweep = ref 0 in
+  while off_norm () > eps && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = a.(p).(q) in
+        if abs_float apq > 1e-300 then begin
+          let app = a.(p).(p) and aqq = a.(q).(q) in
+          let tau = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if tau >= 0.0 then 1.0 else -1.0 in
+            sign /. (abs_float tau +. sqrt (1.0 +. (tau *. tau)))
+          in
+          let cth = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let sth = t *. cth in
+          (* Update rows/cols p and q of [a]. *)
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (cth *. akp) -. (sth *. akq);
+            a.(k).(q) <- (sth *. akp) +. (cth *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (cth *. apk) -. (sth *. aqk);
+            a.(q).(k) <- (sth *. apk) +. (cth *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (cth *. vkp) -. (sth *. vkq);
+            v.(k).(q) <- (sth *. vkp) +. (cth *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(j).(j) a.(i).(i)) order;
+  let values = Array.map (fun i -> a.(i).(i)) order in
+  let vectors = Mat.init n n (fun r c_ -> v.(r).(order.(c_))) in
+  { values; vectors }
+
+let reconstruct { values; vectors } =
+  let n = Array.length values in
+  let scaled =
+    Mat.init n n (fun i j -> Mat.get vectors i j *. values.(j))
+  in
+  Mat.mul scaled (Mat.transpose vectors)

@@ -1,0 +1,15 @@
+(** Eigendecomposition of real symmetric matrices by the cyclic Jacobi
+    method.  Robust and accurate for the moderate dimensions (tens to a few
+    hundred grid variables) that SSTA covariance matrices have. *)
+
+type decomposition = {
+  values : float array;  (** eigenvalues, sorted in decreasing order *)
+  vectors : Mat.t;  (** orthonormal eigenvectors as {e columns}, same order *)
+}
+
+val decompose : ?max_sweeps:int -> Mat.t -> decomposition
+(** Raises [Invalid_argument] if the matrix is not square or not symmetric
+    (tolerance 1e-8 relative to the largest entry). *)
+
+val reconstruct : decomposition -> Mat.t
+(** [v * diag(values) * v^T]; useful for testing. *)

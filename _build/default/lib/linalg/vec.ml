@@ -1,0 +1,44 @@
+let check_len a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: length mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let dot a b =
+  check_len a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+
+let axpy ~alpha x y =
+  check_len x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set y i
+      (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+  done
+
+let scale alpha x = Array.map (fun v -> alpha *. v) x
+
+let add a b =
+  check_len a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_len a b "sub";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let sum_sq a =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let v = Array.unsafe_get a i in
+    acc := !acc +. (v *. v)
+  done;
+  !acc
+
+let norm2 a = sqrt (sum_sq a)
+
+let lerp t a b =
+  check_len a b "lerp";
+  let s = 1.0 -. t in
+  Array.init (Array.length a) (fun i -> (t *. a.(i)) +. (s *. b.(i)))

@@ -1,0 +1,1 @@
+lib/mc/allpairs_mc.mli: Sampler

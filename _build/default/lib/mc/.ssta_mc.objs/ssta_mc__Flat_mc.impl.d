@@ -1,0 +1,1 @@
+lib/mc/flat_mc.ml: Array Sampler Ssta_gauss Ssta_timing Unix

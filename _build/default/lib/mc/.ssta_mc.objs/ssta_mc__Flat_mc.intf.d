@@ -1,0 +1,1 @@
+lib/mc/flat_mc.mli: Sampler

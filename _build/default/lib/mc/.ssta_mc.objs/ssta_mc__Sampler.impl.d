@@ -1,0 +1,1 @@
+lib/mc/sampler.ml: Array Ssta_gauss Ssta_timing Ssta_variation

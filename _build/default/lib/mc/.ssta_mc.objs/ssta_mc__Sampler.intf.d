@@ -1,0 +1,1 @@
+lib/mc/sampler.mli: Ssta_gauss Ssta_timing Ssta_variation

@@ -1,0 +1,70 @@
+module Rng = Ssta_gauss.Rng
+module Sta = Ssta_timing.Sta
+module Tgraph = Ssta_timing.Tgraph
+
+type result = {
+  n_inputs : int;
+  n_outputs : int;
+  iterations : int;
+  means : float array array;
+  stds : float array array;
+  reachable : bool array array;
+  wall_seconds : float;
+}
+
+let run ~iterations ~seed ctx =
+  if iterations <= 0 then invalid_arg "Allpairs_mc.run: iterations must be > 0";
+  let rng = Rng.create ~seed in
+  let g = ctx.Sampler.graph in
+  let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
+  let ni = Array.length inputs and no = Array.length outputs in
+  let weights = Array.make (Tgraph.n_edges g) 0.0 in
+  let arr = Array.make (Tgraph.n_vertices g) neg_infinity in
+  let mean = Array.make_matrix ni no 0.0 in
+  let m2 = Array.make_matrix ni no 0.0 in
+  let reachable = Array.make_matrix ni no false in
+  let t0 = Unix.gettimeofday () in
+  for it = 0 to iterations - 1 do
+    let sample = Sampler.draw ctx.Sampler.basis rng in
+    Sampler.fill_weights ctx sample rng weights;
+    let n = float_of_int (it + 1) in
+    for i = 0 to ni - 1 do
+      Sta.forward_from_into g ~weights inputs.(i) arr;
+      let mrow = mean.(i) and m2row = m2.(i) and rrow = reachable.(i) in
+      for j = 0 to no - 1 do
+        let a = arr.(outputs.(j)) in
+        if a > neg_infinity then begin
+          rrow.(j) <- true;
+          let delta = a -. mrow.(j) in
+          mrow.(j) <- mrow.(j) +. (delta /. n);
+          m2row.(j) <- m2row.(j) +. (delta *. (a -. mrow.(j)))
+        end
+      done
+    done
+  done;
+  let stds =
+    Array.mapi
+      (fun i m2row ->
+        Array.mapi
+          (fun j v ->
+            if reachable.(i).(j) && iterations > 1 then
+              sqrt (v /. float_of_int (iterations - 1))
+            else nan)
+          m2row)
+      m2
+  in
+  let means =
+    Array.mapi
+      (fun i mrow ->
+        Array.mapi (fun j v -> if reachable.(i).(j) then v else nan) mrow)
+      mean
+  in
+  {
+    n_inputs = ni;
+    n_outputs = no;
+    iterations;
+    means;
+    stds;
+    reachable;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }

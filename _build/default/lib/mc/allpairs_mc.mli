@@ -1,0 +1,19 @@
+(** Monte Carlo statistics of all input-to-output delays of one module -
+    the reference the paper validates extracted timing models against
+    (Table I's merr/verr columns).
+
+    Each iteration samples the variation model once and runs one
+    deterministic longest-path pass per primary input, accumulating
+    mean/variance per (input, output) pair with Welford updates. *)
+
+type result = {
+  n_inputs : int;
+  n_outputs : int;
+  iterations : int;
+  means : float array array;  (** [i].(j); [nan] if the pair is unconnected *)
+  stds : float array array;
+  reachable : bool array array;
+  wall_seconds : float;
+}
+
+val run : iterations:int -> seed:int -> Sampler.ctx -> result

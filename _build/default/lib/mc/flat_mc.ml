@@ -1,0 +1,34 @@
+module Rng = Ssta_gauss.Rng
+module Sta = Ssta_timing.Sta
+module Tgraph = Ssta_timing.Tgraph
+
+type result = { delays : float array; wall_seconds : float }
+
+let run ~iterations ~seed ctx =
+  if iterations <= 0 then invalid_arg "Flat_mc.run: iterations must be > 0";
+  let rng = Rng.create ~seed in
+  let g = ctx.Sampler.graph in
+  let weights = Array.make (Tgraph.n_edges g) 0.0 in
+  let delays = Array.make iterations 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for it = 0 to iterations - 1 do
+    let sample = Sampler.draw ctx.Sampler.basis rng in
+    Sampler.fill_weights ctx sample rng weights;
+    delays.(it) <- Sta.design_delay g ~weights
+  done;
+  { delays; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let arrival_samples ~iterations ~seed ctx ~vertex =
+  if iterations <= 0 then
+    invalid_arg "Flat_mc.arrival_samples: iterations must be > 0";
+  let rng = Rng.create ~seed in
+  let g = ctx.Sampler.graph in
+  let weights = Array.make (Tgraph.n_edges g) 0.0 in
+  let out = Array.make iterations 0.0 in
+  for it = 0 to iterations - 1 do
+    let sample = Sampler.draw ctx.Sampler.basis rng in
+    Sampler.fill_weights ctx sample rng weights;
+    let arr = Sta.forward g ~weights in
+    out.(it) <- arr.(vertex)
+  done;
+  out

@@ -1,0 +1,15 @@
+(** Monte Carlo reference for the circuit delay distribution (the paper's
+    golden standard: "Monte Carlo simulation with 10,000 iterations using the
+    flattened netlist"). *)
+
+type result = {
+  delays : float array;  (** one design delay (max over outputs) per sample *)
+  wall_seconds : float;
+}
+
+val run : iterations:int -> seed:int -> Sampler.ctx -> result
+
+val arrival_samples :
+  iterations:int -> seed:int -> Sampler.ctx -> vertex:int -> float array
+(** Per-sample arrival time at a chosen vertex (all-inputs propagation);
+    [neg_infinity] never appears for vertices reachable from an input. *)

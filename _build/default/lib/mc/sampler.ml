@@ -1,0 +1,61 @@
+module Basis = Ssta_variation.Basis
+module Correlation = Ssta_variation.Correlation
+module Rng = Ssta_gauss.Rng
+module Build = Ssta_timing.Build
+
+type sample = { globals : float array; fields : float array array }
+
+type ctx = {
+  graph : Ssta_timing.Tgraph.t;
+  sparse : Build.sparse_edge array;
+  basis : Ssta_variation.Basis.t;
+}
+
+let ctx_of_build (b : Build.t) =
+  { graph = b.Build.graph; sparse = b.Build.sparse; basis = b.Build.basis }
+
+let draw basis rng =
+  {
+    globals = Basis.sample_globals basis rng;
+    fields = Basis.sample_local_fields basis rng;
+  }
+
+let edge_delay ctx sample rng e =
+  let s = ctx.sparse.(e) in
+  let corr = ctx.basis.Basis.corr in
+  let sg = sqrt corr.Correlation.var_global in
+  let sl = sqrt corr.Correlation.var_local in
+  let acc = ref 0.0 in
+  for k = 0 to Array.length s.Build.sens - 1 do
+    acc :=
+      !acc
+      +. s.Build.sens.(k)
+         *. ((sg *. sample.globals.(k))
+            +. (sl *. sample.fields.(k).(s.Build.tile)))
+  done;
+  (s.Build.nominal *. (1.0 +. !acc))
+  +. (s.Build.random_sigma *. Rng.gaussian rng)
+
+let fill_weights ctx sample rng weights =
+  let corr = ctx.basis.Basis.corr in
+  let sg = sqrt corr.Correlation.var_global in
+  let sl = sqrt corr.Correlation.var_local in
+  for e = 0 to Array.length ctx.sparse - 1 do
+    let s = ctx.sparse.(e) in
+    let acc = ref 0.0 in
+    (* Interconnect edges carry no sensitivities; loop over the edge's own
+       parameter list. *)
+    for k = 0 to Array.length s.Build.sens - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get s.Build.sens k
+           *. ((sg *. Array.unsafe_get sample.globals k)
+              +. (sl
+                 *. Array.unsafe_get
+                      (Array.unsafe_get sample.fields k)
+                      s.Build.tile)))
+    done;
+    Array.unsafe_set weights e
+      ((s.Build.nominal *. (1.0 +. !acc))
+      +. (s.Build.random_sigma *. Rng.gaussian rng))
+  done

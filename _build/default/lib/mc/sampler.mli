@@ -1,0 +1,33 @@
+(** Sampling of the variation model for Monte Carlo analysis.
+
+    A sample fixes the global variables (one per parameter) and the
+    correlated local fields (one value per tile per parameter, drawn through
+    the PCA factor so their covariance matches the model); per-edge private
+    random parts are drawn inline during delay evaluation. *)
+
+type sample = {
+  globals : float array;  (** per parameter *)
+  fields : float array array;  (** per parameter, per tile *)
+}
+
+type ctx = {
+  graph : Ssta_timing.Tgraph.t;
+  sparse : Ssta_timing.Build.sparse_edge array;
+  basis : Ssta_variation.Basis.t;
+}
+(** What the Monte Carlo engines need to know about a circuit (module-level
+    characterization contexts and flattened hierarchical designs both
+    project onto this). *)
+
+val ctx_of_build : Ssta_timing.Build.t -> ctx
+
+val draw : Ssta_variation.Basis.t -> Ssta_gauss.Rng.t -> sample
+
+val edge_delay :
+  ctx -> sample -> Ssta_gauss.Rng.t -> int -> float
+(** Delay of one edge under the sample, drawing the edge's private random
+    part from the RNG. *)
+
+val fill_weights :
+  ctx -> sample -> Ssta_gauss.Rng.t -> float array -> unit
+(** Evaluate every edge delay into a caller buffer of length [n_edges]. *)

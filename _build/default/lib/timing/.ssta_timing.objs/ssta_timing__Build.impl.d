@@ -1,0 +1,1 @@
+lib/timing/build.ml: Array Ssta_canonical Ssta_cell Ssta_circuit Ssta_variation Tgraph

@@ -1,0 +1,1 @@
+lib/timing/build.mli: Ssta_canonical Ssta_circuit Ssta_variation Tgraph

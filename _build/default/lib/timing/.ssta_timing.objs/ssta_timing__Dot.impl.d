@@ -1,0 +1,1 @@
+lib/timing/dot.ml: Array Buffer Hashtbl List Printf Ssta_cell Ssta_circuit String Tgraph

@@ -1,0 +1,1 @@
+lib/timing/dot.mli: Ssta_circuit Tgraph

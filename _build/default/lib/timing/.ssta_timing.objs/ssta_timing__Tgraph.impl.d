@@ -1,0 +1,1 @@
+lib/timing/tgraph.ml: Array Hashtbl List Printf Queue Ssta_circuit

@@ -1,0 +1,1 @@
+lib/timing/tgraph.mli: Hashtbl Ssta_circuit

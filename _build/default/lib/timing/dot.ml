@@ -1,0 +1,59 @@
+module N = Ssta_circuit.Netlist
+
+let netlist nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph netlist {\n  rankdir=LR;\n";
+  for i = 0 to N.n_pis nl - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [shape=box,label=\"pi%d\"];\n" i i)
+  done;
+  Array.iteri
+    (fun g gate ->
+      let id = N.n_pis nl + g in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" id
+           gate.N.cell.Ssta_cell.Cell.name);
+      Array.iter
+        (fun s ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" s id))
+        gate.N.fanins)
+    nl.N.gates;
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [peripheries=2];\n" o))
+    nl.N.outputs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let tgraph ?weights ?(highlight = []) g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph timing {\n  rankdir=LR;\n";
+  let hl = Hashtbl.create 17 in
+  List.iter (fun v -> Hashtbl.replace hl v ()) highlight;
+  let is_in = Array.make (Tgraph.n_vertices g) false in
+  Array.iter (fun v -> is_in.(v) <- true) g.Tgraph.inputs;
+  let is_out = Array.make (Tgraph.n_vertices g) false in
+  Array.iter (fun v -> is_out.(v) <- true) g.Tgraph.outputs;
+  for v = 0 to Tgraph.n_vertices g - 1 do
+    let attrs = ref [] in
+    if is_in.(v) then attrs := "shape=box" :: !attrs;
+    if is_out.(v) then attrs := "peripheries=2" :: !attrs;
+    if Hashtbl.mem hl v then
+      attrs := "style=filled" :: "fillcolor=lightsalmon" :: !attrs;
+    if !attrs <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [%s];\n" v (String.concat "," !attrs))
+  done;
+  Array.iteri
+    (fun e s ->
+      let d = g.Tgraph.dst.(e) in
+      let label =
+        match weights with
+        | Some w -> Printf.sprintf " [label=\"%.1f\"]" w.(e)
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  v%d -> v%d%s;\n" s d label))
+    g.Tgraph.src;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

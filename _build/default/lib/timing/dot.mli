@@ -1,0 +1,15 @@
+(** Graphviz export for debugging and documentation: netlists, timing
+    graphs with weights, and (through the same entry points) extracted
+    timing-model graphs. *)
+
+val netlist : Ssta_circuit.Netlist.t -> string
+(** One node per PI/gate (labelled with the cell name), one arc per fanin. *)
+
+val tgraph :
+  ?weights:float array ->
+  ?highlight:int list ->
+  Tgraph.t ->
+  string
+(** Timing graph with optional per-edge weight labels and an optional set
+    of vertices to highlight (e.g. a critical path).  Inputs are drawn as
+    boxes, outputs as double circles. *)

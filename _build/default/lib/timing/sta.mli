@@ -1,0 +1,27 @@
+(** Deterministic (corner / sample) static timing analysis on a timing graph
+    with plain float edge delays.  This is the inner loop of the Monte Carlo
+    engine and the corner-STA baseline of the examples. *)
+
+val forward : Tgraph.t -> weights:float array -> float array
+(** Arrival times from all primary inputs (inputs start at 0); vertices not
+    reachable from any input get [neg_infinity]. *)
+
+val forward_from : Tgraph.t -> weights:float array -> int -> float array
+(** Arrival times exclusively from one input vertex. *)
+
+val forward_from_into :
+  Tgraph.t -> weights:float array -> int -> float array -> unit
+(** Allocation-free variant of {!forward_from} writing into a caller buffer
+    of length [n_vertices] (contents overwritten). *)
+
+val backward_to : Tgraph.t -> weights:float array -> int -> float array
+(** [backward_to g ~weights out] gives, per vertex, the maximum path delay
+    from the vertex to the output [out] ([neg_infinity] if it cannot reach
+    it; 0 at [out] itself).  This is the negated required time with the
+    required time at [out] set to 0 (paper eq. (15)). *)
+
+val design_delay : Tgraph.t -> weights:float array -> float
+(** Maximum arrival over primary outputs. *)
+
+val critical_path : Tgraph.t -> weights:float array -> int list
+(** Vertices of one maximum-delay input-to-output path (in order). *)

@@ -1,0 +1,153 @@
+type t = {
+  n_vertices : int;
+  src : int array;
+  dst : int array;
+  fanin_lo : int array;
+  fanin_hi : int array;
+  fanout : int array array;
+  inputs : int array;
+  outputs : int array;
+}
+
+let n_edges t = Array.length t.src
+let n_vertices t = t.n_vertices
+
+let make ~n_vertices ~edges ~inputs ~outputs =
+  let m = Array.length edges in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  Array.iteri
+    (fun i (s, d) ->
+      if s < 0 || s >= n_vertices || d < 0 || d >= n_vertices then
+        failwith "Tgraph.make: vertex index out of range";
+      src.(i) <- s;
+      dst.(i) <- d)
+    edges;
+  (* Check the claimed topological edge order: a vertex must not appear as a
+     source after... more precisely, every source must already be "settled":
+     either it has no fanin edges at all, or all its fanin edges appeared
+     earlier in the array. *)
+  let fanin_count = Array.make n_vertices 0 in
+  Array.iter (fun d -> fanin_count.(d) <- fanin_count.(d) + 1) dst;
+  let seen_fanin = Array.make n_vertices 0 in
+  Array.iteri
+    (fun i s ->
+      if seen_fanin.(s) <> fanin_count.(s) then
+        failwith
+          (Printf.sprintf
+             "Tgraph.make: edge %d uses source %d before all its fanins" i s);
+      seen_fanin.(dst.(i)) <- seen_fanin.(dst.(i)) + 1)
+    src;
+  (* Fanin edges of each vertex must form one contiguous run (any run order
+     is fine as long as the array stays topological). *)
+  let fanin_lo = Array.make n_vertices 0 in
+  let fanin_hi = Array.make n_vertices 0 in
+  let closed = Array.make n_vertices false in
+  let i = ref 0 in
+  while !i < m do
+    let d = dst.(!i) in
+    if closed.(d) then failwith "Tgraph.make: fanin edges not contiguous";
+    fanin_lo.(d) <- !i;
+    let j = ref !i in
+    while !j < m && dst.(!j) = d do
+      incr j
+    done;
+    fanin_hi.(d) <- !j;
+    closed.(d) <- true;
+    i := !j
+  done;
+  let fanout_count = Array.make n_vertices 0 in
+  Array.iter (fun s -> fanout_count.(s) <- fanout_count.(s) + 1) src;
+  let fanout = Array.init n_vertices (fun v -> Array.make fanout_count.(v) 0) in
+  let fill = Array.make n_vertices 0 in
+  Array.iteri
+    (fun i s ->
+      fanout.(s).(fill.(s)) <- i;
+      fill.(s) <- fill.(s) + 1)
+    src;
+  { n_vertices; src; dst; fanin_lo; fanin_hi; fanout; inputs; outputs }
+
+let make_sorted ~n_vertices ~edges ~inputs ~outputs =
+  let m = Array.length edges in
+  let fanin_count = Array.make n_vertices 0 in
+  let out_adj = Array.make n_vertices [] in
+  Array.iteri
+    (fun i (s, d) ->
+      if s < 0 || s >= n_vertices || d < 0 || d >= n_vertices then
+        failwith "Tgraph.make_sorted: vertex index out of range";
+      fanin_count.(d) <- fanin_count.(d) + 1;
+      out_adj.(s) <- i :: out_adj.(s))
+    edges;
+  let remaining = Array.copy fanin_count in
+  let queue = Queue.create () in
+  for v = 0 to n_vertices - 1 do
+    if remaining.(v) = 0 then Queue.push v queue
+  done;
+  let perm = Array.make m 0 in
+  let fanin_edges = Array.make n_vertices [] in
+  Array.iteri
+    (fun i (_, d) -> fanin_edges.(d) <- i :: fanin_edges.(d))
+    edges;
+  let pos = ref 0 in
+  let settled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr settled;
+    (* Emit all fanin edges of v (their sources are settled by induction). *)
+    List.iter
+      (fun i ->
+        perm.(!pos) <- i;
+        incr pos)
+      (List.rev fanin_edges.(v));
+    List.iter
+      (fun i ->
+        let _, d = edges.(i) in
+        remaining.(d) <- remaining.(d) - 1;
+        if remaining.(d) = 0 then Queue.push d queue)
+      out_adj.(v)
+  done;
+  if !settled <> n_vertices then failwith "Tgraph.make_sorted: graph is cyclic";
+  let sorted = Array.map (fun i -> edges.(i)) perm in
+  (make ~n_vertices ~edges:sorted ~inputs ~outputs, perm)
+
+let of_netlist nl =
+  let module N = Ssta_circuit.Netlist in
+  let n_pi = N.n_pis nl in
+  let edges = ref [] in
+  Array.iteri
+    (fun g gate ->
+      let v = n_pi + g in
+      Array.iter
+        (fun s -> edges := (s, v) :: !edges)
+        gate.N.fanins)
+    nl.N.gates;
+  make ~n_vertices:(N.n_nodes nl)
+    ~edges:(Array.of_list (List.rev !edges))
+    ~inputs:(Array.init n_pi (fun i -> i))
+    ~outputs:(Array.copy nl.N.outputs)
+
+let edge_index_matrix t =
+  let tbl = Hashtbl.create 97 in
+  Array.iteri
+    (fun i s ->
+      let key = (s, t.dst.(i)) in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (i :: prev))
+    t.src;
+  tbl
+
+let reachable_from t v0 =
+  let seen = Array.make t.n_vertices false in
+  seen.(v0) <- true;
+  (* One forward sweep suffices because edges are topologically ordered. *)
+  Array.iteri
+    (fun i s -> if seen.(s) then seen.(t.dst.(i)) <- true)
+    t.src;
+  seen
+
+let reaches t v0 =
+  let seen = Array.make t.n_vertices false in
+  seen.(v0) <- true;
+  for i = Array.length t.src - 1 downto 0 do
+    if seen.(t.dst.(i)) then seen.(t.src.(i)) <- true
+  done;
+  seen

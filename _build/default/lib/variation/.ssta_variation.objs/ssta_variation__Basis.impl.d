@@ -1,0 +1,1 @@
+lib/variation/basis.ml: Array Correlation Ssta_canonical Ssta_gauss Ssta_linalg Tile

@@ -1,0 +1,1 @@
+lib/variation/basis.mli: Correlation Ssta_canonical Ssta_gauss Ssta_linalg Tile

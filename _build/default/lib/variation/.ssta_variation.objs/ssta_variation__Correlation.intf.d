@@ -1,0 +1,1 @@
+lib/variation/correlation.mli: Format

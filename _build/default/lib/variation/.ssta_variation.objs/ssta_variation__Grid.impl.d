@@ -1,0 +1,1 @@
+lib/variation/grid.ml: Array Float Printf Tile

@@ -1,0 +1,1 @@
+lib/variation/param.mli: Format

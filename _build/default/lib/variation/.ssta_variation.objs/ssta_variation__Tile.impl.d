@@ -1,0 +1,1 @@
+lib/variation/tile.ml: Format

@@ -1,0 +1,1 @@
+lib/variation/tile.mli: Format

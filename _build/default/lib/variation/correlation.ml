@@ -1,0 +1,45 @@
+type model = {
+  var_global : float;
+  var_local : float;
+  var_random : float;
+  rho_near : float;
+  d_far : float;
+  beta : float;
+}
+
+let make ?(var_random = 0.06) ?(rho_near = 0.92) ?(rho_far = 0.42)
+    ?(d_far = 15.0) () =
+  if not (rho_near > rho_far && rho_far >= 0.0 && rho_near < 1.0) then
+    invalid_arg "Correlation.make: need 0 <= rho_far < rho_near < 1";
+  if d_far < 2.0 then invalid_arg "Correlation.make: d_far must be >= 2";
+  let var_global = rho_far in
+  let var_local = 1.0 -. var_global -. var_random in
+  if var_local <= 0.0 || var_random < 0.0 then
+    invalid_arg "Correlation.make: variance split is not a distribution";
+  if rho_near -. var_global > var_local then
+    invalid_arg
+      "Correlation.make: neighbor correlation exceeds local variance";
+  let beta = (rho_far /. rho_near) ** (1.0 /. (d_far -. 1.0)) in
+  { var_global; var_local; var_random; rho_near; d_far; beta }
+
+let default = make ()
+
+let total_correlation m d =
+  if d < 0.0 then invalid_arg "Correlation.total_correlation: negative d";
+  if d = 0.0 then 1.0 -. m.var_random
+  else if d <= m.d_far then
+    Float.max m.var_global (m.rho_near *. (m.beta ** (d -. 1.0)))
+  else m.var_global
+
+let local_covariance m d =
+  if d = 0.0 then m.var_local
+  else if d <= m.d_far then
+    Float.max 0.0 (total_correlation m d -. m.var_global)
+  else 0.0
+
+let normalized_local_correlation m d = local_covariance m d /. m.var_local
+
+let pp ppf m =
+  Format.fprintf ppf
+    "corr(vg=%.3f vl=%.3f vr=%.3f rho1=%.2f dfar=%.0f beta=%.4f)" m.var_global
+    m.var_local m.var_random m.rho_near m.d_far m.beta

@@ -1,0 +1,46 @@
+(** The spatial correlation model of paper Section VI.
+
+    Each process parameter (normalized to unit total variance) is split as
+    [p = pg + pl + pr] with variances [var_global + var_local + var_random=1].
+    The total correlation between the parameter in two grids at distance [d]
+    (in grid pitches) is
+
+    - [1]                          at [d = 0] within one grid (minus random),
+    - [rho_near * beta^(d-1)]      for [1 <= d <= d_far],
+    - [var_global]                 beyond [d_far] (global variation only),
+
+    with [beta] chosen so the curve decays exponentially from [rho_near] at
+    [d = 1] to [var_global] at [d = d_far] — the paper's 0.92 at neighbor
+    distance decreasing to 0.42 at distance 15. *)
+
+type model = private {
+  var_global : float;
+  var_local : float;
+  var_random : float;
+  rho_near : float;
+  d_far : float;
+  beta : float;
+}
+
+val make :
+  ?var_random:float -> ?rho_near:float -> ?rho_far:float -> ?d_far:float ->
+  unit -> model
+(** Defaults per the paper: [rho_near = 0.92], [rho_far = 0.42] (which fixes
+    [var_global = 0.42]), [d_far = 15.], [var_random = 0.06].  Raises
+    [Invalid_argument] if the resulting variance split is not a valid
+    distribution or [rho_near <= rho_far]. *)
+
+val default : model
+
+val total_correlation : model -> float -> float
+(** Correlation of the parameter between two grids at distance [d >= 0]. *)
+
+val local_covariance : model -> float -> float
+(** Covariance contributed by the correlated local part at distance [d]:
+    [var_local] at 0, [total - var_global] in (0, d_far], 0 beyond. *)
+
+val normalized_local_correlation : model -> float -> float
+(** [local_covariance / var_local] - the entries of the unit-variance local
+    covariance matrix C handed to PCA (paper eq. (2)). *)
+
+val pp : Format.formatter -> model -> unit

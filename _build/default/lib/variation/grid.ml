@@ -1,0 +1,40 @@
+type t = {
+  x0 : float;
+  y0 : float;
+  nx : int;
+  ny : int;
+  pitch : float;
+  tiles : Tile.t array;
+}
+
+let make ~x0 ~y0 ~width ~height ~pitch =
+  if width <= 0.0 || height <= 0.0 then
+    invalid_arg "Grid.make: die must have positive area";
+  if pitch <= 0.0 then invalid_arg "Grid.make: pitch must be positive";
+  let nx = int_of_float (ceil (width /. pitch)) in
+  let ny = int_of_float (ceil (height /. pitch)) in
+  let tiles =
+    Array.init (nx * ny) (fun idx ->
+        let ix = idx mod nx and iy = idx / nx in
+        let tx0 = x0 +. (float_of_int ix *. pitch) in
+        let ty0 = y0 +. (float_of_int iy *. pitch) in
+        Tile.make ~x0:tx0 ~y0:ty0
+          ~x1:(Float.min (tx0 +. pitch) (x0 +. width))
+          ~y1:(Float.min (ty0 +. pitch) (y0 +. height)))
+  in
+  { x0; y0; nx; ny; pitch; tiles }
+
+let n_tiles t = Array.length t.tiles
+
+let index_of_point t (x, y) =
+  let ix = int_of_float (floor ((x -. t.x0) /. t.pitch)) in
+  let iy = int_of_float (floor ((y -. t.y0) /. t.pitch)) in
+  if ix < 0 || ix >= t.nx || iy < 0 || iy >= t.ny then
+    invalid_arg
+      (Printf.sprintf "Grid.index_of_point: (%g, %g) outside the die" x y);
+  ix + (iy * t.nx)
+
+let pitch_for_cell_budget ~n_cells ~cells_per_tile ~cell_pitch =
+  if n_cells <= 0 || cells_per_tile <= 0 then
+    invalid_arg "Grid.pitch_for_cell_budget: positive counts required";
+  cell_pitch *. floor (sqrt (float_of_int cells_per_tile))

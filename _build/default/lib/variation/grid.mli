@@ -1,0 +1,30 @@
+(** Regular grid partition of a rectangular die area (paper Section II:
+    "the die of the circuit is partitioned into n grids"). *)
+
+type t = private {
+  x0 : float;
+  y0 : float;
+  nx : int;
+  ny : int;
+  pitch : float;
+  tiles : Tile.t array;  (** row-major, [ix + iy * nx] *)
+}
+
+val make : x0:float -> y0:float -> width:float -> height:float ->
+  pitch:float -> t
+(** Covers [width] x [height] starting at [(x0, y0)] with square tiles of
+    side [pitch]; the last row/column tiles are clipped to the die, so
+    every point of the die belongs to exactly one tile. *)
+
+val n_tiles : t -> int
+
+val index_of_point : t -> float * float -> int
+(** Tile owning the point; raises [Invalid_argument] if the point lies
+    outside the die. *)
+
+val pitch_for_cell_budget : n_cells:int -> cells_per_tile:int ->
+  cell_pitch:float -> float
+(** The paper partitions dies "so that the number of cells in a grid is less
+    than 100": with cells placed on a unit square lattice of side
+    [cell_pitch], a grid pitch of [cell_pitch * floor(sqrt cells_per_tile)]
+    guarantees at most [cells_per_tile] cells per tile. *)

@@ -1,0 +1,8 @@
+type t = { name : string }
+
+let transistor_length = { name = "transistor_length" }
+let oxide_thickness = { name = "oxide_thickness" }
+let threshold_voltage = { name = "threshold_voltage" }
+let defaults = [| transistor_length; oxide_thickness; threshold_voltage |]
+let count = Array.length
+let pp ppf t = Format.pp_print_string ppf t.name

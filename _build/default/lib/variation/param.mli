@@ -1,0 +1,20 @@
+(** Process parameters with variations (paper Section VI).
+
+    A parameter only carries its identity here; how strongly a gate's delay
+    reacts to one unit (one sigma) of a parameter is a property of the cell
+    ({!Ssta_cell.Cell.t} sensitivities), and how a parameter's variance is
+    split into global / correlated-local / random parts is a property of the
+    shared {!Correlation.model}. *)
+
+type t = { name : string }
+
+val transistor_length : t
+val oxide_thickness : t
+val threshold_voltage : t
+
+val defaults : t array
+(** The paper's three process parameters, in the order cells list their
+    sensitivities: transistor length, oxide thickness, threshold voltage. *)
+
+val count : t array -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let make ~x0 ~y0 ~x1 ~y1 =
+  if not (x0 < x1 && y0 < y1) then invalid_arg "Tile.make: empty rectangle";
+  { x0; y0; x1; y1 }
+
+let center t = ((t.x0 +. t.x1) /. 2.0, (t.y0 +. t.y1) /. 2.0)
+let width t = t.x1 -. t.x0
+let height t = t.y1 -. t.y0
+let area t = width t *. height t
+
+let contains t (x, y) = x >= t.x0 && x < t.x1 && y >= t.y0 && y < t.y1
+
+let translate t ~dx ~dy =
+  { x0 = t.x0 +. dx; y0 = t.y0 +. dy; x1 = t.x1 +. dx; y1 = t.y1 +. dy }
+
+let center_distance a b =
+  let xa, ya = center a and xb, yb = center b in
+  let dx = xa -. xb and dy = ya -. yb in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let overlaps a b = a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+
+let pp ppf t =
+  Format.fprintf ppf "[%.1f,%.1f)x[%.1f,%.1f)" t.x0 t.x1 t.y0 t.y1

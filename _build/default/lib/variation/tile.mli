@@ -1,0 +1,23 @@
+(** An axis-aligned rectangle of die area carrying one correlated local
+    random variable (one "grid" in the paper's terminology).  Design-level
+    heterogeneous partitions (paper Fig. 4) are plain arrays of tiles. *)
+
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+val make : x0:float -> y0:float -> x1:float -> y1:float -> t
+(** Raises [Invalid_argument] unless [x0 < x1] and [y0 < y1]. *)
+
+val center : t -> float * float
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val contains : t -> float * float -> bool
+(** Half-open on the upper edges so regular partitions tile without double
+    ownership. *)
+
+val translate : t -> dx:float -> dy:float -> t
+val center_distance : t -> t -> float
+(** Euclidean distance between centers. *)
+
+val overlaps : t -> t -> bool
+val pp : Format.formatter -> t -> unit

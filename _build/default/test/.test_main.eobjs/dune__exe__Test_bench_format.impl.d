@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Filename Fun Hier_ssta List Ssta_canonical Ssta_circuit Ssta_timing Sys

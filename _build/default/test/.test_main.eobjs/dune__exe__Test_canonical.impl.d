@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Array Float Format List QCheck QCheck_alcotest Ssta_canonical Ssta_gauss

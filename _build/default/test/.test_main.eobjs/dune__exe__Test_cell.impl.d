@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Ssta_cell

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array List Printf Ssta_cell Ssta_circuit Ssta_variation

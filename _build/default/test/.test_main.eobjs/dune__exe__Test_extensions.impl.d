@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Fun Hier_ssta Lazy List Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing Ssta_variation String Sys

@@ -1,0 +1,1 @@
+test/test_gauss.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Ssta_gauss

@@ -1,0 +1,1 @@
+test/test_hier.ml: Alcotest Array Float Hier_ssta Lazy List Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_linalg Ssta_mc Ssta_timing Ssta_variation

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Fun Hier_ssta List Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing

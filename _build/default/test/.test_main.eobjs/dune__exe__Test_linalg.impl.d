@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Printf QCheck QCheck_alcotest Ssta_gauss Ssta_linalg

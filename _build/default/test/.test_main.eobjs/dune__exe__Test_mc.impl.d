@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Float Hier_ssta Printf Ssta_canonical Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Float Hier_ssta List Printf Ssta_canonical Ssta_circuit Ssta_timing

@@ -1,0 +1,1 @@
+test/test_property.ml: Array Fun Hashtbl Hier_ssta List QCheck QCheck_alcotest Ssta_canonical Ssta_gauss Ssta_timing

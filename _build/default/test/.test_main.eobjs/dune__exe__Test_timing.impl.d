@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array List Printf Ssta_canonical Ssta_cell Ssta_circuit Ssta_gauss Ssta_mc Ssta_timing Ssta_variation String

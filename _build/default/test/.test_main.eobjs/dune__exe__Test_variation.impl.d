@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Printf Ssta_canonical Ssta_gauss Ssta_linalg Ssta_variation

@@ -1,0 +1,91 @@
+(* Tests for the cell library and its statistical delay model. *)
+
+module Cell = Ssta_cell.Cell
+module Library = Ssta_cell.Library
+
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let test_library_lookup () =
+  Alcotest.(check string) "find nand2" "nand2" (Library.find "nand2").Cell.name;
+  Alcotest.(check bool)
+    "unknown raises" true
+    (try
+       ignore (Library.find "nand17");
+       false
+     with Not_found -> true);
+  Alcotest.(check int) "library size" 16 (Array.length Library.default)
+
+let test_cell_arities () =
+  Alcotest.(check int) "inv arity" 1 Library.inv.Cell.n_inputs;
+  Alcotest.(check int) "nand4 arity" 4 Library.nand4.Cell.n_inputs;
+  Alcotest.(check int) "maj3 arity" 3 Library.maj3.Cell.n_inputs;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.Cell.name ^ " positive delay")
+        true (c.Cell.d0 > 0.0);
+      Alcotest.(check int)
+        (c.Cell.name ^ " three sensitivities")
+        3
+        (Array.length c.Cell.sens))
+    Library.default
+
+let test_arc_delay_load () =
+  let c = Library.nand2 in
+  let d1 = Cell.arc_delay c ~fanout:1 ~pin:0 in
+  let d3 = Cell.arc_delay c ~fanout:3 ~pin:0 in
+  close "unloaded is d0" c.Cell.d0 d1;
+  Alcotest.(check bool) "load increases delay" true (d3 > d1);
+  close ~tol:1e-9 "linear load" (c.Cell.d0 *. 1.24) d3
+
+let test_arc_delay_pin_skew () =
+  let c = Library.nand3 in
+  let p0 = Cell.arc_delay c ~fanout:1 ~pin:0 in
+  let p2 = Cell.arc_delay c ~fanout:1 ~pin:2 in
+  Alcotest.(check bool) "later pins slower" true (p2 > p0);
+  Alcotest.(check bool)
+    "pin out of range" true
+    (try
+       ignore (Cell.arc_delay c ~fanout:1 ~pin:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_validation () =
+  Alcotest.(check bool)
+    "negative d0 rejected" true
+    (try
+       ignore
+         (Cell.make ~name:"x" ~n_inputs:1 ~d0:(-1.0) ~sens:[||] ~load_sens:0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "negative sens rejected" true
+    (try
+       ignore
+         (Cell.make ~name:"x" ~n_inputs:1 ~d0:1.0 ~sens:[| -0.1 |]
+            ~load_sens:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_paper_sensitivities () =
+  (* The baseline sensitivities follow the paper's variation setup. *)
+  let s = Library.nand2.Cell.sens in
+  close "sigma L" 0.157 s.(0);
+  close "sigma Tox" 0.053 s.(1);
+  close "sigma Vth" 0.044 s.(2);
+  close "load sigma" 0.15 Library.nand2.Cell.load_sens
+
+let suites =
+  [
+    ( "cell",
+      [
+        Alcotest.test_case "library lookup" `Quick test_library_lookup;
+        Alcotest.test_case "arities and delays" `Quick test_cell_arities;
+        Alcotest.test_case "load model" `Quick test_arc_delay_load;
+        Alcotest.test_case "pin skew" `Quick test_arc_delay_pin_skew;
+        Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "paper sensitivities" `Quick
+          test_paper_sensitivities;
+      ] );
+  ]

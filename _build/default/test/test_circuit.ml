@@ -1,0 +1,306 @@
+(* Tests for netlists and the ISCAS85-like generators (the benchmark
+   substrate; see DESIGN.md substitutions). *)
+
+module N = Ssta_circuit.Netlist
+module B = N.Builder
+module L = Ssta_cell.Library
+module Iscas = Ssta_circuit.Iscas
+module Placement = Ssta_circuit.Placement
+module Grid = Ssta_variation.Grid
+module Tile = Ssta_variation.Tile
+
+(* ------------------------------------------------------------------ *)
+(* Builder / netlist invariants                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_basic () =
+  let b = B.create ~name:"t" ~n_pi:2 in
+  let g1 = B.add_gate b L.and2 [| 0; 1 |] in
+  let g2 = B.add_gate b L.inv [| g1 |] in
+  let nl = B.finish b ~outputs:[| g2 |] in
+  Alcotest.(check int) "nodes" 4 (N.n_nodes nl);
+  Alcotest.(check int) "gates" 2 (N.n_gates nl);
+  Alcotest.(check int) "edges" 3 (N.n_edges nl);
+  Alcotest.(check int) "depth" 2 (N.depth nl);
+  Alcotest.(check bool) "pi" true (N.is_pi nl 0);
+  Alcotest.(check bool) "gate" false (N.is_pi nl 2)
+
+let test_builder_rejects_bad_arity () =
+  let b = B.create ~name:"t" ~n_pi:2 in
+  Alcotest.(check bool)
+    "arity mismatch" true
+    (try
+       ignore (B.add_gate b L.and2 [| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_rejects_forward_ref () =
+  let b = B.create ~name:"t" ~n_pi:2 in
+  Alcotest.(check bool)
+    "forward reference" true
+    (try
+       ignore (B.add_gate b L.inv [| 5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fanout_counts () =
+  let b = B.create ~name:"t" ~n_pi:1 in
+  let g1 = B.add_gate b L.inv [| 0 |] in
+  let _g2 = B.add_gate b L.inv [| g1 |] in
+  let _g3 = B.add_gate b L.inv [| g1 |] in
+  let nl = B.finish b ~outputs:[| 2; 3 |] in
+  let f = N.fanout_counts nl in
+  Alcotest.(check int) "pi fanout" 1 f.(0);
+  Alcotest.(check int) "g1 fanout" 2 f.(g1);
+  Alcotest.(check int) "sink fanout" 0 f.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Structural generators                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reaches_output nl =
+  (* Reverse reachability from outputs over the gate fanin relation. *)
+  let n = N.n_nodes nl in
+  let seen = Array.make n false in
+  Array.iter (fun o -> seen.(o) <- true) nl.N.outputs;
+  for g = N.n_gates nl - 1 downto 0 do
+    let id = N.n_pis nl + g in
+    if seen.(id) then
+      match N.gate_of_node nl id with
+      | Some gate -> Array.iter (fun s -> seen.(s) <- true) gate.N.fanins
+      | None -> ()
+  done;
+  seen
+
+let test_multiplier_structure () =
+  let nl = Ssta_circuit.Multiplier.make ~bits:16 () in
+  N.validate nl;
+  Alcotest.(check int) "pis" 32 (N.n_pis nl);
+  Alcotest.(check int) "pos" 32 (N.n_pos nl);
+  Alcotest.(check int) "gates (c6288-scale)" 2352 (N.n_gates nl);
+  (* Every gate drives something observable. *)
+  let seen = reaches_output nl in
+  let dead = ref 0 in
+  for g = 0 to N.n_gates nl - 1 do
+    if not seen.(N.n_pis nl + g) then incr dead
+  done;
+  Alcotest.(check int) "no dead gates" 0 !dead
+
+let test_multiplier_scales () =
+  List.iter
+    (fun bits ->
+      let nl = Ssta_circuit.Multiplier.make ~bits () in
+      N.validate nl;
+      Alcotest.(check int) "pis" (2 * bits) (N.n_pis nl);
+      Alcotest.(check int) "pos" (2 * bits) (N.n_pos nl);
+      (* bits^2 partial products + (bits-1) rows of adders. *)
+      Alcotest.(check bool)
+        "gate count grows quadratically" true
+        (N.n_gates nl > bits * bits))
+    [ 2; 4; 8 ]
+
+let test_multiplier_depth_grows () =
+  let d8 = N.depth (Ssta_circuit.Multiplier.make ~bits:8 ()) in
+  let d16 = N.depth (Ssta_circuit.Multiplier.make ~bits:16 ()) in
+  Alcotest.(check bool) "deeper with more bits" true (d16 > d8);
+  (* c6288's logic depth is ~120; the reproduction should be in that band. *)
+  Alcotest.(check bool) "depth plausible" true (d16 > 80 && d16 < 150)
+
+let test_ecc_structure () =
+  let c499 = Ssta_circuit.Ecc.make ~expand_xor:false () in
+  let c1355 = Ssta_circuit.Ecc.make ~expand_xor:true () in
+  N.validate c499;
+  N.validate c1355;
+  Alcotest.(check int) "c499 pis" 41 (N.n_pis c499);
+  Alcotest.(check int) "c499 pos" 32 (N.n_pos c499);
+  Alcotest.(check int) "c1355 pis" 41 (N.n_pis c1355);
+  (* The NAND expansion blows each XOR into 4 gates (c499 -> c1355). *)
+  Alcotest.(check bool)
+    "expansion grows gates ~2.8x" true
+    (let r = float_of_int (N.n_gates c1355) /. float_of_int (N.n_gates c499) in
+     r > 2.3 && r < 3.3)
+
+let test_priority_structure () =
+  let nl = Ssta_circuit.Priority.make () in
+  N.validate nl;
+  Alcotest.(check int) "pis" 36 (N.n_pis nl);
+  Alcotest.(check int) "pos" 7 (N.n_pos nl);
+  Alcotest.(check bool)
+    "c432-scale gate count" true
+    (abs (N.n_gates nl - 160) < 30)
+
+let test_adders () =
+  let r = Ssta_circuit.Adder.ripple ~bits:32 () in
+  let c = Ssta_circuit.Adder.carry_select ~bits:32 ~block:8 () in
+  N.validate r;
+  N.validate c;
+  Alcotest.(check int) "ripple pis" 65 (N.n_pis r);
+  Alcotest.(check int) "ripple pos" 33 (N.n_pos r);
+  Alcotest.(check int) "csel pos" 33 (N.n_pos c);
+  (* The carry-select trade: shallower (32 -> 18 levels) but ~3x larger. *)
+  Alcotest.(check bool) "csel shallower" true (N.depth c < N.depth r);
+  Alcotest.(check bool) "csel larger" true (N.n_gates c > N.n_gates r)
+
+let test_random_logic_determinism () =
+  let spec =
+    {
+      Ssta_circuit.Random_logic.name = "r";
+      n_pi = 20;
+      n_po = 8;
+      n_gates = 200;
+      seed = 99;
+      locality = 0.8;
+    }
+  in
+  let a = Ssta_circuit.Random_logic.make spec in
+  let b = Ssta_circuit.Random_logic.make spec in
+  Alcotest.(check int) "same gates" (N.n_gates a) (N.n_gates b);
+  Alcotest.(check int) "same edges" (N.n_edges a) (N.n_edges b);
+  let c = Ssta_circuit.Random_logic.make { spec with seed = 100 } in
+  Alcotest.(check bool)
+    "different seed differs" true
+    (N.n_edges a <> N.n_edges c || N.depth a <> N.depth c)
+
+let test_random_logic_counts () =
+  let spec =
+    {
+      Ssta_circuit.Random_logic.name = "r";
+      n_pi = 30;
+      n_po = 10;
+      n_gates = 300;
+      seed = 7;
+      locality = 0.8;
+    }
+  in
+  let nl = Ssta_circuit.Random_logic.make spec in
+  N.validate nl;
+  Alcotest.(check int) "pis" 30 (N.n_pis nl);
+  Alcotest.(check int) "pos" 10 (N.n_pos nl);
+  Alcotest.(check bool)
+    "gates close to target" true
+    (abs (N.n_gates nl - 300) < 30);
+  (* Observability: every gate reaches some output. *)
+  let seen = reaches_output nl in
+  for g = 0 to N.n_gates nl - 1 do
+    if not seen.(N.n_pis nl + g) then
+      Alcotest.fail (Printf.sprintf "gate %d unobservable" g)
+  done
+
+let test_iscas_suite () =
+  List.iter
+    (fun (name, nl) ->
+      N.validate nl;
+      let paper = Iscas.paper_row name in
+      let vo = N.n_nodes nl and eo = N.n_edges nl in
+      let dev a b = abs_float (float_of_int a /. float_of_int b -. 1.0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s vertices within 15%% (got %d, paper %d)" name vo
+           paper.Iscas.vo)
+        true
+        (dev vo paper.Iscas.vo < 0.15);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s edges within 20%% (got %d, paper %d)" name eo
+           paper.Iscas.eo)
+        true
+        (dev eo paper.Iscas.eo < 0.20))
+    (Iscas.all ())
+
+let test_iscas_unknown () =
+  Alcotest.(check bool)
+    "unknown circuit" true
+    (try
+       ignore (Iscas.build "c17");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_placement_in_die () =
+  let nl = Iscas.build "c880" in
+  let p = Placement.place nl in
+  Array.iter
+    (fun pos ->
+      Alcotest.(check bool) "inside die" true (Tile.contains p.Placement.die pos))
+    p.Placement.positions
+
+let test_placement_budget () =
+  let nl = Iscas.build "c1908" in
+  let p = Placement.place nl in
+  let pitch =
+    Grid.pitch_for_cell_budget ~n_cells:(N.n_gates nl) ~cells_per_tile:100
+      ~cell_pitch:1.0
+  in
+  let die = p.Placement.die in
+  let grid =
+    Grid.make ~x0:die.Tile.x0 ~y0:die.Tile.y0 ~width:(Tile.width die)
+      ~height:(Tile.height die) ~pitch
+  in
+  let counts = Placement.cells_per_tile p grid in
+  Array.iteri
+    (fun i c ->
+      if c > 100 then
+        Alcotest.fail (Printf.sprintf "tile %d holds %d cells (> 100)" i c))
+    counts;
+  Alcotest.(check int)
+    "all cells placed" (N.n_gates nl)
+    (Array.fold_left ( + ) 0 counts)
+
+let test_placement_levelized () =
+  (* Data should flow left to right: the average x of the last-level gates
+     exceeds the average x of the first-level gates. *)
+  let nl = Iscas.build "c1355" in
+  let p = Placement.place nl in
+  let levels = N.levels nl in
+  let depth = N.depth nl in
+  let avg_x pred =
+    let sum = ref 0.0 and n = ref 0 in
+    Array.iteri
+      (fun g (x, _) ->
+        if pred levels.(N.n_pis nl + g) then begin
+          sum := !sum +. x;
+          incr n
+        end)
+      p.Placement.positions;
+    !sum /. float_of_int (max 1 !n)
+  in
+  let early = avg_x (fun l -> l <= 2) in
+  let late = avg_x (fun l -> l >= depth - 1) in
+  Alcotest.(check bool) "levelized flow" true (late > early)
+
+let suites =
+  [
+    ( "circuit.netlist",
+      [
+        Alcotest.test_case "builder basics" `Quick test_builder_basic;
+        Alcotest.test_case "builder arity check" `Quick
+          test_builder_rejects_bad_arity;
+        Alcotest.test_case "builder forward ref" `Quick
+          test_builder_rejects_forward_ref;
+        Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+      ] );
+    ( "circuit.generators",
+      [
+        Alcotest.test_case "multiplier c6288 scale" `Quick
+          test_multiplier_structure;
+        Alcotest.test_case "multiplier scaling" `Quick test_multiplier_scales;
+        Alcotest.test_case "multiplier depth" `Quick
+          test_multiplier_depth_grows;
+        Alcotest.test_case "ecc c499/c1355" `Quick test_ecc_structure;
+        Alcotest.test_case "priority c432" `Quick test_priority_structure;
+        Alcotest.test_case "adders" `Quick test_adders;
+        Alcotest.test_case "random logic determinism" `Quick
+          test_random_logic_determinism;
+        Alcotest.test_case "random logic counts" `Quick
+          test_random_logic_counts;
+        Alcotest.test_case "iscas suite sizes" `Slow test_iscas_suite;
+        Alcotest.test_case "iscas unknown" `Quick test_iscas_unknown;
+      ] );
+    ( "circuit.placement",
+      [
+        Alcotest.test_case "positions inside die" `Quick test_placement_in_die;
+        Alcotest.test_case "cell budget per tile" `Quick test_placement_budget;
+        Alcotest.test_case "levelized flow" `Quick test_placement_levelized;
+      ] );
+  ]

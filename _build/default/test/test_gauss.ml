@@ -1,0 +1,257 @@
+(* Tests for the Gaussian math substrate: distribution functions, Clark's
+   max moments, the deterministic RNG and sample statistics. *)
+
+module Normal = Ssta_gauss.Normal
+module Rng = Ssta_gauss.Rng
+module Stats = Ssta_gauss.Stats
+
+let close ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Normal distribution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_erf_known () =
+  close "erf 0" 0.0 (Normal.erf 0.0);
+  close "erf 1" 0.8427007929 (Normal.erf 1.0);
+  close "erf 2" 0.9953222650 (Normal.erf 2.0);
+  close "erf -1" (-0.8427007929) (Normal.erf (-1.0));
+  close "erf 0.5" 0.5204998778 (Normal.erf 0.5)
+
+let test_erfc_tail () =
+  close ~tol:1e-10 "erfc 4" 1.541725790e-8 (Normal.erfc 4.0);
+  close "erfc 0" 1.0 (Normal.erfc 0.0);
+  close "erfc -2" (2.0 -. Normal.erfc 2.0) (Normal.erfc (-2.0))
+
+let test_cdf_known () =
+  close "cdf 0" 0.5 (Normal.cdf 0.0);
+  close "cdf 1" 0.8413447461 (Normal.cdf 1.0);
+  close "cdf -1" 0.1586552539 (Normal.cdf (-1.0));
+  close "cdf 3" 0.9986501020 (Normal.cdf 3.0);
+  close ~tol:1e-9 "cdf -6 tiny" 9.865876e-10 (Normal.cdf (-6.0))
+
+let test_pdf () =
+  close "pdf 0" 0.3989422804 (Normal.pdf 0.0);
+  close "pdf symmetric" (Normal.pdf 1.3) (Normal.pdf (-1.3));
+  (* pdf is the derivative of cdf *)
+  let h = 1e-5 in
+  let x = 0.7 in
+  close ~tol:1e-5 "pdf = cdf'"
+    ((Normal.cdf (x +. h) -. Normal.cdf (x -. h)) /. (2.0 *. h))
+    (Normal.pdf x)
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      close ~tol:1e-9 (Printf.sprintf "cdf(quantile %g)" p) p
+        (Normal.cdf (Normal.quantile p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ];
+  close "quantile 0.5" 0.0 (Normal.quantile 0.5);
+  Alcotest.check_raises "quantile 0 rejected"
+    (Invalid_argument "Normal.quantile: p must lie in (0, 1)") (fun () ->
+      ignore (Normal.quantile 0.0))
+
+let test_clark_independent () =
+  (* Max of two independent standard normals: mean 1/sqrt(pi),
+     variance 1 - 1/pi (classic closed form). *)
+  let m =
+    Normal.clark_max ~mean_a:0.0 ~var_a:1.0 ~mean_b:0.0 ~var_b:1.0 ~cov:0.0
+  in
+  close "tp half" 0.5 m.Normal.tightness;
+  close "mean 1/sqrt(pi)" (1.0 /. sqrt Normal.pi) m.Normal.mean;
+  close "var 1 - 1/pi" (1.0 -. (1.0 /. Normal.pi)) m.Normal.variance
+
+let test_clark_degenerate () =
+  (* Perfectly correlated equal-variance variables differ by a constant. *)
+  let m =
+    Normal.clark_max ~mean_a:3.0 ~var_a:4.0 ~mean_b:1.0 ~var_b:4.0 ~cov:4.0
+  in
+  close "degenerate tp" 1.0 m.Normal.tightness;
+  close "degenerate mean" 3.0 m.Normal.mean;
+  close "degenerate var" 4.0 m.Normal.variance;
+  let m' =
+    Normal.clark_max ~mean_a:1.0 ~var_a:4.0 ~mean_b:3.0 ~var_b:4.0 ~cov:4.0
+  in
+  close "degenerate other side" 3.0 m'.Normal.mean
+
+let test_clark_dominated () =
+  (* B far below A: max is essentially A. *)
+  let m =
+    Normal.clark_max ~mean_a:10.0 ~var_a:1.0 ~mean_b:0.0 ~var_b:1.0 ~cov:0.0
+  in
+  close ~tol:1e-6 "dominated tp" 1.0 m.Normal.tightness;
+  close ~tol:1e-4 "dominated mean" 10.0 m.Normal.mean;
+  close ~tol:1e-2 "dominated var" 1.0 m.Normal.variance
+
+let test_clark_vs_mc () =
+  (* Moment-match against a direct bivariate simulation. *)
+  let rng = Rng.create ~seed:2024 in
+  let n = 60_000 in
+  let mean_a = 1.0 and mean_b = 1.2 and sa = 0.8 and sb = 0.5 in
+  let rho = 0.6 in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to n do
+    let z1 = Rng.gaussian rng and z2 = Rng.gaussian rng in
+    let a = mean_a +. (sa *. z1) in
+    let b =
+      mean_b +. (sb *. ((rho *. z1) +. (sqrt (1.0 -. (rho *. rho)) *. z2)))
+    in
+    Stats.Welford.add acc (Float.max a b)
+  done;
+  let m =
+    Normal.clark_max ~mean_a ~var_a:(sa *. sa) ~mean_b ~var_b:(sb *. sb)
+      ~cov:(rho *. sa *. sb)
+  in
+  close ~tol:0.01 "clark mean vs mc" (Stats.Welford.mean acc) m.Normal.mean;
+  close ~tol:0.02 "clark std vs mc" (Stats.Welford.std acc)
+    (sqrt m.Normal.variance)
+
+let clark_qcheck =
+  QCheck.Test.make ~count:500 ~name:"clark max moments are sane"
+    QCheck.(
+      quad (float_range (-5.0) 5.0) (float_range 0.01 4.0)
+        (float_range (-5.0) 5.0) (float_range 0.01 4.0))
+    (fun (mean_a, var_a, mean_b, var_b) ->
+      (* A valid covariance bounded by the Cauchy-Schwarz limit. *)
+      let cov = 0.3 *. sqrt (var_a *. var_b) in
+      let m = Normal.clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov in
+      m.Normal.tightness >= 0.0
+      && m.Normal.tightness <= 1.0
+      && m.Normal.mean >= Float.max mean_a mean_b -. 1e-9
+      && m.Normal.variance >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create ~seed:8 in
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (Rng.bits64 (Rng.create ~seed:7) <> Rng.bits64 c)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform out of [0,1)"
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 5_000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to 50_000 do
+    Stats.Welford.add acc (Rng.gaussian rng)
+  done;
+  close ~tol:0.02 "gaussian mean" 0.0 (Stats.Welford.mean acc);
+  close ~tol:0.02 "gaussian std" 1.0 (Stats.Welford.std acc)
+
+let test_rng_split () =
+  let parent = Rng.create ~seed:13 in
+  let child = Rng.split parent in
+  let x = Rng.bits64 parent and y = Rng.bits64 child in
+  Alcotest.(check bool) "streams differ" true (x <> y)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  close "mean" 2.5 (Stats.mean xs);
+  close "variance" (5.0 /. 3.0) (Stats.variance xs);
+  close "std" (sqrt (5.0 /. 3.0)) (Stats.std xs)
+
+let test_stats_quantile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  close "q0" 1.0 (Stats.quantile xs 0.0);
+  close "q1" 4.0 (Stats.quantile xs 1.0);
+  close "median" 2.5 (Stats.quantile xs 0.5);
+  close "q25" 1.75 (Stats.quantile xs 0.25)
+
+let test_stats_histogram () =
+  let xs = [| 0.1; 0.2; 0.5; 0.9; 1.0 |] in
+  let h = Stats.histogram ~lo:0.0 ~hi:1.0 ~bins:2 xs in
+  Alcotest.(check (list int)) "bins" [ 2; 3 ] (Array.to_list h);
+  Alcotest.(check int)
+    "total preserved" (Array.length xs)
+    (Array.fold_left ( + ) 0 h)
+
+let test_stats_empirical_cdf () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let v, p = Stats.empirical_cdf xs in
+  Alcotest.(check (list (float 1e-12)))
+    "sorted" [ 1.0; 2.0; 3.0 ] (Array.to_list v);
+  close "last prob" 1.0 p.(2)
+
+let test_stats_ks () =
+  (* A large normal sample against its own CDF has a small KS distance. *)
+  let rng = Rng.create ~seed:17 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let d = Stats.ks_distance xs Normal.cdf in
+  Alcotest.(check bool)
+    (Printf.sprintf "ks small (%.4f)" d)
+    true (d < 0.015)
+
+let welford_qcheck =
+  QCheck.Test.make ~count:200 ~name:"welford matches direct formulas"
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range (-100.) 100.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let acc = Stats.Welford.create () in
+      Array.iter (Stats.Welford.add acc) xs;
+      abs_float (Stats.Welford.mean acc -. Stats.mean xs) < 1e-8
+      && abs_float (Stats.Welford.variance acc -. Stats.variance xs) < 1e-6)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "gauss.normal",
+      [
+        Alcotest.test_case "erf known values" `Quick test_erf_known;
+        Alcotest.test_case "erfc tails" `Quick test_erfc_tail;
+        Alcotest.test_case "cdf known values" `Quick test_cdf_known;
+        Alcotest.test_case "pdf" `Quick test_pdf;
+        Alcotest.test_case "quantile roundtrip" `Quick test_quantile_roundtrip;
+        Alcotest.test_case "clark independent" `Quick test_clark_independent;
+        Alcotest.test_case "clark degenerate" `Quick test_clark_degenerate;
+        Alcotest.test_case "clark dominated" `Quick test_clark_dominated;
+        Alcotest.test_case "clark vs simulation" `Slow test_clark_vs_mc;
+        q clark_qcheck;
+      ] );
+    ( "gauss.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+        Alcotest.test_case "split streams" `Quick test_rng_split;
+      ] );
+    ( "gauss.stats",
+      [
+        Alcotest.test_case "mean/variance" `Quick test_stats_basic;
+        Alcotest.test_case "quantiles" `Quick test_stats_quantile;
+        Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "empirical cdf" `Quick test_stats_empirical_cdf;
+        Alcotest.test_case "ks distance" `Slow test_stats_ks;
+        q welford_qcheck;
+      ] );
+  ]

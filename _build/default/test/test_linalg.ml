@@ -1,0 +1,221 @@
+(* Tests for the dense linear algebra substrate: the PCA pipeline here is
+   load-bearing for the paper's eqs. (2) and (19). *)
+
+module Vec = Ssta_linalg.Vec
+module Mat = Ssta_linalg.Mat
+module Cholesky = Ssta_linalg.Cholesky
+module Sym_eig = Ssta_linalg.Sym_eig
+module Pca = Ssta_linalg.Pca
+module Rng = Ssta_gauss.Rng
+
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let random_mat rng r c =
+  Mat.init r c (fun _ _ -> Rng.gaussian rng)
+
+let random_spd rng n =
+  (* A A^T + n * I is comfortably positive definite. *)
+  let a = random_mat rng n n in
+  Mat.add (Mat.mul a (Mat.transpose a)) (Mat.scale (float_of_int n) (Mat.identity n))
+
+(* ------------------------------------------------------------------ *)
+
+let test_vec_ops () =
+  close "dot" 32.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |]);
+  close "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 [| 1.0; 2.0 |] y;
+  close "axpy.0" 3.0 y.(0);
+  close "axpy.1" 5.0 y.(1);
+  let l = Vec.lerp 0.25 [| 4.0 |] [| 0.0 |] in
+  close "lerp" 1.0 l.(0);
+  Alcotest.check_raises "dot length mismatch"
+    (Invalid_argument "Vec.dot: length mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.mul a b in
+  close "c00" 19.0 (Mat.get c 0 0);
+  close "c01" 22.0 (Mat.get c 0 1);
+  close "c10" 43.0 (Mat.get c 1 0);
+  close "c11" 50.0 (Mat.get c 1 1);
+  let i = Mat.identity 2 in
+  close "a*I = a" 0.0 (Mat.max_abs_diff (Mat.mul a i) a)
+
+let test_mat_transpose () =
+  let rng = Rng.create ~seed:1 in
+  let a = random_mat rng 4 7 in
+  close "transpose involution" 0.0
+    (Mat.max_abs_diff (Mat.transpose (Mat.transpose a)) a)
+
+let test_mat_vec () =
+  let rng = Rng.create ~seed:2 in
+  let a = random_mat rng 5 3 in
+  let x = Array.init 3 (fun _ -> Rng.gaussian rng) in
+  let y1 = Mat.mul_vec a x in
+  (* Compare against multiplication with a 1-column matrix. *)
+  let xcol = Mat.init 3 1 (fun i _ -> x.(i)) in
+  let y2 = Mat.mul a xcol in
+  Array.iteri (fun i v -> close ~tol:1e-12 "mul_vec" (Mat.get y2 i 0) v) y1;
+  let z1 = Mat.tmul_vec a (Array.init 5 (fun i -> float_of_int i)) in
+  let z2 = Mat.mul_vec (Mat.transpose a) (Array.init 5 (fun i -> float_of_int i)) in
+  Array.iteri (fun i v -> close ~tol:1e-12 "tmul_vec" z2.(i) v) z1
+
+let test_cholesky_roundtrip () =
+  let rng = Rng.create ~seed:3 in
+  let c = random_spd rng 8 in
+  let l = Cholesky.factor c in
+  close ~tol:1e-8 "l l^T = c" 0.0
+    (Mat.max_abs_diff (Mat.mul l (Mat.transpose l)) c)
+
+let test_cholesky_solve () =
+  let l = Mat.of_arrays [| [| 2.0; 0.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Cholesky.solve_lower l [| 4.0; 11.0 |] in
+  close "x0" 2.0 x.(0);
+  close "x1" 3.0 x.(1)
+
+let test_cholesky_rejects_indefinite () =
+  let c = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  (* Eigenvalues 3 and -1: not repairable by tiny jitter. *)
+  Alcotest.(check bool)
+    "indefinite rejected" true
+    (try
+       ignore (Cholesky.factor ~jitter:1e-12 c);
+       false
+     with Failure _ -> true)
+
+let test_eig_diagonal () =
+  let c = Mat.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let { Sym_eig.values; vectors } = Sym_eig.decompose c in
+  close "lambda0" 3.0 values.(0);
+  close "lambda1" 1.0 values.(1);
+  close "v00" 1.0 (abs_float (Mat.get vectors 0 0))
+
+let test_eig_known_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let c = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let { Sym_eig.values; _ } = Sym_eig.decompose c in
+  close ~tol:1e-10 "lambda0" 3.0 values.(0);
+  close ~tol:1e-10 "lambda1" 1.0 values.(1)
+
+let test_eig_reconstruct () =
+  let rng = Rng.create ~seed:4 in
+  let a = random_mat rng 12 12 in
+  let c = Mat.add a (Mat.transpose a) in
+  let d = Sym_eig.decompose c in
+  close ~tol:1e-7 "reconstruction" 0.0
+    (Mat.max_abs_diff (Sym_eig.reconstruct d) c)
+
+let test_eig_orthonormal () =
+  let rng = Rng.create ~seed:5 in
+  let c = random_spd rng 10 in
+  let { Sym_eig.vectors; values } = Sym_eig.decompose c in
+  close ~tol:1e-8 "V^T V = I" 0.0
+    (Mat.max_abs_diff (Mat.mul (Mat.transpose vectors) vectors) (Mat.identity 10));
+  (* Sorted decreasing. *)
+  for i = 0 to 8 do
+    Alcotest.(check bool) "sorted" true (values.(i) >= values.(i + 1))
+  done
+
+let test_pca_covariance () =
+  let rng = Rng.create ~seed:6 in
+  let c = random_spd rng 9 in
+  let p = Pca.of_covariance c in
+  close ~tol:1e-7 "factor factor^T = C" 0.0
+    (Mat.max_abs_diff (Pca.covariance p) c)
+
+let test_pca_row_variance () =
+  let rng = Rng.create ~seed:7 in
+  let c = random_spd rng 6 in
+  let p = Pca.of_covariance c in
+  for i = 0 to 5 do
+    let row = Pca.coeff_row p i in
+    close ~tol:1e-7
+      (Printf.sprintf "row %d variance = C_ii" i)
+      (Mat.get c i i) (Vec.sum_sq row)
+  done
+
+let test_pca_pinv () =
+  let rng = Rng.create ~seed:8 in
+  let c = random_spd rng 7 in
+  let p = Pca.of_covariance c in
+  (* pinv_factor * factor should be the identity on retained components. *)
+  let prod = Mat.mul p.Pca.pinv_factor p.Pca.factor in
+  close ~tol:1e-7 "pinv . factor = I" 0.0
+    (Mat.max_abs_diff prod (Mat.identity p.Pca.retained))
+
+let test_pca_sample_covariance () =
+  (* Statistical: the sampled vectors have covariance close to C. *)
+  let c =
+    Mat.of_arrays
+      [| [| 1.0; 0.6; 0.2 |]; [| 0.6; 1.0; 0.5 |]; [| 0.2; 0.5; 1.0 |] |]
+  in
+  let p = Pca.of_covariance c in
+  let rng = Rng.create ~seed:9 in
+  let n = 40_000 in
+  let acc = Mat.make 3 3 in
+  for _ = 1 to n do
+    let x = Pca.sample p rng in
+    for i = 0 to 2 do
+      for j = 0 to 2 do
+        Mat.set acc i j (Mat.get acc i j +. (x.(i) *. x.(j)))
+      done
+    done
+  done;
+  let emp = Mat.scale (1.0 /. float_of_int n) acc in
+  Alcotest.(check bool)
+    "sample covariance close" true
+    (Mat.max_abs_diff emp c < 0.03)
+
+let test_pca_clamps_negative () =
+  (* A slightly indefinite matrix must be repaired, not propagated. *)
+  let c =
+    Mat.of_arrays [| [| 1.0; 1.0 +. 1e-6 |]; [| 1.0 +. 1e-6; 1.0 |] |]
+  in
+  let p = Pca.of_covariance c in
+  Alcotest.(check bool) "all eigenvalues >= 0" true
+    (Array.for_all (fun v -> v >= 0.0) p.Pca.values);
+  Alcotest.(check int) "one retained" 1 p.Pca.retained
+
+let mat_mul_assoc_qcheck =
+  QCheck.Test.make ~count:100 ~name:"matrix multiplication associates"
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let rng = Rng.create ~seed:(n + 100) in
+      let a = random_mat rng n n
+      and b = random_mat rng n n
+      and c = random_mat rng n n in
+      Mat.max_abs_diff (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c))
+      < 1e-9)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "linalg",
+      [
+        Alcotest.test_case "vector ops" `Quick test_vec_ops;
+        Alcotest.test_case "matrix multiply" `Quick test_mat_mul;
+        Alcotest.test_case "transpose involution" `Quick test_mat_transpose;
+        Alcotest.test_case "matrix-vector" `Quick test_mat_vec;
+        Alcotest.test_case "cholesky roundtrip" `Quick test_cholesky_roundtrip;
+        Alcotest.test_case "cholesky solve" `Quick test_cholesky_solve;
+        Alcotest.test_case "cholesky indefinite" `Quick
+          test_cholesky_rejects_indefinite;
+        Alcotest.test_case "eig diagonal" `Quick test_eig_diagonal;
+        Alcotest.test_case "eig known 2x2" `Quick test_eig_known_2x2;
+        Alcotest.test_case "eig reconstruct" `Quick test_eig_reconstruct;
+        Alcotest.test_case "eig orthonormal" `Quick test_eig_orthonormal;
+        Alcotest.test_case "pca covariance" `Quick test_pca_covariance;
+        Alcotest.test_case "pca row variance" `Quick test_pca_row_variance;
+        Alcotest.test_case "pca pseudo-inverse" `Quick test_pca_pinv;
+        Alcotest.test_case "pca sample covariance" `Slow
+          test_pca_sample_covariance;
+        Alcotest.test_case "pca clamps negatives" `Quick
+          test_pca_clamps_negative;
+        q mat_mul_assoc_qcheck;
+      ] );
+  ]

@@ -1,0 +1,22 @@
+(* Test entry point: one alcotest suite per library plus integration tests
+   that exercise the paper's experiments end-to-end at reduced scale. *)
+
+let () =
+  Alcotest.run "hier_ssta"
+    (List.concat
+       [
+         Test_gauss.suites;
+         Test_linalg.suites;
+         Test_canonical.suites;
+         Test_variation.suites;
+         Test_cell.suites;
+         Test_circuit.suites;
+         Test_bench_format.suites;
+         Test_timing.suites;
+         Test_mc.suites;
+         Test_model.suites;
+         Test_hier.suites;
+         Test_extensions.suites;
+         Test_property.suites;
+         Test_integration.suites;
+       ])

@@ -1,0 +1,237 @@
+(* Tests for the variation model: correlation function, die partition and
+   the PCA basis assembling canonical coefficients (paper Sections II, VI). *)
+
+module Correlation = Ssta_variation.Correlation
+module Tile = Ssta_variation.Tile
+module Grid = Ssta_variation.Grid
+module Basis = Ssta_variation.Basis
+module Param = Ssta_variation.Param
+module Form = Ssta_canonical.Form
+module Mat = Ssta_linalg.Mat
+module Rng = Ssta_gauss.Rng
+module Stats = Ssta_gauss.Stats
+
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let corr = Correlation.default
+
+(* ------------------------------------------------------------------ *)
+(* Correlation model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_corr_paper_values () =
+  (* Paper Section VI: neighbor correlation 0.92, decaying to 0.42 at
+     distance 15, only global (0.42) beyond. *)
+  close "rho(1)" 0.92 (Correlation.total_correlation corr 1.0);
+  close ~tol:1e-6 "rho(15)" 0.42 (Correlation.total_correlation corr 15.0);
+  close "rho(16)" 0.42 (Correlation.total_correlation corr 16.0);
+  close "rho(100)" 0.42 (Correlation.total_correlation corr 100.0);
+  close "variances sum to 1" 1.0
+    (corr.Correlation.var_global +. corr.Correlation.var_local
+   +. corr.Correlation.var_random)
+
+let test_corr_monotone () =
+  let prev = ref 2.0 in
+  for d = 0 to 40 do
+    let v = Correlation.total_correlation corr (float_of_int d) in
+    Alcotest.(check bool) (Printf.sprintf "monotone at %d" d) true (v <= !prev);
+    prev := v
+  done
+
+let test_corr_local () =
+  close "local var at 0" corr.Correlation.var_local
+    (Correlation.local_covariance corr 0.0);
+  close ~tol:1e-9 "local cov at 1" (0.92 -. 0.42)
+    (Correlation.local_covariance corr 1.0);
+  close ~tol:1e-6 "local cov at 15" 0.0 (Correlation.local_covariance corr 15.0);
+  close "local cov beyond" 0.0 (Correlation.local_covariance corr 20.0);
+  close "normalized at 0" 1.0 (Correlation.normalized_local_correlation corr 0.0)
+
+let test_corr_validation () =
+  Alcotest.(check bool)
+    "bad rho ordering rejected" true
+    (try
+       ignore (Correlation.make ~rho_near:0.4 ~rho_far:0.5 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "oversized random rejected" true
+    (try
+       ignore (Correlation.make ~var_random:0.7 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Tiles and grids                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tile_basics () =
+  let t = Tile.make ~x0:0.0 ~y0:0.0 ~x1:4.0 ~y1:2.0 in
+  close "area" 8.0 (Tile.area t);
+  let cx, cy = Tile.center t in
+  close "cx" 2.0 cx;
+  close "cy" 1.0 cy;
+  Alcotest.(check bool) "contains" true (Tile.contains t (3.9, 1.9));
+  Alcotest.(check bool) "half open" false (Tile.contains t (4.0, 1.0));
+  let t2 = Tile.translate t ~dx:10.0 ~dy:0.0 in
+  close "distance" 10.0 (Tile.center_distance t t2);
+  Alcotest.(check bool) "no overlap" false (Tile.overlaps t t2);
+  Alcotest.(check bool) "self overlap" true (Tile.overlaps t t)
+
+let test_grid_cover () =
+  let g = Grid.make ~x0:0.0 ~y0:0.0 ~width:25.0 ~height:17.0 ~pitch:10.0 in
+  Alcotest.(check int) "tile count" (3 * 2) (Grid.n_tiles g);
+  (* Every point belongs to the tile that contains it. *)
+  let rng = Rng.create ~seed:42 in
+  for _ = 1 to 500 do
+    let x = Rng.uniform rng *. 25.0 and y = Rng.uniform rng *. 17.0 in
+    let i = Grid.index_of_point g (x, y) in
+    Alcotest.(check bool) "owning tile" true
+      (Tile.contains g.Grid.tiles.(i) (x, y))
+  done;
+  Alcotest.(check bool)
+    "outside rejected" true
+    (try
+       ignore (Grid.index_of_point g (30.0, 1.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_grid_clipping () =
+  let g = Grid.make ~x0:0.0 ~y0:0.0 ~width:25.0 ~height:17.0 ~pitch:10.0 in
+  (* The last column/row tiles are clipped to the die boundary. *)
+  let last = g.Grid.tiles.(Grid.n_tiles g - 1) in
+  close "clip x" 25.0 last.Tile.x1;
+  close "clip y" 17.0 last.Tile.y1
+
+let test_pitch_budget () =
+  let pitch = Grid.pitch_for_cell_budget ~n_cells:500 ~cells_per_tile:100
+      ~cell_pitch:1.0 in
+  close "pitch 10" 10.0 pitch
+
+(* ------------------------------------------------------------------ *)
+(* Basis                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_basis ?(nx = 3) ?(ny = 3) () =
+  let g =
+    Grid.make ~x0:0.0 ~y0:0.0
+      ~width:(10.0 *. float_of_int nx)
+      ~height:(10.0 *. float_of_int ny)
+      ~pitch:10.0
+  in
+  Basis.make ~n_params:(Param.count Param.defaults) ~corr ~pitch:10.0
+    g.Grid.tiles
+
+let test_basis_dims () =
+  let b = make_basis () in
+  Alcotest.(check int) "tiles" 9 (Basis.n_tiles b);
+  Alcotest.(check int) "globals" 3 b.Basis.dims.Form.n_globals;
+  Alcotest.(check int) "pcs" 27 b.Basis.dims.Form.n_pcs
+
+let test_delay_form_variance () =
+  let b = make_basis () in
+  let sens = [| 0.157; 0.053; 0.044 |] in
+  let nominal = 100.0 in
+  let f = Basis.delay_form b ~nominal ~tile:4 ~sens ~extra_random_sigma:15.0 in
+  close "mean is nominal" nominal f.Form.mean;
+  (* Total variance: nominal^2 * sum_k s_k^2 * (vg + vl + vr) + load^2,
+     as long as PCA reproduces unit tile variance (eigenvalue clamping can
+     only remove a tiny amount). *)
+  let s2 = Array.fold_left (fun acc s -> acc +. (s *. s)) 0.0 sens in
+  let expected = (nominal *. nominal *. s2) +. (15.0 *. 15.0) in
+  (* Tolerance covers the documented PCA eigenvalue clamping of the
+     truncated correlation matrix (a few tenths of a percent). *)
+  close ~tol:(5e-3 *. expected) "variance decomposition" expected
+    (Form.variance f)
+
+let test_delay_form_correlation_by_distance () =
+  (* Two same-sensitivity delays: nearby tiles correlate more than far
+     tiles, and the analytic correlation matches the correlation model. *)
+  let nx = 20 in
+  let b = make_basis ~nx ~ny:1 () in
+  let sens = [| 0.157; 0.053; 0.044 |] in
+  let f0 = Basis.delay_form b ~nominal:100.0 ~tile:0 ~sens ~extra_random_sigma:0.0 in
+  let f1 = Basis.delay_form b ~nominal:100.0 ~tile:1 ~sens ~extra_random_sigma:0.0 in
+  let f15 = Basis.delay_form b ~nominal:100.0 ~tile:15 ~sens ~extra_random_sigma:0.0 in
+  let f19 = Basis.delay_form b ~nominal:100.0 ~tile:19 ~sens ~extra_random_sigma:0.0 in
+  let corr_of a b' = Form.covariance a b' /. (Form.std a *. Form.std b') in
+  (* With identical sensitivities the nominal and sensitivity factors cancel
+     and the form correlation at tile distance d >= 1 is exactly the total
+     parameter correlation rho(d) (globals shared, locals by distance,
+     randoms independent and counted in both variances). *)
+  let expected d = Correlation.total_correlation corr d in
+  close ~tol:0.02 "corr at d=1" (expected 1.0) (corr_of f0 f1);
+  close ~tol:0.02 "corr at d=15" (expected 15.0) (corr_of f0 f15);
+  close ~tol:0.02 "corr at d=19" (expected 19.0) (corr_of f0 f19);
+  Alcotest.(check bool) "monotone" true (corr_of f0 f1 > corr_of f0 f15)
+
+let test_sampled_fields_covariance () =
+  let b = make_basis ~nx:4 ~ny:1 () in
+  let rng = Rng.create ~seed:5 in
+  let n = 30_000 in
+  let acc01 = ref 0.0 and acc03 = ref 0.0 and var0 = ref 0.0 in
+  for _ = 1 to n do
+    let fields = Basis.sample_local_fields b rng in
+    let w = fields.(0) in
+    acc01 := !acc01 +. (w.(0) *. w.(1));
+    acc03 := !acc03 +. (w.(0) *. w.(3));
+    var0 := !var0 +. (w.(0) *. w.(0))
+  done;
+  let n = float_of_int n in
+  close ~tol:0.03 "field var" 1.0 (!var0 /. n);
+  close ~tol:0.03 "field cov d=1"
+    (Correlation.normalized_local_correlation corr 1.0)
+    (!acc01 /. n);
+  close ~tol:0.03 "field cov d=3"
+    (Correlation.normalized_local_correlation corr 3.0)
+    (!acc03 /. n)
+
+let test_basis_local_cov_matrix () =
+  let b = make_basis ~nx:2 ~ny:2 () in
+  let c = Basis.local_covariance_matrix b in
+  Alcotest.(check bool) "symmetric" true (Mat.is_symmetric c);
+  close "unit diagonal" 1.0 (Mat.get c 0 0);
+  (* Neighbors at distance 1, diagonal at sqrt 2. *)
+  close ~tol:1e-9 "neighbor entry"
+    (Correlation.normalized_local_correlation corr 1.0)
+    (Mat.get c 0 1);
+  close ~tol:1e-9 "diagonal entry"
+    (Correlation.normalized_local_correlation corr (sqrt 2.0))
+    (Mat.get c 0 3)
+
+let test_tile_of_point () =
+  let b = make_basis () in
+  Alcotest.(check int) "origin tile" 0 (Basis.tile_of_point b (1.0, 1.0));
+  Alcotest.(check int) "last tile" 8 (Basis.tile_of_point b (25.0, 25.0))
+
+let suites =
+  [
+    ( "variation.correlation",
+      [
+        Alcotest.test_case "paper values" `Quick test_corr_paper_values;
+        Alcotest.test_case "monotone decay" `Quick test_corr_monotone;
+        Alcotest.test_case "local covariance" `Quick test_corr_local;
+        Alcotest.test_case "validation" `Quick test_corr_validation;
+      ] );
+    ( "variation.geometry",
+      [
+        Alcotest.test_case "tile basics" `Quick test_tile_basics;
+        Alcotest.test_case "grid covers die" `Quick test_grid_cover;
+        Alcotest.test_case "grid clipping" `Quick test_grid_clipping;
+        Alcotest.test_case "pitch for budget" `Quick test_pitch_budget;
+      ] );
+    ( "variation.basis",
+      [
+        Alcotest.test_case "dimensions" `Quick test_basis_dims;
+        Alcotest.test_case "delay form variance" `Quick
+          test_delay_form_variance;
+        Alcotest.test_case "correlation by distance" `Quick
+          test_delay_form_correlation_by_distance;
+        Alcotest.test_case "sampled field covariance" `Slow
+          test_sampled_fields_covariance;
+        Alcotest.test_case "local covariance matrix" `Quick
+          test_basis_local_cov_matrix;
+        Alcotest.test_case "tile of point" `Quick test_tile_of_point;
+      ] );
+  ]
