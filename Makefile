@@ -1,0 +1,28 @@
+DUNE ?= dune
+
+.PHONY: all build test bench bench-smoke check fmt clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# Full benchmark sweep (slow: includes the c7552 extraction).
+bench: build
+	$(DUNE) exec bench/main.exe
+
+# Quick sanity pass over the kernel benchmarks: few repetitions, no
+# large circuits.  Used by `make check`.
+bench-smoke: build
+	BENCH_REPS=20 $(DUNE) exec bench/main.exe kernels criticality_c1908
+
+check: build test bench-smoke
+
+fmt:
+	$(DUNE) build @fmt --auto-promote
+
+clean:
+	$(DUNE) clean

@@ -1,18 +1,25 @@
 (* Benchmark harness regenerating every table and figure of the paper's
-   evaluation (Section VI), plus the ablations called out in DESIGN.md and a
-   Bechamel micro-benchmark suite for the runtime backbone.
+   evaluation (Section VI), plus the ablations called out in DESIGN.md, a
+   Bechamel micro-benchmark suite for the runtime backbone, and the kernel
+   benchmarks tracking the allocation-free propagation path.
 
    Usage:
      dune exec bench/main.exe                 # everything, default budgets
      dune exec bench/main.exe table1          # Table I only
      dune exec bench/main.exe fig6 fig7       # selected experiments
      MC_ITERS=10000 dune exec bench/main.exe  # paper-scale Monte Carlo
+     BENCH_JSON=out.json dune exec bench/main.exe kernels criticality_c1908
+                                              # machine-readable results
 
    Monte Carlo iteration counts default to a single-core-friendly budget;
-   the paper used 10,000 iterations (see EXPERIMENTS.md). *)
+   the paper used 10,000 iterations (see EXPERIMENTS.md).  BENCH_REPS
+   scales the repetition count of the kernel timing loops (for smoke
+   runs); BENCH_JSON=path writes every recorded headline metric as a flat
+   JSON object on exit. *)
 
 module H = Hier_ssta
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Build = Ssta_timing.Build
 module Stats = Ssta_gauss.Stats
 module Iscas = Ssta_circuit.Iscas
@@ -23,10 +30,52 @@ let mc_iters =
   | Some s -> (try int_of_string s with _ -> 1000)
   | None -> 1000
 
+let bench_reps =
+  match Sys.getenv_opt "BENCH_REPS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 200)
+  | None -> 200
+
 let delta = 0.05
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Machine-readable results: experiments record their headline numbers
+   here; with BENCH_JSON=path the accumulated metrics are written as one
+   flat JSON object when the run completes. *)
+let metrics : (string * float) list ref = ref []
+let record key value = metrics := (key, value) :: !metrics
+
+let write_metrics path =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let rec go = function
+    | [] -> ()
+    | (k, v) :: rest ->
+        (* %.17g round-trips doubles but prints inf/nan, which JSON
+           rejects; clamp those to null. *)
+        if Float.is_finite v then
+          Printf.fprintf oc "  %S: %.17g%s\n" k v
+            (if rest = [] then "" else ",")
+        else
+          Printf.fprintf oc "  %S: null%s\n" k (if rest = [] then "" else ",");
+        go rest
+  in
+  go (List.rev !metrics);
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d metrics to %s\n" (List.length !metrics) path
+
+(* Mean wall-clock seconds and allocated bytes per call of [f]. *)
+let time_alloc reps f =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let a1 = Gc.allocated_bytes () in
+  ((t1 -. t0) /. float_of_int reps, (a1 -. a0) /. float_of_int reps)
 
 (* ------------------------------------------------------------------ *)
 (* Table I: results of timing model extraction                         *)
@@ -51,8 +100,14 @@ let table1_row name =
           | Some f when mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) ->
               let mm = mc.Ssta_mc.Allpairs_mc.means.(i).(j) in
               let ms = mc.Ssta_mc.Allpairs_mc.stds.(i).(j) in
-              merr := Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
-              verr := Float.max !verr (abs_float (Form.std f -. ms) /. ms)
+              (* A zero MC moment (e.g. a zero-delay feedthrough pair)
+                 would turn the relative error into inf/nan; such pairs
+                 carry no timing information, so they are skipped rather
+                 than allowed to poison the max. *)
+              if mm <> 0.0 then
+                merr := Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
+              if ms <> 0.0 then
+                verr := Float.max !verr (abs_float (Form.std f -. ms) /. ms)
           | _ -> ())
         row)
     io;
@@ -65,6 +120,11 @@ let table1_row name =
     stats.H.Timing_model.model_vertices (100.0 *. pe) (100.0 *. pv)
     (100.0 *. !merr) (100.0 *. !verr)
     stats.H.Timing_model.extraction_seconds paper.Iscas.eo paper.Iscas.vo;
+  record (Printf.sprintf "table1_%s_merr" name) !merr;
+  record (Printf.sprintf "table1_%s_verr" name) !verr;
+  record
+    (Printf.sprintf "table1_%s_extract_s" name)
+    stats.H.Timing_model.extraction_seconds;
   (pe, pv, !merr, !verr)
 
 let run_table1 () =
@@ -192,14 +252,24 @@ let run_ablation_delta () =
   header "Ablation: delta sweep on c1908 (size vs accuracy tradeoff)";
   let b = Build.characterize (Iscas.build "c1908") in
   let g = b.Build.graph in
-  (* Reference: full-graph SSTA IO delays. *)
+  (* Reference: full-graph SSTA IO delays, one exclusive forward sweep per
+     input through a single reused workspace (the same kernel path the
+     extraction itself runs on). *)
   let reference =
+    let forms = b.Build.forms in
+    let dims =
+      if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+      else Form.dims forms.(0)
+    in
+    let fbuf = Form_buf.of_forms dims forms in
+    let ws = H.Propagate.create_workspace () in
+    let source1 = [| 0 |] in
     Array.map
       (fun input ->
-        let arr =
-          H.Propagate.forward g ~forms:b.Build.forms ~sources:[| input |]
-        in
-        Array.map (fun out -> arr.(out)) g.Ssta_timing.Tgraph.outputs)
+        source1.(0) <- input;
+        H.Propagate.forward_into ws g ~forms:fbuf ~sources:source1;
+        Array.map (fun out -> H.Propagate.ws_form ws out)
+          g.Ssta_timing.Tgraph.outputs)
       g.Ssta_timing.Tgraph.inputs
   in
   Printf.printf "%-8s %5s %5s %5s %5s  %8s %8s  %6s\n" "delta" "Em" "Vm" "pe%"
@@ -215,12 +285,15 @@ let run_ablation_delta () =
             (fun j f ->
               match (f, reference.(i).(j)) with
               | Some f, Some r ->
-                  merr :=
-                    Float.max !merr
-                      (abs_float (f.Form.mean -. r.Form.mean) /. r.Form.mean);
-                  verr :=
-                    Float.max !verr
-                      (abs_float (Form.std f -. Form.std r) /. Form.std r)
+                  let rs = Form.std r in
+                  if r.Form.mean <> 0.0 then
+                    merr :=
+                      Float.max !merr
+                        (abs_float (f.Form.mean -. r.Form.mean)
+                        /. r.Form.mean);
+                  if rs <> 0.0 then
+                    verr :=
+                      Float.max !verr (abs_float (Form.std f -. rs) /. rs)
               | _ -> ())
             row)
         io;
@@ -287,10 +360,12 @@ let run_convergence () =
               | Some f when mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) ->
                   let mm = mc.Ssta_mc.Allpairs_mc.means.(i).(j) in
                   let ms = mc.Ssta_mc.Allpairs_mc.stds.(i).(j) in
-                  merr :=
-                    Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
-                  verr :=
-                    Float.max !verr (abs_float (Form.std f -. ms) /. ms)
+                  if mm <> 0.0 then
+                    merr :=
+                      Float.max !merr (abs_float (f.Form.mean -. mm) /. mm);
+                  if ms <> 0.0 then
+                    verr :=
+                      Float.max !verr (abs_float (Form.std f -. ms) /. ms)
               | _ -> ())
             row)
         io;
@@ -317,6 +392,90 @@ let run_ablation_corners () =
     [ "c432"; "c880"; "c1908"; "c6288" ]
 
 (* ------------------------------------------------------------------ *)
+(* Kernel benchmarks: the allocation-free propagation path             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure forward sweep (boxed Form.t per vertex, fresh arrays per call)
+   against the Form_buf kernel path through one reused workspace - the
+   pair of numbers behind the extraction speedup.  Both run the identical
+   float pipeline, so only representation and allocation differ. *)
+let run_kernels () =
+  header
+    (Printf.sprintf "Kernels: forward sweep, pure vs flat-buffer (c432, %d reps)"
+       bench_reps);
+  let b = Build.characterize (Iscas.build "c432") in
+  let g = b.Build.graph and forms = b.Build.forms in
+  let inputs = g.Ssta_timing.Tgraph.inputs in
+  let t_pure, a_pure =
+    time_alloc bench_reps (fun () -> ignore (H.Propagate.forward_all g ~forms))
+  in
+  let dims =
+    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims forms.(0)
+  in
+  let fbuf = Form_buf.of_forms dims forms in
+  let ws = H.Propagate.create_workspace () in
+  let t_kern, a_kern =
+    time_alloc bench_reps (fun () ->
+        H.Propagate.forward_into ws g ~forms:fbuf ~sources:inputs)
+  in
+  Printf.printf "%-24s %10s %14s\n" "" "us/sweep" "bytes/sweep";
+  Printf.printf "%-24s %10.1f %14.0f\n" "forward_all (pure)" (1e6 *. t_pure)
+    a_pure;
+  Printf.printf "%-24s %10.1f %14.0f\n" "forward_into (kernel)"
+    (1e6 *. t_kern) a_kern;
+  Printf.printf "speedup: %.2fx   allocation: %.0fx less\n" (t_pure /. t_kern)
+    (a_pure /. Float.max 1.0 a_kern);
+  record "kernels_forward_c432_pure_us" (1e6 *. t_pure);
+  record "kernels_forward_c432_pure_bytes" a_pure;
+  record "kernels_forward_c432_kernel_us" (1e6 *. t_kern);
+  record "kernels_forward_c432_kernel_bytes" a_kern;
+  record "kernels_forward_c432_speedup" (t_pure /. t_kern);
+  record "kernels_forward_c432_alloc_ratio" (a_pure /. Float.max 1.0 a_kern)
+
+(* ------------------------------------------------------------------ *)
+(* Criticality benchmark: full c1908 screen at the default delta       *)
+(* ------------------------------------------------------------------ *)
+
+let run_criticality_c1908 () =
+  header "Criticality: c1908 exhaustive pair screen (delta=0.05)";
+  let b = Build.characterize (Iscas.build "c1908") in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let cr = H.Criticality.compute ~delta b.Build.graph ~forms:b.Build.forms in
+  let dt = Unix.gettimeofday () -. t0 in
+  let da = Gc.allocated_bytes () -. a0 in
+  let per_screen = da /. float_of_int (max 1 cr.H.Criticality.screened_pairs) in
+  Printf.printf
+    "%.3f s, screened=%d exact=%d, %.1f MB allocated (%.1f bytes/screen)\n" dt
+    cr.H.Criticality.screened_pairs cr.H.Criticality.exact_evals (da /. 1e6)
+    per_screen;
+  record "criticality_c1908_s" dt;
+  record "criticality_c1908_screened" (float_of_int cr.H.Criticality.screened_pairs);
+  record "criticality_c1908_exact" (float_of_int cr.H.Criticality.exact_evals);
+  record "criticality_c1908_bytes" da;
+  record "criticality_c1908_bytes_per_screen" per_screen
+
+(* ------------------------------------------------------------------ *)
+(* Extraction benchmark: c7552, the largest ISCAS-85 circuit           *)
+(* ------------------------------------------------------------------ *)
+
+let run_extract_c7552 () =
+  header "Extraction: c7552 end-to-end timing model (delta=0.05)";
+  let b = Build.characterize (Iscas.build "c7552") in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let model = H.Extract.extract ~delta b in
+  let dt = Unix.gettimeofday () -. t0 in
+  let da = Gc.allocated_bytes () -. a0 in
+  let stats = model.H.Timing_model.stats in
+  Printf.printf "%.2f s, %.3f GB allocated (%d -> %d edges)\n" dt (da /. 1e9)
+    stats.H.Timing_model.original_edges stats.H.Timing_model.model_edges;
+  record "extract_c7552_s" dt;
+  record "extract_c7552_bytes" da;
+  record "extract_c7552_model_edges" (float_of_int stats.H.Timing_model.model_edges)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -327,12 +486,16 @@ let run_micro () =
   let rng = Ssta_gauss.Rng.create ~seed:1 in
   let mk () =
     Form.make ~mean:(Ssta_gauss.Rng.uniform rng *. 100.0)
-      ~globals:(Array.init 3 (fun _ -> Ssta_gauss.Rng.gaussian rng))
-      ~pcs:(Array.init 100 (fun _ -> Ssta_gauss.Rng.gaussian rng))
+      ~globals:
+        (Array.init dims.Form.n_globals (fun _ -> Ssta_gauss.Rng.gaussian rng))
+      ~pcs:(Array.init dims.Form.n_pcs (fun _ -> Ssta_gauss.Rng.gaussian rng))
       ~rand:(abs_float (Ssta_gauss.Rng.gaussian rng))
   in
   let fa = mk () and fb = mk () in
-  ignore dims;
+  (* Flat-buffer mirrors of the same two forms for the kernel ops. *)
+  let kbuf = Form_buf.of_forms dims [| fa; fb |] in
+  let kdst = Form_buf.of_forms dims [| fa |] in
+  let quad = Array.make Form_buf.quad_size 0.0 in
   let c432 = lazy (Build.characterize (Iscas.build "c432")) in
   let tests =
     [
@@ -342,10 +505,34 @@ let run_micro () =
         (Staged.stage (fun () -> ignore (Form.max2 fa fb)));
       Test.make ~name:"form_covariance_dim100"
         (Staged.stage (fun () -> ignore (Form.covariance fa fb)));
+      Test.make ~name:"buf_add_into_dim100"
+        (Staged.stage (fun () ->
+             Form_buf.add_into ~a:kbuf ~ia:0 ~b:kbuf ~ib:1 ~dst:kdst ~idst:0));
+      Test.make ~name:"buf_max2_into_dim100"
+        (Staged.stage (fun () ->
+             Form_buf.max2_into ~a:kbuf ~ia:0 ~b:kbuf ~ib:1 ~dst:kdst ~idst:0));
+      Test.make ~name:"buf_add_then_max_dim100"
+        (Staged.stage (fun () ->
+             Form_buf.add_then_max_into ~acc:kdst ~iacc:0 ~a:kbuf ~ia:0 ~b:kbuf
+               ~ib:1));
+      Test.make ~name:"buf_quad_stats_dim100"
+        (Staged.stage (fun () ->
+             Form_buf.quad_stats_into ~a:kbuf ~ia:0 ~e:kbuf ~ie:1 ~r:kbuf ~ir:0
+               ~m:kdst ~im:0 ~into:quad));
       Test.make ~name:"ssta_forward_c432"
         (Staged.stage (fun () ->
              let b = Lazy.force c432 in
              ignore (H.Propagate.forward_all b.Build.graph ~forms:b.Build.forms)));
+      Test.make ~name:"ssta_forward_into_c432"
+        (Staged.stage
+           (let b = Lazy.force c432 in
+            let g = b.Build.graph in
+            let bdims = Form.dims b.Build.forms.(0) in
+            let fbuf = Form_buf.of_forms bdims b.Build.forms in
+            let ws = H.Propagate.create_workspace () in
+            fun () ->
+              H.Propagate.forward_into ws g ~forms:fbuf
+                ~sources:g.Ssta_timing.Tgraph.inputs));
       Test.make ~name:"extract_c432"
         (Staged.stage (fun () ->
              ignore (H.Extract.extract ~delta (Lazy.force c432))));
@@ -394,7 +581,8 @@ let run_micro () =
     (fun name ols ->
       match Analyze.OLS.estimates ols with
       | Some (t :: _) ->
-          Printf.printf "%-28s %12.1f ns/run\n" name t
+          Printf.printf "%-28s %12.1f ns/run\n" name t;
+          record (name ^ "_ns") t
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
@@ -410,6 +598,9 @@ let experiments =
     ("ablation-corners", run_ablation_corners);
     ("convergence", run_convergence);
     ("micro", run_micro);
+    ("kernels", run_kernels);
+    ("criticality_c1908", run_criticality_c1908);
+    ("extract_c7552", run_extract_c7552);
   ]
 
 let () =
@@ -426,4 +617,7 @@ let () =
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  match Sys.getenv_opt "BENCH_JSON" with
+  | Some path -> write_metrics path
+  | None -> ()

@@ -1,0 +1,378 @@
+module Normal = Ssta_gauss.Normal
+
+(* Slot layout: mean | globals[ng] | pcs[np] | rand.  All kernels keep the
+   accumulation order of the pure Form operations (globals sum, then PCs
+   sum, then the random part) so results are bit-identical to Form.add /
+   Form.max2 / Form.variance / Form.covariance, not merely close. *)
+
+type t = {
+  dims : Form.dims;
+  stride : int;
+  n : int;
+  data : float array;
+}
+
+let create dims n =
+  let stride = dims.Form.n_globals + dims.Form.n_pcs + 2 in
+  { dims; stride; n; data = Array.make (max 1 (n * stride)) 0.0 }
+
+let length t = t.n
+let dims t = t.dims
+let stride t = t.stride
+
+let check_slot t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Form_buf.%s: slot %d out of range [0, %d)" name i t.n)
+
+let clear_slot t i =
+  check_slot t i "clear_slot";
+  Array.fill t.data (i * t.stride) t.stride 0.0
+
+let set t i f =
+  check_slot t i "set";
+  let ng = t.dims.Form.n_globals and np = t.dims.Form.n_pcs in
+  if Array.length f.Form.globals <> ng || Array.length f.Form.pcs <> np then
+    invalid_arg "Form_buf.set: form dims mismatch";
+  let off = i * t.stride in
+  t.data.(off) <- f.Form.mean;
+  Array.blit f.Form.globals 0 t.data (off + 1) ng;
+  Array.blit f.Form.pcs 0 t.data (off + 1 + ng) np;
+  t.data.(off + t.stride - 1) <- f.Form.rand
+
+let get t i =
+  check_slot t i "get";
+  let ng = t.dims.Form.n_globals and np = t.dims.Form.n_pcs in
+  let off = i * t.stride in
+  {
+    Form.mean = t.data.(off);
+    globals = Array.sub t.data (off + 1) ng;
+    pcs = Array.sub t.data (off + 1 + ng) np;
+    rand = t.data.(off + t.stride - 1);
+  }
+
+let of_forms dims forms =
+  let t = create dims (Array.length forms) in
+  Array.iteri (fun i f -> set t i f) forms;
+  t
+
+(* Field-wise ints rather than a structural record compare: this guard sits
+   on every kernel call, and caml_compare is a C call the loops can feel. *)
+let check_dims a b name =
+  if
+    a.dims.Form.n_globals <> b.dims.Form.n_globals
+    || a.dims.Form.n_pcs <> b.dims.Form.n_pcs
+  then invalid_arg (Printf.sprintf "Form_buf.%s: dims mismatch" name)
+
+let blit src i dst j =
+  check_slot src i "blit";
+  check_slot dst j "blit";
+  check_dims src dst "blit";
+  Array.blit src.data (i * src.stride) dst.data (j * dst.stride) src.stride
+
+let mean t i = Array.unsafe_get t.data (i * t.stride)
+let rand_coeff t i = Array.unsafe_get t.data ((i * t.stride) + t.stride - 1)
+
+(* Sum of squares over [lo, lo+len), serial accumulation like Vec.sum_sq. *)
+let sum_sq_range d lo len =
+  let acc = ref 0.0 in
+  for k = lo to lo + len - 1 do
+    let v = Array.unsafe_get d k in
+    acc := !acc +. (v *. v)
+  done;
+  !acc
+
+let dot_range da la db lb len =
+  let acc = ref 0.0 in
+  for k = 0 to len - 1 do
+    acc :=
+      !acc +. (Array.unsafe_get da (la + k) *. Array.unsafe_get db (lb + k))
+  done;
+  !acc
+
+let variance t i =
+  let off = i * t.stride in
+  let ng = t.dims.Form.n_globals and np = t.dims.Form.n_pcs in
+  let g = sum_sq_range t.data (off + 1) ng in
+  let p = sum_sq_range t.data (off + 1 + ng) np in
+  let r = Array.unsafe_get t.data (off + t.stride - 1) in
+  g +. p +. (r *. r)
+
+let std t i = sqrt (variance t i)
+
+let covariance a ia b ib =
+  check_dims a b "covariance";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let oa = ia * a.stride and ob = ib * b.stride in
+  let g = dot_range a.data (oa + 1) b.data (ob + 1) ng in
+  let p = dot_range a.data (oa + 1 + ng) b.data (ob + 1 + ng) np in
+  g +. p
+
+(* Fused pairwise-moment gather for the criticality exact evaluation: one
+   strided pass over the four slots A (arrival), E (edge delay), R (required)
+   and M (pair maximum) accumulates every variance/covariance the tightness
+   computation needs, instead of nine separate probe calls re-reading the
+   same cache lines.  Results land in the caller's scratch array (indices
+   below) so the kernel allocates nothing.  Accumulation stays segmented
+   (globals, then PCs) to remain bit-identical to [variance]/[covariance]. *)
+
+let quad_var_a = 0
+let quad_var_r = 1
+let quad_cov_ae = 2
+let quad_cov_ar = 3
+let quad_cov_er = 4
+let quad_cov_am = 5
+let quad_cov_em = 6
+let quad_cov_rm = 7
+let quad_rand_a = 8
+let quad_rand_e = 9
+let quad_rand_r = 10
+let quad_rand_m = 11
+let quad_size = 12
+
+let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
+  check_dims a e "quad_stats_into";
+  check_dims a r "quad_stats_into";
+  check_dims a m "quad_stats_into";
+  if Array.length into < quad_size then
+    invalid_arg "Form_buf.quad_stats_into: scratch array shorter than 12";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let da = a.data and de = e.data and dr = r.data and dm = m.data in
+  let oa = ia * a.stride
+  and oe = ie * e.stride
+  and or_ = ir * r.stride
+  and om = im * m.stride in
+  (* Plain non-escaping refs in one function body: the compiler keeps them
+     unboxed in registers.  Wrapping the per-segment loop in a local closure
+     would capture the refs and re-box every float update, which costs more
+     than the twelve probe calls this kernel replaces.  The segment sums are
+     snapshotted between the two loops so the totals combine exactly like
+     [sum_sq globals +. sum_sq pcs] in the scalar probes. *)
+  let s_aa = ref 0.0
+  and s_rr = ref 0.0
+  and s_ae = ref 0.0
+  and s_ar = ref 0.0
+  and s_er = ref 0.0
+  and s_am = ref 0.0
+  and s_em = ref 0.0
+  and s_rm = ref 0.0 in
+  for k = 1 to ng do
+    let va = Array.unsafe_get da (oa + k)
+    and ve = Array.unsafe_get de (oe + k)
+    and vr = Array.unsafe_get dr (or_ + k)
+    and vm = Array.unsafe_get dm (om + k) in
+    s_aa := !s_aa +. (va *. va);
+    s_rr := !s_rr +. (vr *. vr);
+    s_ae := !s_ae +. (va *. ve);
+    s_ar := !s_ar +. (va *. vr);
+    s_er := !s_er +. (ve *. vr);
+    s_am := !s_am +. (va *. vm);
+    s_em := !s_em +. (ve *. vm);
+    s_rm := !s_rm +. (vr *. vm)
+  done;
+  let g_aa = !s_aa
+  and g_rr = !s_rr
+  and g_ae = !s_ae
+  and g_ar = !s_ar
+  and g_er = !s_er
+  and g_am = !s_am
+  and g_em = !s_em
+  and g_rm = !s_rm in
+  s_aa := 0.0;
+  s_rr := 0.0;
+  s_ae := 0.0;
+  s_ar := 0.0;
+  s_er := 0.0;
+  s_am := 0.0;
+  s_em := 0.0;
+  s_rm := 0.0;
+  for k = 1 + ng to ng + np do
+    let va = Array.unsafe_get da (oa + k)
+    and ve = Array.unsafe_get de (oe + k)
+    and vr = Array.unsafe_get dr (or_ + k)
+    and vm = Array.unsafe_get dm (om + k) in
+    s_aa := !s_aa +. (va *. va);
+    s_rr := !s_rr +. (vr *. vr);
+    s_ae := !s_ae +. (va *. ve);
+    s_ar := !s_ar +. (va *. vr);
+    s_er := !s_er +. (ve *. vr);
+    s_am := !s_am +. (va *. vm);
+    s_em := !s_em +. (ve *. vm);
+    s_rm := !s_rm +. (vr *. vm)
+  done;
+  let ra = Array.unsafe_get da (oa + a.stride - 1)
+  and re = Array.unsafe_get de (oe + e.stride - 1)
+  and rr = Array.unsafe_get dr (or_ + r.stride - 1)
+  and rm = Array.unsafe_get dm (om + m.stride - 1) in
+  into.(quad_var_a) <- (g_aa +. !s_aa) +. (ra *. ra);
+  into.(quad_var_r) <- (g_rr +. !s_rr) +. (rr *. rr);
+  into.(quad_cov_ae) <- g_ae +. !s_ae;
+  into.(quad_cov_ar) <- g_ar +. !s_ar;
+  into.(quad_cov_er) <- g_er +. !s_er;
+  into.(quad_cov_am) <- g_am +. !s_am;
+  into.(quad_cov_em) <- g_em +. !s_em;
+  into.(quad_cov_rm) <- g_rm +. !s_rm;
+  into.(quad_rand_a) <- ra;
+  into.(quad_rand_e) <- re;
+  into.(quad_rand_r) <- rr;
+  into.(quad_rand_m) <- rm
+
+let add_into ~a ~ia ~b ~ib ~dst ~idst =
+  check_dims a dst "add_into";
+  check_dims b dst "add_into";
+  let nc = a.dims.Form.n_globals + a.dims.Form.n_pcs in
+  let oa = ia * a.stride and ob = ib * b.stride and od = idst * dst.stride in
+  Array.unsafe_set dst.data od
+    (Array.unsafe_get a.data oa +. Array.unsafe_get b.data ob);
+  for k = 1 to nc do
+    Array.unsafe_set dst.data (od + k)
+      (Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k))
+  done;
+  let ra = Array.unsafe_get a.data (oa + a.stride - 1)
+  and rb = Array.unsafe_get b.data (ob + b.stride - 1) in
+  Array.unsafe_set dst.data (od + dst.stride - 1)
+    (sqrt ((ra *. ra) +. (rb *. rb)))
+
+(* Clark-max argument/result scratch shared by the two max kernels.  The
+   kernels (like the workspaces layered on top of them) are single-domain
+   by design; nothing here is safe to call from parallel domains. *)
+let clark_scratch = Array.make 5 0.0
+
+let max2_into ~a ~ia ~b ~ib ~dst ~idst =
+  check_dims a dst "max2_into";
+  check_dims b dst "max2_into";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let oa = ia * a.stride and ob = ib * b.stride and od = idst * dst.stride in
+  clark_scratch.(0) <- Array.unsafe_get a.data oa;
+  clark_scratch.(1) <- variance a ia;
+  clark_scratch.(2) <- Array.unsafe_get b.data ob;
+  clark_scratch.(3) <- variance b ib;
+  clark_scratch.(4) <- covariance a ia b ib;
+  Normal.clark_max_into clark_scratch;
+  let tp = clark_scratch.(0)
+  and mean = clark_scratch.(1)
+  and target_var = clark_scratch.(2) in
+  if tp >= 1.0 then blit a ia dst idst
+  else if tp <= 0.0 then blit b ib dst idst
+  else begin
+    let s = 1.0 -. tp in
+    (* Blend and the linear-variance sum fused per segment: each stored
+       coefficient is squared as it is produced, in the order the separate
+       sum_sq pass would read it back (calling sum_sq_range here would also
+       box its float result - the only allocation left on this path). *)
+    let s_lv = ref 0.0 in
+    for k = 1 to ng do
+      let v =
+        (tp *. Array.unsafe_get a.data (oa + k))
+        +. (s *. Array.unsafe_get b.data (ob + k))
+      in
+      Array.unsafe_set dst.data (od + k) v;
+      s_lv := !s_lv +. (v *. v)
+    done;
+    let lg = !s_lv in
+    s_lv := 0.0;
+    for k = 1 + ng to ng + np do
+      let v =
+        (tp *. Array.unsafe_get a.data (oa + k))
+        +. (s *. Array.unsafe_get b.data (ob + k))
+      in
+      Array.unsafe_set dst.data (od + k) v;
+      s_lv := !s_lv +. (v *. v)
+    done;
+    let linear_var = lg +. !s_lv in
+    Array.unsafe_set dst.data od mean;
+    (* Same clamp as [Float.max 0.0 v] without the boxing stdlib call. *)
+    let v = target_var -. linear_var in
+    Array.unsafe_set dst.data (od + dst.stride - 1)
+      (sqrt (if v > 0.0 then v else 0.0))
+  end
+
+let add_then_max_into ~acc ~iacc ~a ~ia ~b ~ib =
+  check_dims a acc "add_then_max_into";
+  check_dims b acc "add_then_max_into";
+  let ng = acc.dims.Form.n_globals and np = acc.dims.Form.n_pcs in
+  let oc = iacc * acc.stride and oa = ia * a.stride and ob = ib * b.stride in
+  (* Moments of the un-materialized sum s = a + b, in Form.add's order: the
+     random coefficient is rounded through sqrt exactly as the pure op
+     stores it, then squared again for the variance. *)
+  let mean_s = Array.unsafe_get a.data oa +. Array.unsafe_get b.data ob in
+  let ra = Array.unsafe_get a.data (oa + a.stride - 1)
+  and rb = Array.unsafe_get b.data (ob + b.stride - 1) in
+  let rand_s = sqrt ((ra *. ra) +. (rb *. rb)) in
+  (* One fused pass per coefficient segment accumulates Var(acc), Var(s)
+     and Cov(acc, s) side by side; each accumulator sees exactly the terms
+     the separate sum_sq/dot loops would feed it, in the same order.  The
+     refs never escape into a closure, so they stay unboxed (see
+     quad_stats_into). *)
+  let s_va = ref 0.0 and s_vs = ref 0.0 and s_cov = ref 0.0 in
+  for k = 1 to ng do
+    let vc = Array.unsafe_get acc.data (oc + k)
+    and v =
+      Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k)
+    in
+    s_va := !s_va +. (vc *. vc);
+    s_vs := !s_vs +. (v *. v);
+    s_cov := !s_cov +. (vc *. v)
+  done;
+  let g_va = !s_va and g_vs = !s_vs and g_cov = !s_cov in
+  s_va := 0.0;
+  s_vs := 0.0;
+  s_cov := 0.0;
+  for k = 1 + ng to ng + np do
+    let vc = Array.unsafe_get acc.data (oc + k)
+    and v =
+      Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k)
+    in
+    s_va := !s_va +. (vc *. vc);
+    s_vs := !s_vs +. (v *. v);
+    s_cov := !s_cov +. (vc *. v)
+  done;
+  let racc = Array.unsafe_get acc.data (oc + acc.stride - 1) in
+  clark_scratch.(0) <- Array.unsafe_get acc.data oc;
+  clark_scratch.(1) <- (g_va +. !s_va) +. (racc *. racc);
+  clark_scratch.(2) <- mean_s;
+  clark_scratch.(3) <- (g_vs +. !s_vs) +. (rand_s *. rand_s);
+  clark_scratch.(4) <- g_cov +. !s_cov;
+  Normal.clark_max_into clark_scratch;
+  let tp = clark_scratch.(0)
+  and mean = clark_scratch.(1)
+  and target_var = clark_scratch.(2) in
+  if tp >= 1.0 then () (* acc already holds the max *)
+  else if tp <= 0.0 then begin
+    Array.unsafe_set acc.data oc mean_s;
+    for k = 1 to ng + np do
+      Array.unsafe_set acc.data (oc + k)
+        (Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k))
+    done;
+    Array.unsafe_set acc.data (oc + acc.stride - 1) rand_s
+  end
+  else begin
+    let s = 1.0 -. tp in
+    let s_lv = ref 0.0 in
+    for k = 1 to ng do
+      let v =
+        (tp *. Array.unsafe_get acc.data (oc + k))
+        +. (s
+           *. (Array.unsafe_get a.data (oa + k)
+              +. Array.unsafe_get b.data (ob + k)))
+      in
+      Array.unsafe_set acc.data (oc + k) v;
+      s_lv := !s_lv +. (v *. v)
+    done;
+    let lg = !s_lv in
+    s_lv := 0.0;
+    for k = 1 + ng to ng + np do
+      let v =
+        (tp *. Array.unsafe_get acc.data (oc + k))
+        +. (s
+           *. (Array.unsafe_get a.data (oa + k)
+              +. Array.unsafe_get b.data (ob + k)))
+      in
+      Array.unsafe_set acc.data (oc + k) v;
+      s_lv := !s_lv +. (v *. v)
+    done;
+    let linear_var = lg +. !s_lv in
+    Array.unsafe_set acc.data oc mean;
+    let v = target_var -. linear_var in
+    Array.unsafe_set acc.data (oc + acc.stride - 1)
+      (sqrt (if v > 0.0 then v else 0.0))
+  end

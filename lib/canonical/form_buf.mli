@@ -1,0 +1,112 @@
+(** Allocation-free kernels over a population of canonical forms.
+
+    A {!t} stores [n] canonical forms (see {!Form}) in one flat unboxed
+    [float array] with the strided slot layout
+
+    {v mean | globals[n_globals] | pcs[n_pcs] | rand v}
+
+    so the hot SSTA loops (forward/backward propagation, criticality
+    screening, covariance probes) can run without allocating a single
+    intermediate [Form.t], [globals] or [pcs] array.  Every kernel below is a
+    {e bit-exact} replica of the corresponding pure {!Form} operation: the
+    floating-point accumulation order (globals first, then PCs, then the
+    random part) matches {!Form.variance} / {!Form.covariance} /
+    {!Form.add} / {!Form.max2} term for term, so a propagation rewired onto
+    these kernels reproduces the pure implementation exactly, not just to
+    rounding noise.  [test/test_kernels.ml] pins that property. *)
+
+type t
+
+val create : Form.dims -> int -> t
+(** [create dims n] is a buffer of [n] zero forms of dimension [dims]. *)
+
+val length : t -> int
+val dims : t -> Form.dims
+
+val stride : t -> int
+(** Floats per slot: [n_globals + n_pcs + 2]. *)
+
+val clear_slot : t -> int -> unit
+(** Reset one slot to the zero form. *)
+
+val set : t -> int -> Form.t -> unit
+val get : t -> int -> Form.t
+(** [get] allocates a fresh [Form.t]; it is meant for result extraction and
+    tests, not for hot loops. *)
+
+val of_forms : Form.dims -> Form.t array -> t
+(** Pack an array of forms (all of dimension [dims]) into a fresh buffer. *)
+
+val blit : t -> int -> t -> int -> unit
+(** [blit src i dst j] copies slot [i] of [src] over slot [j] of [dst].
+    The buffers must have equal dims. *)
+
+(** {1 Scalar probes} — read straight out of the flat buffer. *)
+
+val mean : t -> int -> float
+val rand_coeff : t -> int -> float
+val variance : t -> int -> float
+val std : t -> int -> float
+
+val covariance : t -> int -> t -> int -> float
+(** [covariance a i b j] is [Form.covariance] of slot [i] of [a] and slot
+    [j] of [b]; the two buffers must have equal dims (they may be the same
+    buffer). *)
+
+(** {1 In-place kernels}
+
+    Integer arguments are labelled slot indices; [dst]/[acc] slots are
+    written, all others only read.  Unless stated otherwise, [dst] may alias
+    one of the operand slots. *)
+
+val add_into : a:t -> ia:int -> b:t -> ib:int -> dst:t -> idst:int -> unit
+(** Slot [idst] of [dst] becomes [Form.add a.(ia) b.(ib)]. *)
+
+val max2_into : a:t -> ia:int -> b:t -> ib:int -> dst:t -> idst:int -> unit
+(** Slot [idst] of [dst] becomes [Form.max2 a.(ia) b.(ib)]. *)
+
+val add_then_max_into : acc:t -> iacc:int -> a:t -> ia:int -> b:t -> ib:int -> unit
+(** The fused inner op of canonical propagation: slot [iacc] of [acc]
+    becomes [Form.max2 acc.(iacc) (Form.add a.(ia) b.(ib))] without
+    materializing the intermediate sum.  The [acc] slot must not alias the
+    [a] slot (in a DAG sweep it never does: [src <> dst] for every edge). *)
+
+(** {1 Fused moment gather}
+
+    The criticality exact evaluation needs eight variances/covariances and
+    four random coefficients over four slots A (arrival), E (edge delay),
+    R (required) and M (pair maximum).  [quad_stats_into] computes all of
+    them in a single strided pass, writing into a caller-owned scratch
+    array of at least {!quad_size} floats at the indices below.  Each value
+    is bit-identical to the corresponding {!variance} / {!covariance} /
+    {!rand_coeff} probe; the fusion only removes redundant memory passes
+    and the float boxing of twelve separate calls. *)
+
+val quad_var_a : int
+val quad_var_r : int
+val quad_cov_ae : int
+val quad_cov_ar : int
+val quad_cov_er : int
+val quad_cov_am : int
+val quad_cov_em : int
+val quad_cov_rm : int
+val quad_rand_a : int
+val quad_rand_e : int
+val quad_rand_r : int
+val quad_rand_m : int
+
+val quad_size : int
+(** Minimum scratch-array length for {!quad_stats_into} (= 12). *)
+
+val quad_stats_into :
+  a:t ->
+  ia:int ->
+  e:t ->
+  ie:int ->
+  r:t ->
+  ir:int ->
+  m:t ->
+  im:int ->
+  into:float array ->
+  unit
+(** All four buffers must share one [dims] (they may alias). *)

@@ -1,4 +1,5 @@
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 module Normal = Ssta_gauss.Normal
 
@@ -12,13 +13,15 @@ type result = {
 (* Full backward passes, computed lazily per output and retained: the
    criticality loop touches every output for almost every input, so an
    eviction policy would thrash (one backward pass costs a full canonical
-   sweep).  Memory is |O| * |V| * dim floats - a few hundred MB at c7552
-   scale, well within reach. *)
+   sweep).  Each pass lives in a flat Form_buf workspace - |V| * stride
+   unboxed floats plus a reachability mask - instead of an option array of
+   boxed Form.t records, which roughly halves resident memory at c7552
+   scale and keeps the exact-evaluation covariance reads contiguous. *)
 module Req_cache = struct
   type t = {
     g : Tgraph.t;
-    forms : Form.t array;
-    passes : Form.t option array option array;
+    forms : Form_buf.t;
+    passes : Propagate.workspace option array;
   }
 
   let create g forms n_outputs =
@@ -26,11 +29,12 @@ module Req_cache = struct
 
   let get t ~out ~j =
     match t.passes.(j) with
-    | Some forms -> forms
+    | Some ws -> ws
     | None ->
-        let forms = Propagate.backward_to t.g ~forms:t.forms out in
-        t.passes.(j) <- Some forms;
-        forms
+        let ws = Propagate.create_workspace () in
+        Propagate.backward_to_into ws t.g ~forms:t.forms out;
+        t.passes.(j) <- Some ws;
+        ws
 end
 
 let compute ?(exact = false) ~delta g ~forms =
@@ -57,124 +61,140 @@ let compute ?(exact = false) ~delta g ~forms =
   let d_mu = Array.map (fun f -> f.Form.mean) forms in
   let d_var = Array.map Form.variance forms in
   let d_sig = Array.map sqrt d_var in
+  (* Edge forms packed once into a flat buffer; every sweep and covariance
+     probe below reads from it without touching the boxed originals. *)
+  let dims =
+    if m = 0 then { Form.n_globals = 0; n_pcs = 0 } else Form.dims forms.(0)
+  in
+  let fbuf = Form_buf.of_forms dims forms in
   (* Backward scalar tables per output; the full passes are retained in the
      cache for the exact evaluations. *)
-  let cache = Req_cache.create g forms no in
+  let cache = Req_cache.create g fbuf no in
   let req_mu = Array.make_matrix no nv nan in
   let req_sig = Array.make_matrix no nv nan in
   Array.iteri
     (fun j out ->
       let req = Req_cache.get cache ~out ~j in
-      let mu, sig_ = Propagate.scalar_summaries req in
-      req_mu.(j) <- mu;
-      req_sig.(j) <- sig_)
+      Propagate.scalar_summaries_into req ~n:nv ~mu:req_mu.(j)
+        ~sigma:req_sig.(j))
     outputs;
+  (* One forward workspace reused across the |I| per-input sweeps, and one
+     scratch row for the fused exact-evaluation gather. *)
+  let ws_arr = Propagate.create_workspace () in
+  let quad = Array.make Form_buf.quad_size 0.0 in
+  let a_mu = Array.make nv nan and a_sig = Array.make nv nan in
+  let source1 = [| 0 |] in
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
   Array.iter
     (fun input ->
-      let arr = Propagate.forward g ~forms ~sources:[| input |] in
-      let a_mu, a_sig = Propagate.scalar_summaries arr in
+      source1.(0) <- input;
+      Propagate.forward_into ws_arr g ~forms:fbuf ~sources:source1;
+      let abuf = Propagate.ws_buf ws_arr in
+      Propagate.scalar_summaries_into ws_arr ~n:nv ~mu:a_mu ~sigma:a_sig;
       Array.iteri
         (fun j out ->
-          match arr.(out) with
-          | None -> () (* input does not reach this output *)
-          | Some mform ->
-              let m_mu = mform.Form.mean in
-              let m_sig = Form.std mform in
-              let rmu = req_mu.(j) and rsig = req_sig.(j) in
-              for e = 0 to m - 1 do
-                let s = Array.unsafe_get src e in
-                let amu = Array.unsafe_get a_mu s in
-                if amu = amu (* reachable from input *) then begin
-                  let d = Array.unsafe_get dst e in
-                  let rm = Array.unsafe_get rmu d in
-                  if rm = rm (* reaches output *) then begin
-                    incr screened;
-                    let mu_de = amu +. Array.unsafe_get d_mu e +. rm in
-                    let theta_max =
-                      Array.unsafe_get a_sig s
-                      +. Array.unsafe_get d_sig e
-                      +. Array.unsafe_get rsig d
-                      +. m_sig
+          if Propagate.ws_reached ws_arr out then begin
+            let m_mu = Form_buf.mean abuf out in
+            let m_sig = Form_buf.std abuf out in
+            let rmu = req_mu.(j) and rsig = req_sig.(j) in
+            for e = 0 to m - 1 do
+              let s = Array.unsafe_get src e in
+              let amu = Array.unsafe_get a_mu s in
+              if amu = amu (* reachable from input *) then begin
+                let d = Array.unsafe_get dst e in
+                let rm = Array.unsafe_get rmu d in
+                if rm = rm (* reaches output *) then begin
+                  incr screened;
+                  let mu_de = amu +. Array.unsafe_get d_mu e +. rm in
+                  let theta_max =
+                    Array.unsafe_get a_sig s
+                    +. Array.unsafe_get d_sig e
+                    +. Array.unsafe_get rsig d
+                    +. m_sig
+                  in
+                  (* The z-space bound test, phrased as a boolean join: an
+                     [if]/[else] producing a float would box it on every
+                     screened pair (no flambda), and this comparison runs
+                     hundreds of millions of times at c7552 scale. *)
+                  let bar_e = Array.unsafe_get bar e in
+                  let survivor =
+                    if mu_de >= m_mu then bar_e < infinity
+                    else (mu_de -. m_mu) /. theta_max > bar_e
+                  in
+                  if survivor then begin
+                    (* Survivor: exact tightness z-score, allocation-free.
+                       With de = a + d + r (independent private randoms),
+                       Var de and Cov(de, M) decompose into pairwise
+                       covariances of the stored forms, so no canonical sum
+                       needs to be materialized; one fused strided gather
+                       reads everything out of the flat buffers. *)
+                    let req = Req_cache.get cache ~out ~j in
+                    let rbuf = Propagate.ws_buf req in
+                    incr exact_evals;
+                    Form_buf.quad_stats_into ~a:abuf ~ia:s ~e:fbuf ~ie:e
+                      ~r:rbuf ~ir:d ~m:abuf ~im:out ~into:quad;
+                    let var_de =
+                      Array.unsafe_get quad Form_buf.quad_var_a
+                      +. d_var.(e)
+                      +. Array.unsafe_get quad Form_buf.quad_var_r
+                      +. 2.0
+                         *. (Array.unsafe_get quad Form_buf.quad_cov_ae
+                            +. Array.unsafe_get quad Form_buf.quad_cov_ar
+                            +. Array.unsafe_get quad Form_buf.quad_cov_er)
                     in
-                    let z_bound =
-                      if mu_de >= m_mu then infinity
-                      else (mu_de -. m_mu) /. theta_max
+                    let cov_dem =
+                      Array.unsafe_get quad Form_buf.quad_cov_am
+                      +. Array.unsafe_get quad Form_buf.quad_cov_em
+                      +. Array.unsafe_get quad Form_buf.quad_cov_rm
                     in
-                    if z_bound > Array.unsafe_get bar e then begin
-                      (* Survivor: exact tightness z-score, allocation-free.
-                         With de = a + d + r (independent private randoms),
-                         Var de and Cov(de, M) decompose into pairwise
-                         covariances of the stored forms, so no canonical sum
-                         needs to be materialized. *)
-                      let req = Req_cache.get cache ~out ~j in
-                      match (arr.(s), req.(d)) with
-                      | Some a, Some r ->
-                          incr exact_evals;
-                          let de_form = forms.(e) in
-                          let var_de =
-                            Form.variance a +. d_var.(e) +. Form.variance r
-                            +. 2.0
-                               *. (Form.covariance a de_form
-                                  +. Form.covariance a r
-                                  +. Form.covariance de_form r)
-                          in
-                          let cov_dem =
-                            Form.covariance a mform
-                            +. Form.covariance de_form mform
-                            +. Form.covariance r mform
-                          in
-                          let m_var = m_sig *. m_sig in
-                          let theta2 =
-                            var_de +. m_var -. (2.0 *. cov_dem)
-                          in
-                          (* Identity detection: when every i->j path runs
-                             through e (or ties are perfectly correlated),
-                             M_ij IS d_e - same mean and same linear part -
-                             but the canonical forms carry the shared private
-                             randoms as if independent, which would collapse
-                             the tightness to 1/2.  The criticality of such
-                             an edge is 1 by definition (P(de >= de) = 1). *)
-                          let scale = var_de +. m_var +. 1e-30 in
-                          let rand_de2 =
-                            let ra = a.Form.rand
-                            and rd = de_form.Form.rand
-                            and rr = r.Form.rand
-                            in
-                            (ra *. ra) +. (rd *. rd) +. (rr *. rr)
-                          in
-                          let linear_dist2 =
-                            var_de -. rand_de2 +. m_var
-                            -. (mform.Form.rand *. mform.Form.rand)
-                            -. (2.0 *. cov_dem)
-                          in
-                          (* Thresholds are deliberately not machine-epsilon
-                             tight: an edge whose M differs from de only by a
-                             strongly-dominated competitor (tightness already
-                             > ~0.98) lands here too, which is where it
-                             belongs - competing paths at statistical parity
-                             shift M's mean by a sizable fraction of sigma
-                             and are rejected by the mean test. *)
-                          let same_path =
-                            m_mu -. mu_de <= 0.02 *. m_sig +. 1e-30
-                            && linear_dist2 <= 1e-4 *. scale
-                            && m_var <= var_de +. (1e-3 *. scale)
-                          in
-                          let z =
-                            if same_path then infinity
-                            else if theta2 <= 1e-12 *. scale then
-                              if mu_de >= m_mu then infinity else neg_infinity
-                            else (mu_de -. m_mu) /. sqrt theta2
-                          in
-                          if z >= z_delta then keep.(e) <- true;
-                          if z > cm_z.(e) then cm_z.(e) <- z;
-                          if exact then bar.(e) <- Float.max bar.(e) z
-                          else if keep.(e) then bar.(e) <- infinity
-                      | _ -> ()
-                    end
+                    let m_var = m_sig *. m_sig in
+                    let theta2 = var_de +. m_var -. (2.0 *. cov_dem) in
+                    (* Identity detection: when every i->j path runs
+                       through e (or ties are perfectly correlated),
+                       M_ij IS d_e - same mean and same linear part -
+                       but the canonical forms carry the shared private
+                       randoms as if independent, which would collapse
+                       the tightness to 1/2.  The criticality of such
+                       an edge is 1 by definition (P(de >= de) = 1). *)
+                    let scale = var_de +. m_var +. 1e-30 in
+                    let rand_de2 =
+                      let ra = Array.unsafe_get quad Form_buf.quad_rand_a
+                      and rd = Array.unsafe_get quad Form_buf.quad_rand_e
+                      and rr = Array.unsafe_get quad Form_buf.quad_rand_r in
+                      (ra *. ra) +. (rd *. rd) +. (rr *. rr)
+                    in
+                    let m_rand = Array.unsafe_get quad Form_buf.quad_rand_m in
+                    let linear_dist2 =
+                      var_de -. rand_de2 +. m_var -. (m_rand *. m_rand)
+                      -. (2.0 *. cov_dem)
+                    in
+                    (* Thresholds are deliberately not machine-epsilon
+                       tight: an edge whose M differs from de only by a
+                       strongly-dominated competitor (tightness already
+                       > ~0.98) lands here too, which is where it
+                       belongs - competing paths at statistical parity
+                       shift M's mean by a sizable fraction of sigma
+                       and are rejected by the mean test. *)
+                    let same_path =
+                      m_mu -. mu_de <= (0.02 *. m_sig) +. 1e-30
+                      && linear_dist2 <= 1e-4 *. scale
+                      && m_var <= var_de +. (1e-3 *. scale)
+                    in
+                    let z =
+                      if same_path then infinity
+                      else if theta2 <= 1e-12 *. scale then
+                        if mu_de >= m_mu then infinity else neg_infinity
+                      else (mu_de -. m_mu) /. sqrt theta2
+                    in
+                    if z >= z_delta then keep.(e) <- true;
+                    if z > cm_z.(e) then cm_z.(e) <- z;
+                    if exact then bar.(e) <- Float.max bar.(e) z
+                    else if keep.(e) then bar.(e) <- infinity
                   end
                 end
-              done)
+              end
+            done
+          end)
         outputs)
     inputs;
   let cm =

@@ -25,13 +25,13 @@ let output_load_increments (b : Build.t) =
       end)
     g.Tgraph.outputs
 
-let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
-  let t0 = Unix.gettimeofday () in
-  let g = b.Build.graph in
-  let crit = Criticality.compute ~exact ~delta g ~forms:b.Build.forms in
-  let work = Reduce.of_graph g ~forms:b.Build.forms ~keep:crit.Criticality.keep in
+(* Shared between module- and design-level extraction: criticality filter,
+   merge to fixpoint, and the Table-I bookkeeping. *)
+let reduce_and_stats ?(exact = false) ~delta ~t0 g forms =
+  let crit = Criticality.compute ~exact ~delta g ~forms in
+  let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
   Reduce.reduce work;
-  let graph, forms, _inputs, _outputs = Reduce.freeze work in
+  let graph, rforms, _inputs, _outputs = Reduce.freeze work in
   let removed =
     Array.fold_left
       (fun acc k -> if k then acc else acc + 1)
@@ -47,6 +47,14 @@ let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
       exact_evals = crit.Criticality.exact_evals;
       extraction_seconds = Unix.gettimeofday () -. t0;
     }
+  in
+  (crit, graph, rforms, stats)
+
+let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
+  let t0 = Unix.gettimeofday () in
+  let g = b.Build.graph in
+  let crit, graph, forms, stats =
+    reduce_and_stats ~exact ~delta ~t0 g b.Build.forms
   in
   let model =
     {
@@ -69,15 +77,7 @@ let extract_design ?(delta = 0.05) ~name (fp : Floorplan.t)
   let t0 = Unix.gettimeofday () in
   let g = res.Hier_analysis.graph in
   let forms = res.Hier_analysis.forms in
-  let crit = Criticality.compute ~delta g ~forms in
-  let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
-  Reduce.reduce work;
-  let graph, rforms, _inputs, _outputs = Reduce.freeze work in
-  let removed =
-    Array.fold_left
-      (fun acc k -> if k then acc else acc + 1)
-      0 crit.Criticality.keep
-  in
+  let _crit, graph, rforms, stats = reduce_and_stats ~delta ~t0 g forms in
   (* Each design output is an instance output port; its load increment is
      the instance's, rewritten over the design basis. *)
   let output_load =
@@ -90,17 +90,6 @@ let extract_design ?(delta = 0.05) ~name (fp : Floorplan.t)
         Replace.transform_form dg ~mode:Replace.Replaced ~m ~inst
           model.Timing_model.output_load.(port))
       fp.Floorplan.ext_outputs
-  in
-  let stats =
-    {
-      Timing_model.original_edges = Tgraph.n_edges g;
-      original_vertices = Tgraph.n_vertices g;
-      model_edges = Tgraph.n_edges graph;
-      model_vertices = Tgraph.n_vertices graph;
-      removed_edges = removed;
-      exact_evals = crit.Criticality.exact_evals;
-      extraction_seconds = Unix.gettimeofday () -. t0;
-    }
   in
   {
     Timing_model.name;

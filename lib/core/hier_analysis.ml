@@ -1,4 +1,5 @@
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 module Basis = Ssta_variation.Basis
 module Build = Ssta_timing.Build
@@ -25,7 +26,7 @@ let stitch_vertices graphs =
     graphs;
   (offsets, !total)
 
-let analyze (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
+let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
   let t0 = Unix.gettimeofday () in
   let instances = fp.Floorplan.instances in
   let graphs =
@@ -95,7 +96,17 @@ let analyze (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
   let graph, perm = Tgraph.make_sorted ~n_vertices ~edges ~inputs ~outputs in
   let forms = Array.map (fun i -> weights.(i)) perm in
   let t1 = Unix.gettimeofday () in
-  let arrival = Propagate.forward_all graph ~forms in
+  (* Kernel-tier sweep: the stitched design graph is propagated through a
+     (possibly caller-owned, reused) workspace; only the exported per-vertex
+     option array is materialized afterwards. *)
+  let fbuf = Form_buf.of_forms dims forms in
+  let ws =
+    match workspace with Some ws -> ws | None -> Propagate.create_workspace ()
+  in
+  Propagate.forward_into ws graph ~forms:fbuf ~sources:graph.Tgraph.inputs;
+  let arrival =
+    Array.init (Tgraph.n_vertices graph) (fun v -> Propagate.ws_form ws v)
+  in
   let po_delays = Array.map (fun v -> arrival.(v)) graph.Tgraph.outputs in
   let delay =
     match Propagate.max_over arrival graph.Tgraph.outputs with
@@ -214,7 +225,12 @@ let flat_form (fp : Floorplan.t) (dg : Design_grid.t) =
                  module characterization *))
       payload
   in
-  let arrival = Propagate.forward_all graph ~forms in
+  let ws = Propagate.create_workspace () in
+  Propagate.forward_into ws graph ~forms:(Form_buf.of_forms dims forms)
+    ~sources:graph.Tgraph.inputs;
+  let arrival =
+    Array.init (Tgraph.n_vertices graph) (fun v -> Propagate.ws_form ws v)
+  in
   match Propagate.max_over arrival graph.Tgraph.outputs with
   | Some d -> d
   | None -> failwith "Hier_analysis.flat_form: no design output reachable"

@@ -25,8 +25,15 @@ type result = {
 }
 
 val analyze :
-  Floorplan.t -> Design_grid.t -> mode:Replace.mode -> result
-(** Raises [Failure] if no design output is reachable. *)
+  ?workspace:Propagate.workspace ->
+  Floorplan.t ->
+  Design_grid.t ->
+  mode:Replace.mode ->
+  result
+(** Raises [Failure] if no design output is reachable.  [workspace] lets a
+    caller running many analyses (what-if sweeps, incremental re-analysis)
+    reuse one propagation workspace across calls instead of allocating a
+    fresh one per analysis. *)
 
 val flatten :
   Floorplan.t -> Design_grid.t -> Ssta_mc.Sampler.ctx

@@ -1,57 +1,123 @@
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 
 let check g forms =
   if Array.length forms <> Tgraph.n_edges g then
     invalid_arg "Propagate: form array length does not match edge count"
 
-let forward g ~forms ~sources =
-  check g forms;
-  let n = Tgraph.n_vertices g in
-  let arr = Array.make n None in
-  let d0 =
-    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
-    else Form.dims forms.(0)
-  in
-  Array.iter (fun v -> arr.(v) <- Some (Form.zero d0)) sources;
+let check_buf g forms =
+  if Form_buf.length forms < Tgraph.n_edges g then
+    invalid_arg "Propagate: form buffer shorter than edge count"
+
+type workspace = {
+  mutable buf : Form_buf.t;
+  mutable reach : Bytes.t;
+}
+
+let create_workspace () =
+  {
+    buf = Form_buf.create { Form.n_globals = 0; n_pcs = 0 } 0;
+    reach = Bytes.create 0;
+  }
+
+let ws_buf ws = ws.buf
+let ws_reached ws v = Bytes.unsafe_get ws.reach v <> '\000'
+
+let ws_form ws v =
+  if ws_reached ws v then Some (Form_buf.get ws.buf v) else None
+
+(* Size the workspace for one sweep and clear the reachability mask; slots
+   are left as-is (reads are gated by the mask, so stale values from a
+   previous sweep are never observed). *)
+let prepare ws ~dims ~n =
+  if Form_buf.dims ws.buf <> dims || Form_buf.length ws.buf < n then
+    ws.buf <- Form_buf.create dims n;
+  if Bytes.length ws.reach < n then ws.reach <- Bytes.make n '\000'
+  else Bytes.fill ws.reach 0 (Bytes.length ws.reach) '\000'
+
+let mark ws v = Bytes.unsafe_set ws.reach v '\001'
+
+let forward_into ws g ~forms ~sources =
+  check_buf g forms;
+  prepare ws ~dims:(Form_buf.dims forms) ~n:(Tgraph.n_vertices g);
+  let buf = ws.buf in
+  Array.iter
+    (fun v ->
+      Form_buf.clear_slot buf v;
+      mark ws v)
+    sources;
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
   for i = 0 to Array.length src - 1 do
-    match arr.(src.(i)) with
-    | None -> ()
-    | Some a ->
-        let t = Form.add a forms.(i) in
-        let d = dst.(i) in
-        arr.(d) <-
-          (match arr.(d) with
-          | None -> Some t
-          | Some prev -> Some (Form.max2 prev t))
-  done;
-  arr
+    let s = Array.unsafe_get src i in
+    if ws_reached ws s then begin
+      let d = Array.unsafe_get dst i in
+      if ws_reached ws d then
+        Form_buf.add_then_max_into ~acc:buf ~iacc:d ~a:buf ~ia:s ~b:forms ~ib:i
+      else begin
+        Form_buf.add_into ~a:buf ~ia:s ~b:forms ~ib:i ~dst:buf ~idst:d;
+        mark ws d
+      end
+    end
+  done
+
+let backward_to_into ws g ~forms out =
+  check_buf g forms;
+  prepare ws ~dims:(Form_buf.dims forms) ~n:(Tgraph.n_vertices g);
+  let buf = ws.buf in
+  Form_buf.clear_slot buf out;
+  mark ws out;
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  for i = Array.length src - 1 downto 0 do
+    let d = Array.unsafe_get dst i in
+    if ws_reached ws d then begin
+      let s = Array.unsafe_get src i in
+      if ws_reached ws s then
+        Form_buf.add_then_max_into ~acc:buf ~iacc:s ~a:buf ~ia:d ~b:forms ~ib:i
+      else begin
+        Form_buf.add_into ~a:buf ~ia:d ~b:forms ~ib:i ~dst:buf ~idst:s;
+        mark ws s
+      end
+    end
+  done
+
+let scalar_summaries_into ws ~n ~mu ~sigma =
+  for v = 0 to n - 1 do
+    if ws_reached ws v then begin
+      mu.(v) <- Form_buf.mean ws.buf v;
+      sigma.(v) <- Form_buf.std ws.buf v
+    end
+    else begin
+      mu.(v) <- nan;
+      sigma.(v) <- nan
+    end
+  done
+
+(* Pure wrappers: pack the forms, run the kernel sweep, unpack the result.
+   They reproduce the original per-op implementation bit for bit (the
+   kernels replicate Form.add/Form.max2's accumulation order exactly). *)
+
+let form_dims forms =
+  if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+  else Form.dims forms.(0)
+
+let unpack ws n = Array.init n (fun v -> ws_form ws v)
+
+let forward g ~forms ~sources =
+  check g forms;
+  let fbuf = Form_buf.of_forms (form_dims forms) forms in
+  let ws = create_workspace () in
+  forward_into ws g ~forms:fbuf ~sources;
+  unpack ws (Tgraph.n_vertices g)
 
 let forward_all g ~forms = forward g ~forms ~sources:g.Tgraph.inputs
 
 let backward_to g ~forms out =
   check g forms;
-  let n = Tgraph.n_vertices g in
-  let req = Array.make n None in
-  let d0 =
-    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
-    else Form.dims forms.(0)
-  in
-  req.(out) <- Some (Form.zero d0);
-  let src = g.Tgraph.src and dst = g.Tgraph.dst in
-  for i = Array.length src - 1 downto 0 do
-    match req.(dst.(i)) with
-    | None -> ()
-    | Some r ->
-        let t = Form.add r forms.(i) in
-        let s = src.(i) in
-        req.(s) <-
-          (match req.(s) with
-          | None -> Some t
-          | Some prev -> Some (Form.max2 prev t))
-  done;
-  req
+  let fbuf = Form_buf.of_forms (form_dims forms) forms in
+  let ws = create_workspace () in
+  backward_to_into ws g ~forms:fbuf out;
+  unpack ws (Tgraph.n_vertices g)
 
 let max_over arr vertices =
   Array.fold_left

@@ -1,15 +1,63 @@
 (** Block-based canonical arrival-time propagation (paper Section II):
     a single PERT-like sweep over the timing graph computing, per vertex,
-    the statistical maximum over fanin edges of [arrival(src) + delay]. *)
+    the statistical maximum over fanin edges of [arrival(src) + delay].
+
+    Two tiers share one sweep implementation:
+
+    + the allocation-free tier ({!forward_into} / {!backward_to_into})
+      propagates through a caller-owned {!workspace} over a packed
+      {!Form_buf.t} of edge forms, allocating nothing per call — the hot
+      path of criticality analysis, which performs one forward sweep per
+      input and one backward sweep per output on the same graph;
+    + the pure tier ({!forward} / {!backward_to}) keeps the original
+      [Form.t option array] API as a thin wrapper over the kernels (it
+      packs the forms and unpacks the result, so it still allocates). *)
 
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
+
+type workspace
+(** Reusable per-sweep state: one {!Form_buf.t} slot per vertex plus a
+    reachability mask.  A workspace grows on demand and may be reused
+    across graphs and dimensions; each sweep fully re-initializes the
+    portion it reads.  After a sweep the workspace holds that sweep's
+    result until the next sweep overwrites it. *)
+
+val create_workspace : unit -> workspace
+
+val ws_buf : workspace -> Form_buf.t
+(** Vertex-indexed slots of the last sweep (valid where {!ws_reached}). *)
+
+val ws_reached : workspace -> int -> bool
+(** Whether the last sweep reached the vertex (its slot is meaningful). *)
+
+val ws_form : workspace -> int -> Form.t option
+(** Allocating probe of one vertex (for result extraction and tests). *)
+
+val forward_into :
+  workspace -> Tgraph.t -> forms:Form_buf.t -> sources:int array -> unit
+(** Arrival forms with arrival 0 at every vertex of [sources], left in the
+    workspace; unreachable vertices are marked unreached.  [sources] will
+    usually be the graph's inputs (block-based SSTA) or one input (the
+    exclusive arrival times of paper eq. (15)).  Bit-identical to
+    {!forward}. *)
+
+val backward_to_into :
+  workspace -> Tgraph.t -> forms:Form_buf.t -> int -> unit
+(** Per vertex, the canonical maximum path delay from the vertex to the
+    given output, left in the workspace.  Bit-identical to
+    {!backward_to}. *)
+
+val scalar_summaries_into :
+  workspace -> n:int -> mu:float array -> sigma:float array -> unit
+(** Fill [mu]/[sigma] (length >= [n]) with per-vertex mean and standard
+    deviation of the last sweep, [nan] at unreached vertices. *)
 
 val forward :
   Tgraph.t -> forms:Form.t array -> sources:int array -> Form.t option array
 (** Arrival forms with arrival 0 at every vertex of [sources]; [None] where
-    unreachable.  [sources] will usually be the graph's inputs (block-based
-    SSTA) or one input (the exclusive arrival times of paper eq. (15)). *)
+    unreachable. *)
 
 val forward_all : Tgraph.t -> forms:Form.t array -> Form.t option array
 (** [forward] from all primary inputs. *)

@@ -65,12 +65,19 @@ let n_live_vertices t =
 
 let is_port v = v.is_input || v.is_output
 
+(* Each edge appears exactly once per adjacency list, so removal can stop
+   at the first physical match instead of filtering (and copying) the whole
+   list - kill_edge runs once per merged edge on high-fanout vertices. *)
+let rec remove_first e = function
+  | [] -> []
+  | x :: rest -> if x == e then rest else x :: remove_first e rest
+
 let kill_edge t e =
   if e.alive then begin
     e.alive <- false;
     let s = t.vertices.(e.esrc) and d = t.vertices.(e.edst) in
-    s.fanout <- List.filter (fun x -> x != e) s.fanout;
-    d.fanin <- List.filter (fun x -> x != e) d.fanin;
+    s.fanout <- remove_first e s.fanout;
+    d.fanin <- remove_first e d.fanin;
     t.live_edges <- t.live_edges - 1
   end
 

@@ -1,4 +1,5 @@
 module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 
 type stats = {
@@ -27,10 +28,20 @@ let n_outputs t = Array.length t.graph.Tgraph.outputs
 
 let io_delays t =
   let outputs = t.graph.Tgraph.outputs in
+  (* One packed form buffer and one workspace shared by all per-input
+     sweeps; only the |I| x |O| result forms are materialized. *)
+  let dims =
+    if Array.length t.forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims t.forms.(0)
+  in
+  let fbuf = Form_buf.of_forms dims t.forms in
+  let ws = Propagate.create_workspace () in
+  let source1 = [| 0 |] in
   Array.map
     (fun input ->
-      let arr = Propagate.forward t.graph ~forms:t.forms ~sources:[| input |] in
-      Array.map (fun out -> arr.(out)) outputs)
+      source1.(0) <- input;
+      Propagate.forward_into ws t.graph ~forms:fbuf ~sources:source1;
+      Array.map (fun out -> Propagate.ws_form ws out) outputs)
     t.graph.Tgraph.inputs
 
 let compression t =

@@ -95,6 +95,77 @@ let quantile p =
 
 type max_moments = { tightness : float; mean : float; variance : float }
 
+(* Allocation-free variant of [clark_max] below: every float crossing an
+   OCaml function boundary is boxed (no flambda), so the kernel loops in
+   Form_buf pass the five inputs and three results through one caller-owned
+   scratch array instead.  The body replicates [clark_max] - with [cdf],
+   [pdf] and [erfc] inlined - operation for operation; the kernel test
+   suite pins bit-identity against the record-returning original. *)
+let clark_max_into s =
+  let mean_a = s.(0)
+  and var_a = s.(1)
+  and mean_b = s.(2)
+  and var_b = s.(3)
+  and cov = s.(4) in
+  let theta2 = var_a +. var_b -. (2.0 *. cov) in
+  let scale = var_a +. var_b +. 1e-30 in
+  if theta2 <= 1e-12 *. scale then
+    if mean_a >= mean_b then begin
+      s.(0) <- 1.0;
+      s.(1) <- mean_a;
+      s.(2) <- var_a
+    end
+    else begin
+      s.(0) <- 0.0;
+      s.(1) <- mean_b;
+      s.(2) <- var_b
+    end
+  else begin
+    let theta = sqrt theta2 in
+    let alpha = (mean_a -. mean_b) /. theta in
+    (* tp = cdf alpha, with erfc's Chebyshev fit spelled out. *)
+    let x = -.alpha /. sqrt2 in
+    let z = abs_float x in
+    let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+    let poly =
+      -1.26551223
+      +. t
+         *. (1.00002368
+            +. t
+               *. (0.37409196
+                  +. t
+                     *. (0.09678418
+                        +. t
+                           *. (-0.18628806
+                              +. t
+                                 *. (0.27886807
+                                    +. t
+                                       *. (-1.13520398
+                                          +. t
+                                             *. (1.48851587
+                                                +. t
+                                                   *. (-0.82215223
+                                                      +. (t *. 0.17087277)))))))))
+    in
+    let ans = t *. exp ((-.z *. z) +. poly) in
+    let erfc_x = if x >= 0.0 then ans else 2.0 -. ans in
+    let tp = 0.5 *. erfc_x in
+    (* ph = pdf alpha. *)
+    let ph = inv_sqrt_2pi *. exp (-0.5 *. alpha *. alpha) in
+    let mean = (tp *. mean_a) +. ((1.0 -. tp) *. mean_b) +. (theta *. ph) in
+    let second =
+      (tp *. (var_a +. (mean_a *. mean_a)))
+      +. ((1.0 -. tp) *. (var_b +. (mean_b *. mean_b)))
+      +. ((mean_a +. mean_b) *. theta *. ph)
+    in
+    (* Float.max is a plain (boxing) stdlib call; this comparison agrees
+       with [Float.max 0.0 v] for every input including nan and -0. *)
+    let v = second -. (mean *. mean) in
+    s.(0) <- tp;
+    s.(1) <- mean;
+    if v > 0.0 then s.(2) <- v else s.(2) <- 0.0
+  end
+
 let clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov =
   let theta2 = var_a +. var_b -. (2.0 *. cov) in
   let scale = var_a +. var_b +. 1e-30 in

@@ -43,3 +43,11 @@ val clark_max :
     discriminant [var_a + var_b - 2 cov] is (numerically) zero the variables
     differ by a constant and the result degenerates to the variable with the
     larger mean. *)
+
+val clark_max_into : float array -> unit
+(** Allocation-free {!clark_max}: reads [mean_a; var_a; mean_b; var_b; cov]
+    from slots 0..4 of the scratch array (length >= 5) and overwrites slots
+    0..2 with [tightness; mean; variance].  Bit-identical to {!clark_max};
+    it exists because float arguments and results cross OCaml function
+    boundaries boxed (no flambda), which would dominate allocation in the
+    kernel loops of [Form_buf]. *)

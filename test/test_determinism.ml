@@ -1,0 +1,50 @@
+(* Golden determinism pins for the Monte Carlo reference engines: the
+   allocation-free kernel refactor must not perturb them in any way, so the
+   c432 results at a fixed seed are pinned bit for bit (the golden constants
+   below were produced by the pre-refactor seed tree and are asserted with
+   exact float equality, not a tolerance). *)
+
+module Build = Ssta_timing.Build
+module Iscas = Ssta_circuit.Iscas
+module Stats = Ssta_gauss.Stats
+
+let ctx = lazy (Ssta_mc.Sampler.ctx_of_build (Build.characterize (Iscas.build "c432")))
+
+let test_allpairs_golden () =
+  let mc = Ssta_mc.Allpairs_mc.run ~iterations:250 ~seed:42 (Lazy.force ctx) in
+  (* Order-stable checksums over every reachable pair: any change to the
+     sampler, the RNG stream, or the longest-path pass shifts them. *)
+  let sum_m = ref 0.0 and sum_s = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j m ->
+          if mc.Ssta_mc.Allpairs_mc.reachable.(i).(j) then begin
+            sum_m := !sum_m +. m;
+            sum_s := !sum_s +. mc.Ssta_mc.Allpairs_mc.stds.(i).(j)
+          end)
+        row)
+    mc.Ssta_mc.Allpairs_mc.means;
+  Alcotest.(check (float 0.0))
+    "sum of pair means (byte-identical)" 86896.430807530531 !sum_m;
+  Alcotest.(check (float 0.0))
+    "sum of pair stds (byte-identical)" 14484.382291526943 !sum_s
+
+let test_flat_golden () =
+  let mc = Ssta_mc.Flat_mc.run ~iterations:250 ~seed:7 (Lazy.force ctx) in
+  Alcotest.(check (float 0.0))
+    "flat MC mean (byte-identical)" 710.41728208984875
+    (Stats.mean mc.Ssta_mc.Flat_mc.delays);
+  Alcotest.(check (float 0.0))
+    "flat MC std (byte-identical)" 99.596999898712568
+    (Stats.std mc.Ssta_mc.Flat_mc.delays)
+
+let suites =
+  [
+    ( "determinism.mc_golden",
+      [
+        Alcotest.test_case "allpairs_mc c432@250 seed=42" `Slow
+          test_allpairs_golden;
+        Alcotest.test_case "flat_mc c432@250 seed=7" `Slow test_flat_golden;
+      ] );
+  ]

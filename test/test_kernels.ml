@@ -1,0 +1,288 @@
+(* Property tests for the allocation-free canonical-form kernels
+   (Ssta_canonical.Form_buf) and the workspace-reusing propagation tier:
+   every kernel must agree with the pure Form/Propagate implementation -
+   bit for bit, which is stronger than the 1e-12 the extraction accuracy
+   argument needs - over randomized dimensions, including degenerate
+   [n_pcs = 0] / [n_globals = 0] layouts and the tightness 0/1 branches of
+   the statistical max. *)
+
+module H = Hier_ssta
+module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
+module Tgraph = Ssta_timing.Tgraph
+module Rng = Ssta_gauss.Rng
+module Normal = Ssta_gauss.Normal
+
+let exactly_equal a b =
+  a.Form.mean = b.Form.mean
+  && a.Form.rand = b.Form.rand
+  && a.Form.globals = b.Form.globals
+  && a.Form.pcs = b.Form.pcs
+
+let check_exact msg expected actual =
+  if not (exactly_equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.actual   %a" msg Form.pp expected
+      Form.pp actual
+
+(* Dimension mix exercised by every property, covering the degenerate
+   layouts the strided kernels special-case implicitly. *)
+let dim_cases =
+  [
+    { Form.n_globals = 0; n_pcs = 0 };
+    { Form.n_globals = 3; n_pcs = 0 };
+    { Form.n_globals = 0; n_pcs = 5 };
+    { Form.n_globals = 2; n_pcs = 4 };
+    { Form.n_globals = 3; n_pcs = 37 };
+  ]
+
+let random_form rng (dims : Form.dims) =
+  Form.make
+    ~mean:(20.0 *. Rng.uniform rng)
+    ~globals:(Array.init dims.Form.n_globals (fun _ -> Rng.gaussian rng))
+    ~pcs:(Array.init dims.Form.n_pcs (fun _ -> Rng.gaussian rng))
+    ~rand:(abs_float (Rng.gaussian rng))
+
+(* A 3-slot scratch buffer per case: operands in slots 0/1, result in 2. *)
+let with_pairs seed f =
+  List.iter
+    (fun dims ->
+      let rng = Rng.create ~seed in
+      for _ = 1 to 25 do
+        let a = random_form rng dims and b = random_form rng dims in
+        f dims a b
+      done;
+      (* Degenerate tightness branches: an identical zero-random pair
+         (theta^2 = 0, tightness 1 via the constant-difference branch of
+         Clark) and a hopelessly dominated pair (tightness exactly 0 after
+         the CDF underflows). *)
+      let a = { (random_form rng dims) with Form.rand = 0.0 } in
+      f dims a a;
+      let lo = random_form rng dims in
+      f dims lo (Form.add_const lo 1000.0);
+      f dims (Form.add_const lo 1000.0) lo)
+    dim_cases
+
+let prop_add_into seed =
+  with_pairs seed (fun dims a b ->
+      let buf = Form_buf.of_forms dims [| a; b; Form.zero dims |] in
+      Form_buf.add_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:2;
+      check_exact "add_into = Form.add" (Form.add a b) (Form_buf.get buf 2);
+      (* Aliasing: accumulate in place over slot 0. *)
+      Form_buf.add_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:0;
+      check_exact "add_into aliased dst" (Form.add a b) (Form_buf.get buf 0));
+  true
+
+let prop_max2_into seed =
+  with_pairs seed (fun dims a b ->
+      let buf = Form_buf.of_forms dims [| a; b; Form.zero dims |] in
+      Form_buf.max2_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:2;
+      check_exact "max2_into = Form.max2" (Form.max2 a b) (Form_buf.get buf 2);
+      Form_buf.max2_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:1;
+      check_exact "max2_into aliased dst" (Form.max2 a b) (Form_buf.get buf 1));
+  true
+
+let prop_add_then_max_into seed =
+  with_pairs seed (fun dims a b ->
+      let rng = Rng.create ~seed:(seed + 1) in
+      let prev = random_form rng dims in
+      let buf = Form_buf.of_forms dims [| a; b; prev |] in
+      Form_buf.add_then_max_into ~acc:buf ~iacc:2 ~a:buf ~ia:0 ~b:buf ~ib:1;
+      check_exact "add_then_max_into = max2 prev (add a b)"
+        (Form.max2 prev (Form.add a b))
+        (Form_buf.get buf 2));
+  true
+
+(* The fused moment gather must agree with the twelve scalar probes it
+   replaces in the criticality exact-evaluation loop. *)
+let prop_quad_stats seed =
+  List.iter
+    (fun dims ->
+      let rng = Rng.create ~seed in
+      for _ = 1 to 25 do
+        let a = random_form rng dims
+        and e = random_form rng dims
+        and r = random_form rng dims
+        and m = random_form rng dims in
+        let buf = Form_buf.of_forms dims [| a; e; r; m |] in
+        let q = Array.make Form_buf.quad_size nan in
+        Form_buf.quad_stats_into ~a:buf ~ia:0 ~e:buf ~ie:1 ~r:buf ~ir:2
+          ~m:buf ~im:3 ~into:q;
+        if
+          not
+            (q.(Form_buf.quad_var_a) = Form.variance a
+            && q.(Form_buf.quad_var_r) = Form.variance r
+            && q.(Form_buf.quad_cov_ae) = Form.covariance a e
+            && q.(Form_buf.quad_cov_ar) = Form.covariance a r
+            && q.(Form_buf.quad_cov_er) = Form.covariance e r
+            && q.(Form_buf.quad_cov_am) = Form.covariance a m
+            && q.(Form_buf.quad_cov_em) = Form.covariance e m
+            && q.(Form_buf.quad_cov_rm) = Form.covariance r m
+            && q.(Form_buf.quad_rand_a) = a.Form.rand
+            && q.(Form_buf.quad_rand_e) = e.Form.rand
+            && q.(Form_buf.quad_rand_r) = r.Form.rand
+            && q.(Form_buf.quad_rand_m) = m.Form.rand)
+        then Alcotest.fail "quad_stats_into disagrees with scalar probes"
+      done)
+    dim_cases;
+  true
+
+(* The scratch-array Clark must be bit-identical to the record-returning
+   original, including the constant-difference degenerate branch. *)
+let prop_clark_into seed =
+  let rng = Rng.create ~seed in
+  let check ~mean_a ~var_a ~mean_b ~var_b ~cov =
+    let want = Normal.clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov in
+    let s = [| mean_a; var_a; mean_b; var_b; cov |] in
+    Normal.clark_max_into s;
+    if
+      not
+        (s.(0) = want.Normal.tightness
+        && s.(1) = want.Normal.mean
+        && s.(2) = want.Normal.variance)
+    then
+      Alcotest.failf
+        "clark_max_into (%g,%g,%g,%g,%g): got (%g,%g,%g) want (%g,%g,%g)"
+        mean_a var_a mean_b var_b cov s.(0) s.(1) s.(2)
+        want.Normal.tightness want.Normal.mean want.Normal.variance
+  in
+  for _ = 1 to 200 do
+    let mean_a = 20.0 *. Rng.gaussian rng
+    and mean_b = 20.0 *. Rng.gaussian rng
+    and sa = abs_float (Rng.gaussian rng)
+    and sb = abs_float (Rng.gaussian rng)
+    and rho = 2.0 *. (Rng.uniform rng -. 0.5) in
+    check ~mean_a ~var_a:(sa *. sa) ~mean_b ~var_b:(sb *. sb)
+      ~cov:(rho *. sa *. sb)
+  done;
+  (* Degenerate: theta^2 = 0 exactly, both mean orderings, and the
+     tightness-0/1 saturation of far-apart operands. *)
+  check ~mean_a:3.0 ~var_a:4.0 ~mean_b:1.0 ~var_b:4.0 ~cov:4.0;
+  check ~mean_a:1.0 ~var_a:4.0 ~mean_b:3.0 ~var_b:4.0 ~cov:4.0;
+  check ~mean_a:1000.0 ~var_a:1.0 ~mean_b:0.0 ~var_b:1.0 ~cov:0.0;
+  check ~mean_a:0.0 ~var_a:1.0 ~mean_b:1000.0 ~var_b:1.0 ~cov:0.0;
+  true
+
+let prop_scalar_probes seed =
+  with_pairs seed (fun dims a b ->
+      let buf = Form_buf.of_forms dims [| a; b |] in
+      if
+        not
+          (Form_buf.mean buf 0 = a.Form.mean
+          && Form_buf.rand_coeff buf 1 = b.Form.rand
+          && Form_buf.variance buf 0 = Form.variance a
+          && Form_buf.std buf 1 = Form.std b
+          && Form_buf.covariance buf 0 buf 1 = Form.covariance a b)
+      then Alcotest.fail "scalar probe mismatch");
+  true
+
+(* Random DAG in the shape of test_property's, parameterized by dims. *)
+let random_dag seed dims =
+  let rng = Rng.create ~seed in
+  let n = 4 + Rng.int rng 24 in
+  let n_roots = 1 + Rng.int rng (max 1 (n / 4)) in
+  let edges = ref [] in
+  for v = n_roots to n - 1 do
+    let fanins = 1 + Rng.int rng 3 in
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to fanins do
+      let s = Rng.int rng v in
+      if not (Hashtbl.mem seen s) then begin
+        Hashtbl.replace seen s ();
+        edges := (s, v) :: !edges
+      end
+    done
+  done;
+  let edges = Array.of_list (List.rev !edges) in
+  let has_fanout = Array.make n false and has_fanin = Array.make n false in
+  Array.iter
+    (fun (s, d) ->
+      has_fanout.(s) <- true;
+      has_fanin.(d) <- true)
+    edges;
+  let inputs = ref [] and outputs = ref [] in
+  for v = 0 to n - 1 do
+    if not has_fanin.(v) then inputs := v :: !inputs;
+    if not has_fanout.(v) then outputs := v :: !outputs
+  done;
+  let g =
+    Tgraph.make ~n_vertices:n ~edges
+      ~inputs:(Array.of_list (List.rev !inputs))
+      ~outputs:(Array.of_list (List.rev !outputs))
+  in
+  let forms =
+    Array.init (Tgraph.n_edges g) (fun _ -> random_form rng dims)
+  in
+  (g, forms)
+
+let sweep_equal n ws reference =
+  Array.for_all2
+    (fun got want ->
+      match (got, want) with
+      | None, None -> true
+      | Some a, Some b -> exactly_equal a b
+      | _ -> false)
+    (Array.init n (fun v -> H.Propagate.ws_form ws v))
+    reference
+
+(* One workspace reused across many graphs, dims, directions and repeated
+   calls: every sweep must match the pure implementation bit for bit, i.e.
+   no state leaks from any previous sweep. *)
+let prop_workspace_reuse seed =
+  let ws = H.Propagate.create_workspace () in
+  let ok = ref true in
+  List.iteri
+    (fun k dims ->
+      let g, forms = random_dag (seed + (1000 * k)) dims in
+      let fbuf = Form_buf.of_forms dims forms in
+      let n = Tgraph.n_vertices g in
+      Array.iter
+        (fun i ->
+          let reference = H.Propagate.forward g ~forms ~sources:[| i |] in
+          (* Twice through the same (dirty) workspace: both calls must
+             reproduce the pure pass exactly. *)
+          H.Propagate.forward_into ws g ~forms:fbuf ~sources:[| i |];
+          if not (sweep_equal n ws reference) then ok := false;
+          H.Propagate.forward_into ws g ~forms:fbuf ~sources:[| i |];
+          if not (sweep_equal n ws reference) then ok := false)
+        g.Tgraph.inputs;
+      Array.iter
+        (fun o ->
+          let reference = H.Propagate.backward_to g ~forms o in
+          H.Propagate.backward_to_into ws g ~forms:fbuf o;
+          if not (sweep_equal n ws reference) then ok := false)
+        g.Tgraph.outputs)
+    dim_cases;
+  !ok
+
+let prop_forward_all_matches seed =
+  let dims = { Form.n_globals = 2; n_pcs = 4 } in
+  let g, forms = random_dag seed dims in
+  let ws = H.Propagate.create_workspace () in
+  H.Propagate.forward_into ws g
+    ~forms:(Form_buf.of_forms dims forms)
+    ~sources:g.Tgraph.inputs;
+  sweep_equal (Tgraph.n_vertices g) ws (H.Propagate.forward_all g ~forms)
+
+let test prop name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name QCheck.(int_range 0 100_000) prop)
+
+let suites =
+  [
+    ( "kernels.form_buf",
+      [
+        test prop_add_into "add_into agrees with Form.add (bit-exact)";
+        test prop_max2_into "max2_into agrees with Form.max2 (bit-exact)";
+        test prop_add_then_max_into
+          "fused add_then_max agrees with max2 o add (bit-exact)";
+        test prop_scalar_probes "scalar probes agree with Form";
+        test prop_quad_stats "fused moment gather agrees with probes";
+        test prop_clark_into "clark_max_into agrees with clark_max";
+      ] );
+    ( "kernels.workspace",
+      [
+        test prop_workspace_reuse
+          "reused workspace reproduces pure forward/backward exactly";
+        test prop_forward_all_matches "forward_into from all inputs";
+      ] );
+  ]

@@ -18,5 +18,7 @@ let () =
          Test_hier.suites;
          Test_extensions.suites;
          Test_property.suites;
+         Test_kernels.suites;
+         Test_determinism.suites;
          Test_integration.suites;
        ])
