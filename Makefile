@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-gate bench-par check ci fmt fmt-check clean
 
 all: build
 
@@ -19,10 +19,36 @@ bench: build
 bench-smoke: build
 	BENCH_REPS=20 $(DUNE) exec bench/main.exe kernels criticality_c1908
 
+# Regression gate: regenerate the kernel metrics and compare against the
+# committed baseline (timings within +/-30%, counters exact).
+# PAR_DOMAINS=1 because Gc.allocated_bytes is per-domain: allocation
+# counts are only meaningful on the sequential path.
+bench-gate: build
+	BENCH_REPS=20 PAR_DOMAINS=1 BENCH_JSON=_build/BENCH_gate.json \
+	  $(DUNE) exec bench/main.exe kernels criticality_c1908
+	$(DUNE) exec bench/check_regression.exe -- \
+	  BENCH_kernels.json _build/BENCH_gate.json
+
+# Parallel-scaling sweep (1/2/4/8 domains); regenerates BENCH_par.json.
+bench-par: build
+	BENCH_JSON=BENCH_par.json $(DUNE) exec bench/main.exe mc_par extract_par_c7552
+
 check: build test bench-smoke
+
+# What CI runs: build, tests, the bench regression gate, format check.
+ci: build test bench-gate fmt-check
 
 fmt:
 	$(DUNE) build @fmt --auto-promote
+
+# Non-mutating format check; skipped (successfully) when ocamlformat is
+# not installed so the target works in minimal environments.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
 
 clean:
 	$(DUNE) clean

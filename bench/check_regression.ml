@@ -1,0 +1,119 @@
+(* Bench regression gate: compare a freshly generated BENCH_JSON metrics
+   file against the committed baseline and fail (exit 1) on regression.
+
+   Usage: check_regression.exe BASELINE.json CURRENT.json
+
+   Metric classes, decided by the key's final [_component]:
+   - [_s] / [_us] / [_ns]: wall-clock - compared with a relative tolerance
+     (default +/-30%, override with GATE_TIME_TOL=0.5 etc.) because timing
+     is machine- and load-dependent;
+   - [_speedup]: a ratio of two timings - informational only, skipped (its
+     noise is the product of both operands' noise);
+   - everything else (allocation bytes, screen/eval/edge counts, error
+     percentages): deterministic for a pinned code path, compared exactly
+     by default.  GATE_EXACT_TOL=0.1 relaxes this to a relative tolerance
+     for environments with a different compiler (allocation counts shift
+     with inlining decisions across OCaml releases).
+
+   A [null] on either side (a non-finite measurement) skips the key: the
+   bench NaN guards are supposed to make this impossible, so a skip is
+   reported loudly but does not fail the gate on its own.  A baseline key
+   missing from the current run fails it - a silently dropped metric is a
+   regression of the bench itself. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let env_tol name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+(* Parse the flat one-pair-per-line JSON object bench/main.ml emits:
+   brace lines, then lines of the form ["key": number,] or ["key": null,].
+   Not a general JSON parser on purpose - the gate should fail fast if the
+   bench output format drifts. *)
+let parse_metrics path =
+  let ic = try open_in path with Sys_error m -> die "%s" m in
+  let metrics = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 && line.[0] = '"' then begin
+         match String.index_opt line ':' with
+         | None -> die "%s: malformed metric line: %s" path line
+         | Some colon ->
+             let key = String.sub line 1 (colon - 2) in
+             let v =
+               String.trim
+                 (String.sub line (colon + 1) (String.length line - colon - 1))
+             in
+             let v =
+               if String.length v > 0 && v.[String.length v - 1] = ',' then
+                 String.sub v 0 (String.length v - 1)
+               else v
+             in
+             let value =
+               if v = "null" then None
+               else
+                 match float_of_string_opt v with
+                 | Some f -> Some f
+                 | None -> die "%s: bad value for %s: %s" path key v
+             in
+             metrics := (key, value) :: !metrics
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !metrics
+
+type klass = Timing | Ratio | Exact
+
+let classify key =
+  match String.rindex_opt key '_' with
+  | None -> Exact
+  | Some i -> (
+      match String.sub key (i + 1) (String.length key - i - 1) with
+      | "s" | "us" | "ns" -> Timing
+      | "speedup" -> Ratio
+      | _ -> Exact)
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ -> die "usage: check_regression BASELINE.json CURRENT.json"
+  in
+  let time_tol = env_tol "GATE_TIME_TOL" 0.30 in
+  let exact_tol = env_tol "GATE_EXACT_TOL" 0.0 in
+  let baseline = parse_metrics baseline_path in
+  let current = parse_metrics current_path in
+  let failures = ref 0 and checked = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (key, base) ->
+      match (classify key, base, List.assoc_opt key current) with
+      | _, _, None ->
+          incr failures;
+          Printf.printf "FAIL %-36s missing from current run\n" key
+      | Ratio, _, _ -> incr skipped
+      | _, None, _ | _, _, Some None ->
+          incr skipped;
+          Printf.printf "SKIP %-36s null measurement\n" key
+      | klass, Some b, Some (Some c) ->
+          incr checked;
+          let tol = match klass with Timing -> time_tol | _ -> exact_tol in
+          let ok =
+            if tol = 0.0 then c = b
+            else abs_float (c -. b) <= tol *. abs_float b
+          in
+          if ok then ()
+          else begin
+            incr failures;
+            Printf.printf "FAIL %-36s baseline %.6g, current %.6g (%+.1f%%)\n"
+              key b c
+              (100.0 *. (c -. b) /. (if b = 0.0 then 1.0 else abs_float b))
+          end)
+    baseline;
+  Printf.printf "bench gate: %d checked, %d skipped, %d failed (time tol \
+                 +/-%.0f%%, exact tol +/-%.0f%%)\n"
+    !checked !skipped !failures (100.0 *. time_tol) (100.0 *. exact_tol);
+  exit (if !failures > 0 then 1 else 0)

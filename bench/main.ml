@@ -66,7 +66,11 @@ let write_metrics path =
   close_out oc;
   Printf.printf "\nwrote %d metrics to %s\n" (List.length !metrics) path
 
-(* Mean wall-clock seconds and allocated bytes per call of [f]. *)
+(* Mean wall-clock seconds and allocated bytes per call of [f].  The
+   elapsed time is clamped to one timer tick: with BENCH_REPS=1 a call can
+   complete inside the gettimeofday resolution and the raw difference comes
+   back 0.0, which would turn every derived ratio into inf/nan and poison
+   the JSON the regression gate parses. *)
 let time_alloc reps f =
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
@@ -75,7 +79,11 @@ let time_alloc reps f =
   done;
   let t1 = Unix.gettimeofday () in
   let a1 = Gc.allocated_bytes () in
-  ((t1 -. t0) /. float_of_int reps, (a1 -. a0) /. float_of_int reps)
+  (Float.max (t1 -. t0) 1e-9 /. float_of_int reps,
+   (a1 -. a0) /. float_of_int reps)
+
+(* Zero-variance-safe ratio for headline speedup numbers. *)
+let ratio a b = a /. Float.max b 1e-12
 
 (* ------------------------------------------------------------------ *)
 (* Table I: results of timing model extraction                         *)
@@ -424,13 +432,14 @@ let run_kernels () =
     a_pure;
   Printf.printf "%-24s %10.1f %14.0f\n" "forward_into (kernel)"
     (1e6 *. t_kern) a_kern;
-  Printf.printf "speedup: %.2fx   allocation: %.0fx less\n" (t_pure /. t_kern)
+  Printf.printf "speedup: %.2fx   allocation: %.0fx less\n"
+    (ratio t_pure t_kern)
     (a_pure /. Float.max 1.0 a_kern);
   record "kernels_forward_c432_pure_us" (1e6 *. t_pure);
   record "kernels_forward_c432_pure_bytes" a_pure;
   record "kernels_forward_c432_kernel_us" (1e6 *. t_kern);
   record "kernels_forward_c432_kernel_bytes" a_kern;
-  record "kernels_forward_c432_speedup" (t_pure /. t_kern);
+  record "kernels_forward_c432_speedup" (ratio t_pure t_kern);
   record "kernels_forward_c432_alloc_ratio" (a_pure /. Float.max 1.0 a_kern)
 
 (* ------------------------------------------------------------------ *)
@@ -440,11 +449,23 @@ let run_kernels () =
 let run_criticality_c1908 () =
   header "Criticality: c1908 exhaustive pair screen (delta=0.05)";
   let b = Build.characterize (Iscas.build "c1908") in
-  let a0 = Gc.allocated_bytes () in
-  let t0 = Unix.gettimeofday () in
-  let cr = H.Criticality.compute ~delta b.Build.graph ~forms:b.Build.forms in
-  let dt = Unix.gettimeofday () -. t0 in
-  let da = Gc.allocated_bytes () -. a0 in
+  (* Best-of-3 wall clock: a single-shot measurement swings well past the
+     regression gate's tolerance with machine load, while the minimum is a
+     stable statistic.  Allocation is deterministic, so one run suffices. *)
+  let dt = ref infinity and result = ref None and da = ref 0.0 in
+  for rep = 1 to 3 do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let cr = H.Criticality.compute ~delta b.Build.graph ~forms:b.Build.forms in
+    let t = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+    if rep = 1 then begin
+      result := Some cr;
+      da := Gc.allocated_bytes () -. a0
+    end;
+    if t < !dt then dt := t
+  done;
+  let cr = Option.get !result in
+  let dt = !dt and da = !da in
   let per_screen = da /. float_of_int (max 1 cr.H.Criticality.screened_pairs) in
   Printf.printf
     "%.3f s, screened=%d exact=%d, %.1f MB allocated (%.1f bytes/screen)\n" dt
@@ -474,6 +495,81 @@ let run_extract_c7552 () =
   record "extract_c7552_s" dt;
   record "extract_c7552_bytes" da;
   record "extract_c7552_model_edges" (float_of_int stats.H.Timing_model.model_edges)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: chunked MC over 1/2/4/8 domains                   *)
+(* ------------------------------------------------------------------ *)
+
+let par_domain_counts = [ 1; 2; 4; 8 ]
+
+let bits_of_floats a = Array.map Int64.bits_of_float a
+
+(* Flat Monte Carlo over a domain sweep: the chunk layout (and every RNG
+   substream) is fixed by the iteration count, so every domain count must
+   reproduce the single-domain delays bit for bit - asserted here, not just
+   recorded. *)
+let run_mc_par () =
+  let iters = max 4096 mc_iters in
+  header
+    (Printf.sprintf "Parallel MC scaling (c880, %d samples, chunk=%d)" iters
+       Ssta_mc.Sampler.chunk_iterations);
+  let b = Build.characterize (Iscas.build "c880") in
+  let ctx = Ssta_mc.Sampler.ctx_of_build b in
+  Printf.printf "%-8s %10s %9s  %s\n" "domains" "wall s" "speedup" "bit-equal";
+  let base = ref None in
+  List.iter
+    (fun d ->
+      let r = Ssta_mc.Flat_mc.run ~domains:d ~iterations:iters ~seed:42 ctx in
+      let t = r.Ssta_mc.Flat_mc.wall_seconds in
+      let reference =
+        match !base with
+        | None ->
+            base := Some (t, bits_of_floats r.Ssta_mc.Flat_mc.delays);
+            (t, bits_of_floats r.Ssta_mc.Flat_mc.delays)
+        | Some b -> b
+      in
+      let t1, golden = reference in
+      let equal = golden = bits_of_floats r.Ssta_mc.Flat_mc.delays in
+      if not equal then
+        failwith
+          (Printf.sprintf "mc_par: domains=%d diverged from domains=1" d);
+      Printf.printf "%-8d %10.3f %8.2fx  %s\n" d t (ratio t1 t) "yes";
+      record (Printf.sprintf "mc_par_c880_d%d_s" d) t;
+      record (Printf.sprintf "mc_par_c880_d%d_speedup" d) (ratio t1 t))
+    par_domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: c7552 extraction over 1/2/4/8 domains             *)
+(* ------------------------------------------------------------------ *)
+
+let run_extract_par_c7552 () =
+  header "Parallel extraction scaling (c7552, delta=0.05)";
+  let b = Build.characterize (Iscas.build "c7552") in
+  Printf.printf "%-8s %10s %9s  %s\n" "domains" "wall s" "speedup" "bit-equal";
+  let base = ref None in
+  List.iter
+    (fun d ->
+      let t0 = Unix.gettimeofday () in
+      let model = H.Extract.extract ~domains:d ~delta b in
+      let t = Unix.gettimeofday () -. t0 in
+      let signature =
+        (model.H.Timing_model.forms, model.H.Timing_model.stats.H.Timing_model.model_edges)
+      in
+      let t1, golden =
+        match !base with
+        | None ->
+            base := Some (t, signature);
+            (t, signature)
+        | Some b -> b
+      in
+      let equal = golden = signature in
+      if not equal then
+        failwith
+          (Printf.sprintf "extract_par: domains=%d diverged from domains=1" d);
+      Printf.printf "%-8d %10.2f %8.2fx  %s\n" d t (ratio t1 t) "yes";
+      record (Printf.sprintf "extract_par_c7552_d%d_s" d) t;
+      record (Printf.sprintf "extract_par_c7552_d%d_speedup" d) (ratio t1 t))
+    par_domain_counts
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -601,6 +697,8 @@ let experiments =
     ("kernels", run_kernels);
     ("criticality_c1908", run_criticality_c1908);
     ("extract_c7552", run_extract_c7552);
+    ("mc_par", run_mc_par);
+    ("extract_par_c7552", run_extract_par_c7552);
   ]
 
 let () =

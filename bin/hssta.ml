@@ -23,6 +23,22 @@ let setup_logs =
   in
   Term.(const init $ Fmt_cli.style_renderer () $ Logs_cli.level ())
 
+(* Worker-domain count for the parallel MC/extraction engines.  The flag
+   overrides the PAR_DOMAINS environment variable, which overrides the CPU
+   count; every engine is bit-deterministic across this setting, so it only
+   trades wall clock. *)
+let setup_domains =
+  let doc =
+    "Worker domains for the parallel Monte Carlo and extraction engines \
+     (default: $(b,PAR_DOMAINS) or the CPU count; 1 = exact sequential \
+     path).  Results are bit-identical for every value."
+  in
+  let arg =
+    Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
+  in
+  let apply = function None -> () | Some n -> Ssta_par.Par.set_domains n in
+  Term.(const apply $ arg)
+
 let circuit_arg =
   let doc = "Benchmark circuit name (see `hssta list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
@@ -63,7 +79,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let sta_cmd =
-  let run () name =
+  let run () () name =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -89,10 +105,10 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta"
        ~doc:"Deterministic and statistical timing of one circuit")
-    Term.(const run $ setup_logs $ circuit_arg)
+    Term.(const run $ setup_logs $ setup_domains $ circuit_arg)
 
 let extract_cmd =
-  let run () name delta iters seed =
+  let run () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -130,10 +146,12 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
        ~doc:"Extract a statistical timing model and validate it against MC")
-    Term.(const run $ setup_logs $ circuit_arg $ delta_arg $ iters_arg $ seed_arg)
+    Term.(
+      const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg
+      $ iters_arg $ seed_arg)
 
 let criticality_cmd =
-  let run () name delta =
+  let run () () name delta =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -157,7 +175,7 @@ let criticality_cmd =
   Cmd.v
     (Cmd.info "criticality"
        ~doc:"Edge-criticality histogram of a circuit (paper Fig. 6)")
-    Term.(const run $ setup_logs $ circuit_arg $ delta_arg)
+    Term.(const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg)
 
 let hier_cmd =
   let circuit =
@@ -165,7 +183,7 @@ let hier_cmd =
                inputs and outputs, e.g. c6288)." in
     Arg.(value & pos 0 string "c6288" & info [] ~docv:"CIRCUIT" ~doc)
   in
-  let run () name delta iters seed =
+  let run () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -196,7 +214,9 @@ let hier_cmd =
   Cmd.v
     (Cmd.info "hier"
        ~doc:"Hierarchical SSTA of the paper's 2x2 experiment (Fig. 7)")
-    Term.(const run $ setup_logs $ circuit $ delta_arg $ iters_arg $ seed_arg)
+    Term.(
+      const run $ setup_logs $ setup_domains $ circuit $ delta_arg
+      $ iters_arg $ seed_arg)
 
 let paths_cmd =
   let k_arg =
@@ -234,7 +254,7 @@ let model_cmd =
     let doc = "Output path for the serialized timing model." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run () name delta out =
+  let run () () name delta out =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -248,7 +268,7 @@ let model_cmd =
     (Cmd.info "model"
        ~doc:"Extract a timing model and write it to a file (gray-box IP \
              hand-off)")
-    Term.(const run $ setup_logs $ circuit_arg $ delta_arg $ out_arg)
+    Term.(const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg $ out_arg)
 
 let model_info_cmd =
   let path_arg =

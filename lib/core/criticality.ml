@@ -2,6 +2,7 @@ module Form = Ssta_canonical.Form
 module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 module Normal = Ssta_gauss.Normal
+module Par = Ssta_par.Par
 
 type result = {
   keep : bool array;
@@ -10,53 +11,48 @@ type result = {
   screened_pairs : int;
 }
 
-(* Full backward passes, computed lazily per output and retained: the
-   criticality loop touches every output for almost every input, so an
-   eviction policy would thrash (one backward pass costs a full canonical
-   sweep).  Each pass lives in a flat Form_buf workspace - |V| * stride
-   unboxed floats plus a reachability mask - instead of an option array of
-   boxed Form.t records, which roughly halves resident memory at c7552
-   scale and keeps the exact-evaluation covariance reads contiguous. *)
-module Req_cache = struct
-  type t = {
-    g : Tgraph.t;
-    forms : Form_buf.t;
-    passes : Propagate.workspace option array;
-  }
+(* Per-chunk screening state: every chunk of inputs screens against its own
+   keep/cm/bar arrays and the chunk results are merged in chunk-index order
+   (or for keep, max for cm_z, sum for the counters), so the outcome is
+   bit-identical no matter how many domains ran the chunks.  The bar-based
+   pruning therefore only accelerates within a chunk; the merged [keep] set
+   is unaffected (a pair is only ever pruned for an edge the same chunk
+   already settled), and in exact mode the merged maximum criticality is
+   unaffected too (a pruned pair's tightness is bounded by a z-score some
+   evaluated pair of the same chunk already reached). *)
+type chunk_result = {
+  c_keep : bool array;
+  c_cm_z : float array;
+  c_exact : int;
+  c_screened : int;
+}
 
-  let create g forms n_outputs =
-    { g; forms; passes = Array.make n_outputs None }
+(* Per-domain scratch reused across the chunks a domain claims: one forward
+   workspace plus the scalar/quad gather rows - the allocation profile per
+   domain matches what the sequential loop used to allocate once. *)
+type scratch = {
+  ws_arr : Propagate.workspace;
+  quad : float array;
+  a_mu : float array;
+  a_sig : float array;
+  source1 : int array;
+}
 
-  let get t ~out ~j =
-    match t.passes.(j) with
-    | Some ws -> ws
-    | None ->
-        let ws = Propagate.create_workspace () in
-        Propagate.backward_to_into ws t.g ~forms:t.forms out;
-        t.passes.(j) <- Some ws;
-        ws
-end
-
-let compute ?(exact = false) ~delta g ~forms =
+let compute ?(exact = false) ?domains ~delta g ~forms =
   if not (delta > 0.0 && delta < 1.0) then
     invalid_arg "Criticality.compute: delta must lie in (0, 1)";
   let m = Tgraph.n_edges g in
   let nv = Tgraph.n_vertices g in
   let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
-  let no = Array.length outputs in
-  let keep = Array.make m false in
-  (* Best exact tightness z-score seen per edge (neg_infinity = never
-     evaluated); converted to a probability at the end. *)
-  let cm_z = Array.make m neg_infinity in
+  let ni = Array.length inputs and no = Array.length outputs in
   let floor_p = 1e-3 in
   let z_delta = Normal.quantile delta in
   let z_floor = Normal.quantile floor_p in
-  (* Per-edge decision threshold in z-space: in threshold mode an edge is
-     settled by any witness >= delta; in exact mode the bar rises to the best
-     exact criticality found so far (bounds below it cannot improve cm). *)
-  let bar = Array.make m (if exact then z_floor else z_delta) in
-  let exact_evals = ref 0 in
-  let screened = ref 0 in
+  (* Initial per-edge decision threshold in z-space: in threshold mode an
+     edge is settled by any witness >= delta; in exact mode the bar rises to
+     the best exact criticality found so far within the chunk (bounds below
+     it cannot improve cm). *)
+  let bar0 = if exact then z_floor else z_delta in
   (* Edge delay scalars. *)
   let d_mu = Array.map (fun f -> f.Form.mean) forms in
   let d_var = Array.map Form.variance forms in
@@ -67,33 +63,51 @@ let compute ?(exact = false) ~delta g ~forms =
     if m = 0 then { Form.n_globals = 0; n_pcs = 0 } else Form.dims forms.(0)
   in
   let fbuf = Form_buf.of_forms dims forms in
-  (* Backward scalar tables per output; the full passes are retained in the
-     cache for the exact evaluations. *)
-  let cache = Req_cache.create g fbuf no in
+  (* Full backward passes, one per output, fanned out over the pool (each
+     pass costs a full canonical sweep and they are independent).  Every
+     pass lives in a flat Form_buf workspace - |V| * stride unboxed floats
+     plus a reachability mask - retained for the whole screen because the
+     criticality loop touches every output for almost every input; the
+     scalar mu/sigma tables are filled in the same task (each task owns its
+     output's row). *)
   let req_mu = Array.make_matrix no nv nan in
   let req_sig = Array.make_matrix no nv nan in
-  Array.iteri
-    (fun j out ->
-      let req = Req_cache.get cache ~out ~j in
-      Propagate.scalar_summaries_into req ~n:nv ~mu:req_mu.(j)
-        ~sigma:req_sig.(j))
-    outputs;
-  (* One forward workspace reused across the |I| per-input sweeps, and one
-     scratch row for the fused exact-evaluation gather. *)
-  let ws_arr = Propagate.create_workspace () in
-  let quad = Array.make Form_buf.quad_size 0.0 in
-  let a_mu = Array.make nv nan and a_sig = Array.make nv nan in
-  let source1 = [| 0 |] in
+  let passes =
+    Par.map_tasks ?domains
+      ~init:(fun () -> ())
+      no
+      (fun () j ->
+        let ws = Propagate.create_workspace () in
+        Propagate.backward_to_into ws g ~forms:fbuf outputs.(j);
+        Propagate.scalar_summaries_into ws ~n:nv ~mu:req_mu.(j)
+          ~sigma:req_sig.(j);
+        ws)
+  in
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
-  Array.iter
-    (fun input ->
-      source1.(0) <- input;
-      Propagate.forward_into ws_arr g ~forms:fbuf ~sources:source1;
-      let abuf = Propagate.ws_buf ws_arr in
-      Propagate.scalar_summaries_into ws_arr ~n:nv ~mu:a_mu ~sigma:a_sig;
+  (* Screening fan-out: inputs are cut into at most 32 fixed chunks (a
+     function of |I| only, never of the domain count, to keep the chunk
+     layout - and the merged result - domain-count invariant). *)
+  let input_chunk = max 1 ((ni + 31) / 32) in
+  let screen_chunk scratch ~lo ~hi =
+    let keep = Array.make m false in
+    (* Best exact tightness z-score seen per edge (neg_infinity = never
+       evaluated); converted to a probability after the merge. *)
+    let cm_z = Array.make m neg_infinity in
+    let bar = Array.make m bar0 in
+    let exact_evals = ref 0 in
+    let screened = ref 0 in
+    for ii = lo to hi - 1 do
+      let input = inputs.(ii) in
+      scratch.source1.(0) <- input;
+      Propagate.forward_into scratch.ws_arr g ~forms:fbuf
+        ~sources:scratch.source1;
+      let abuf = Propagate.ws_buf scratch.ws_arr in
+      let a_mu = scratch.a_mu and a_sig = scratch.a_sig in
+      Propagate.scalar_summaries_into scratch.ws_arr ~n:nv ~mu:a_mu
+        ~sigma:a_sig;
       Array.iteri
         (fun j out ->
-          if Propagate.ws_reached ws_arr out then begin
+          if Propagate.ws_reached scratch.ws_arr out then begin
             let m_mu = Form_buf.mean abuf out in
             let m_sig = Form_buf.std abuf out in
             let rmu = req_mu.(j) and rsig = req_sig.(j) in
@@ -128,11 +142,11 @@ let compute ?(exact = false) ~delta g ~forms =
                        covariances of the stored forms, so no canonical sum
                        needs to be materialized; one fused strided gather
                        reads everything out of the flat buffers. *)
-                    let req = Req_cache.get cache ~out ~j in
-                    let rbuf = Propagate.ws_buf req in
+                    let rbuf = Propagate.ws_buf passes.(j) in
                     incr exact_evals;
                     Form_buf.quad_stats_into ~a:abuf ~ia:s ~e:fbuf ~ie:e
-                      ~r:rbuf ~ir:d ~m:abuf ~im:out ~into:quad;
+                      ~r:rbuf ~ir:d ~m:abuf ~im:out ~into:scratch.quad;
+                    let quad = scratch.quad in
                     let var_de =
                       Array.unsafe_get quad Form_buf.quad_var_a
                       +. d_var.(e)
@@ -195,8 +209,41 @@ let compute ?(exact = false) ~delta g ~forms =
               end
             done
           end)
-        outputs)
-    inputs;
+        outputs
+    done;
+    { c_keep = keep; c_cm_z = cm_z; c_exact = !exact_evals;
+      c_screened = !screened }
+  in
+  let chunks =
+    Par.map_tasks ?domains
+      ~init:(fun () ->
+        {
+          ws_arr = Propagate.create_workspace ();
+          quad = Array.make Form_buf.quad_size 0.0;
+          a_mu = Array.make nv nan;
+          a_sig = Array.make nv nan;
+          source1 = [| 0 |];
+        })
+      (Par.n_chunks ~chunk:input_chunk ni)
+      (fun scratch c ->
+        let lo, hi = Par.chunk_bounds ~chunk:input_chunk ~n:ni c in
+        screen_chunk scratch ~lo ~hi)
+  in
+  (* Merge in chunk-index order (all four merges are order-insensitive, but
+     the fixed order keeps the determinism argument local). *)
+  let keep = Array.make m false in
+  let cm_z = Array.make m neg_infinity in
+  let exact_evals = ref 0 in
+  let screened = ref 0 in
+  Array.iter
+    (fun c ->
+      for e = 0 to m - 1 do
+        if c.c_keep.(e) then keep.(e) <- true;
+        if c.c_cm_z.(e) > cm_z.(e) then cm_z.(e) <- c.c_cm_z.(e)
+      done;
+      exact_evals := !exact_evals + c.c_exact;
+      screened := !screened + c.c_screened)
+    chunks;
   let cm =
     Array.map
       (fun z ->

@@ -35,14 +35,15 @@ type result = {
   cm : float array;
       (** per edge: exact maximum criticality when [exact] was requested,
           otherwise a lower bound that is correct on the keep/remove side of
-          [delta] (kept edges carry the first witness >= delta, removed
-          edges their best evaluated value, 0 if screened out) *)
+          [delta] (kept edges carry a witness >= delta, removed edges their
+          best evaluated value, 0 if screened out) *)
   exact_evals : int;  (** number of full tightness evaluations performed *)
   screened_pairs : int;  (** number of (edge, pair) screens performed *)
 }
 
 val compute :
   ?exact:bool ->
+  ?domains:int ->
   delta:float ->
   Tgraph.t ->
   forms:Form.t array ->
@@ -50,4 +51,10 @@ val compute :
 (** [exact] (default false) makes [cm] the exact per-edge maximum
     criticality (needed for the paper's Fig. 6 histogram) at the cost of
     more exact evaluations; criticalities whose screen bound is below
-    [1e-3] are reported as 0. *)
+    [1e-3] are reported as 0.
+
+    [domains] (default {!Ssta_par.Par.domains}) fans the per-output
+    backward sweeps and the chunked per-input screening over a fixed-size
+    domain pool.  The chunk layout is a function of the port counts only,
+    so [keep], [cm], and both counters are bit-identical for every domain
+    count (including the never-spawning sequential path at 1). *)

@@ -27,8 +27,8 @@ let output_load_increments (b : Build.t) =
 
 (* Shared between module- and design-level extraction: criticality filter,
    merge to fixpoint, and the Table-I bookkeeping. *)
-let reduce_and_stats ?(exact = false) ~delta ~t0 g forms =
-  let crit = Criticality.compute ~exact ~delta g ~forms in
+let reduce_and_stats ?(exact = false) ?domains ~delta ~t0 g forms =
+  let crit = Criticality.compute ~exact ?domains ~delta g ~forms in
   let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
   Reduce.reduce work;
   let graph, rforms, _inputs, _outputs = Reduce.freeze work in
@@ -50,11 +50,12 @@ let reduce_and_stats ?(exact = false) ~delta ~t0 g forms =
   in
   (crit, graph, rforms, stats)
 
-let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
+let extract_with_criticality ?(exact = false) ?domains ?(delta = 0.05)
+    (b : Build.t) =
   let t0 = Unix.gettimeofday () in
   let g = b.Build.graph in
   let crit, graph, forms, stats =
-    reduce_and_stats ~exact ~delta ~t0 g b.Build.forms
+    reduce_and_stats ~exact ?domains ~delta ~t0 g b.Build.forms
   in
   let model =
     {
@@ -70,14 +71,17 @@ let extract_with_criticality ?(exact = false) ?(delta = 0.05) (b : Build.t) =
   in
   (model, crit)
 
-let extract ?delta b = fst (extract_with_criticality ?delta b)
+let extract ?domains ?delta b =
+  fst (extract_with_criticality ?domains ?delta b)
 
-let extract_design ?(delta = 0.05) ~name (fp : Floorplan.t)
+let extract_design ?domains ?(delta = 0.05) ~name (fp : Floorplan.t)
     (dg : Design_grid.t) (res : Hier_analysis.result) =
   let t0 = Unix.gettimeofday () in
   let g = res.Hier_analysis.graph in
   let forms = res.Hier_analysis.forms in
-  let _crit, graph, rforms, stats = reduce_and_stats ~delta ~t0 g forms in
+  let _crit, graph, rforms, stats =
+    reduce_and_stats ?domains ~delta ~t0 g forms
+  in
   (* Each design output is an instance output port; its load increment is
      the instance's, rewritten over the design basis. *)
   let output_load =

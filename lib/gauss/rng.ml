@@ -15,13 +15,34 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create ~seed =
-  let st = ref (Int64.of_int seed) in
+let create64 seed64 =
+  let st = ref seed64 in
   let s0 = splitmix64 st in
   let s1 = splitmix64 st in
   let s2 = splitmix64 st in
   let s3 = splitmix64 st in
   { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let create ~seed = create64 (Int64.of_int seed)
+
+(* Deterministic substream family for chunked parallel runs: [stream ~seed
+   ~index:i] yields an independent, reproducible generator per chunk, a pure
+   function of (seed, index) - never of the domain count or spawn order.
+   Index 0 is exactly [create ~seed], so any run that fits in a single chunk
+   reproduces the historical sequential stream bit for bit (the MC goldens
+   in test_determinism.ml rely on this).  Higher indices push (seed, index)
+   through two splitmix64 rounds before seeding, which decorrelates
+   neighbouring chunk streams the same way [create] decorrelates
+   neighbouring integer seeds. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: index must be >= 0";
+  if index = 0 then create ~seed
+  else begin
+    let st = ref (Int64.of_int seed) in
+    let a = splitmix64 st in
+    st := Int64.logxor a (Int64.mul (Int64.of_int index) 0x9E3779B97F4A7C15L);
+    create64 (splitmix64 st)
+  end
 
 let copy t = { t with s0 = t.s0 }
 

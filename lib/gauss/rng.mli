@@ -10,6 +10,17 @@ type t
 val create : seed:int -> t
 (** [create ~seed] expands [seed] with splitmix64 into a full 256-bit state. *)
 
+val create64 : int64 -> t
+(** As {!create} from a full 64-bit seed. *)
+
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is the [index]-th generator of a deterministic
+    substream family: a pure function of [(seed, index)], independent of
+    domain count or spawn order, so chunked parallel runs are reproducible.
+    [index = 0] is exactly [create ~seed] (the historical sequential
+    stream); higher indices derive decorrelated 64-bit seeds through
+    splitmix64.  Raises [Invalid_argument] on negative [index]. *)
+
 val copy : t -> t
 (** Independent copy of the current state. *)
 

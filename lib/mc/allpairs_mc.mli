@@ -16,4 +16,9 @@ type result = {
   wall_seconds : float;
 }
 
-val run : iterations:int -> seed:int -> Sampler.ctx -> result
+val run : ?domains:int -> iterations:int -> seed:int -> Sampler.ctx -> result
+(** Iterations are processed in fixed {!Sampler.chunk_iterations}-sized
+    chunks (independent RNG substream and Welford accumulators per chunk)
+    and the per-chunk statistics are merged in chunk-index order, so means
+    and stds are bit-identical for every [domains] count (default
+    {!Ssta_par.Par.domains}). *)

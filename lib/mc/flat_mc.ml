@@ -1,34 +1,54 @@
 module Rng = Ssta_gauss.Rng
 module Sta = Ssta_timing.Sta
 module Tgraph = Ssta_timing.Tgraph
+module Par = Ssta_par.Par
 
 type result = { delays : float array; wall_seconds : float }
 
-let run ~iterations ~seed ctx =
+(* Chunked deterministic Monte Carlo: iterations are cut into fixed
+   [Sampler.chunk_iterations]-sized chunks, chunk [c] draws from the
+   reproducible substream [Rng.stream ~seed ~index:c] and writes only its
+   own [delays] slice, so the result is bit-identical for every domain
+   count (including the never-spawning [domains = 1] sequential path). *)
+let run ?domains ~iterations ~seed ctx =
   if iterations <= 0 then invalid_arg "Flat_mc.run: iterations must be > 0";
-  let rng = Rng.create ~seed in
   let g = ctx.Sampler.graph in
-  let weights = Array.make (Tgraph.n_edges g) 0.0 in
+  let n_edges = Tgraph.n_edges g in
+  let chunk = Sampler.chunk_iterations in
   let delays = Array.make iterations 0.0 in
   let t0 = Unix.gettimeofday () in
-  for it = 0 to iterations - 1 do
-    let sample = Sampler.draw ctx.Sampler.basis rng in
-    Sampler.fill_weights ctx sample rng weights;
-    delays.(it) <- Sta.design_delay g ~weights
-  done;
+  Par.run_tasks ?domains
+    ~n_tasks:(Par.n_chunks ~chunk iterations)
+    ~init:(fun () -> Array.make n_edges 0.0)
+    ~task:(fun weights c ->
+      let lo, hi = Par.chunk_bounds ~chunk ~n:iterations c in
+      let rng = Rng.stream ~seed ~index:c in
+      for it = lo to hi - 1 do
+        let sample = Sampler.draw ctx.Sampler.basis rng in
+        Sampler.fill_weights ctx sample rng weights;
+        delays.(it) <- Sta.design_delay g ~weights
+      done)
+    ();
   { delays; wall_seconds = Unix.gettimeofday () -. t0 }
 
-let arrival_samples ~iterations ~seed ctx ~vertex =
+let arrival_samples ?domains ~iterations ~seed ctx ~vertex =
   if iterations <= 0 then
     invalid_arg "Flat_mc.arrival_samples: iterations must be > 0";
-  let rng = Rng.create ~seed in
   let g = ctx.Sampler.graph in
-  let weights = Array.make (Tgraph.n_edges g) 0.0 in
+  let n_edges = Tgraph.n_edges g in
+  let chunk = Sampler.chunk_iterations in
   let out = Array.make iterations 0.0 in
-  for it = 0 to iterations - 1 do
-    let sample = Sampler.draw ctx.Sampler.basis rng in
-    Sampler.fill_weights ctx sample rng weights;
-    let arr = Sta.forward g ~weights in
-    out.(it) <- arr.(vertex)
-  done;
+  Par.run_tasks ?domains
+    ~n_tasks:(Par.n_chunks ~chunk iterations)
+    ~init:(fun () -> Array.make n_edges 0.0)
+    ~task:(fun weights c ->
+      let lo, hi = Par.chunk_bounds ~chunk ~n:iterations c in
+      let rng = Rng.stream ~seed ~index:c in
+      for it = lo to hi - 1 do
+        let sample = Sampler.draw ctx.Sampler.basis rng in
+        Sampler.fill_weights ctx sample rng weights;
+        let arr = Sta.forward g ~weights in
+        out.(it) <- arr.(vertex)
+      done)
+    ();
   out

@@ -14,6 +14,14 @@ type ctx = {
 let ctx_of_build (b : Build.t) =
   { graph = b.Build.graph; sparse = b.Build.sparse; basis = b.Build.basis }
 
+(* Iteration chunk for the parallel MC engines.  Fixed - a function of the
+   iteration count only, never of the domain count - so the chunk layout,
+   and with it every RNG substream, is identical no matter how many domains
+   execute it.  256 also keeps any run of <= 256 iterations in a single
+   chunk, which runs on Rng.stream index 0 = the historical sequential
+   stream: the 250-iteration MC goldens are preserved bit for bit. *)
+let chunk_iterations = 256
+
 let draw basis rng =
   {
     globals = Basis.sample_globals basis rng;

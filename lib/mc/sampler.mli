@@ -21,6 +21,14 @@ type ctx = {
 
 val ctx_of_build : Ssta_timing.Build.t -> ctx
 
+val chunk_iterations : int
+(** Fixed iteration-chunk size shared by the parallel MC engines.  The
+    chunk layout (and with it every RNG substream) depends only on the
+    iteration count, never on the domain count, which is what makes the
+    engines bit-deterministic across [PAR_DOMAINS]; runs of at most this
+    many iterations occupy a single chunk on substream index 0 and
+    therefore reproduce the historical sequential stream exactly. *)
+
 val draw : Ssta_variation.Basis.t -> Ssta_gauss.Rng.t -> sample
 
 val edge_delay :

@@ -1,0 +1,126 @@
+(* Deterministic multicore execution for the MC and extraction hot loops.
+
+   The pool is a fixed-size set of OCaml 5 domains draining an indexed task
+   list through one atomic counter.  Determinism comes from two invariants,
+   not from the scheduler:
+
+   - the task list (chunk layout) is a pure function of the problem size,
+     never of the domain count, so every run decomposes the work
+     identically; and
+   - each task writes only to its own slot (or returns a value that is
+     combined in task-index order after the join barrier), so the merged
+     result is bit-identical no matter which domain ran which task, or in
+     which order.
+
+   [domains = 1] never spawns: the tasks run in the calling domain, in
+   index order - the exact sequential path.  Because tasks are independent
+   and merges happen in index order, that path produces the same bits as
+   any parallel execution, which is what `test/test_par.ml` pins.
+
+   Domains are spawned per parallel region rather than parked in a global
+   queue: a region's tasks are coarse (a chunk of MC samples, a full
+   forward sweep), so the ~100us spawn cost is noise, and joining inside
+   the region gives the publication barrier that makes the workers' writes
+   visible to the caller without any further synchronization. *)
+
+let env_default =
+  lazy
+    (match Sys.getenv_opt "PAR_DOMAINS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let override = ref None
+let set_domains n = override := Some (max 1 n)
+
+let domains () =
+  match !override with Some n -> n | None -> Lazy.force env_default
+
+(* Run [f ()] with the domain count forced to [n], restoring the previous
+   setting afterwards (used by tests and the bench scaling sweeps). *)
+let with_domains n f =
+  let saved = !override in
+  set_domains n;
+  Fun.protect ~finally:(fun () -> override := saved) f
+
+let resolve = function Some n -> max 1 n | None -> domains ()
+
+(* Execute [n_tasks] independent tasks on [domains] workers.  Each worker
+   builds one [init ()] scratch value and reuses it across every task it
+   claims; tasks must therefore not let results depend on scratch history
+   (our workspaces re-prepare themselves per sweep).  Exceptions raised by
+   a task surface to the caller after all workers have been joined. *)
+let run_tasks ?domains ~n_tasks ~init ~task () =
+  if n_tasks > 0 then begin
+    let d = min (resolve domains) n_tasks in
+    if d <= 1 then begin
+      let w = init () in
+      for i = 0 to n_tasks - 1 do
+        task w i
+      done
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let w = init () in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n_tasks then begin
+            task w i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let others = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      let first_exn = ref None in
+      (try worker () with e -> first_exn := Some e);
+      Array.iter
+        (fun dom ->
+          try Domain.join dom
+          with e -> if !first_exn = None then first_exn := Some e)
+        others;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+  end
+
+(* As [run_tasks], but collect each task's return value, in task order. *)
+let map_tasks ?domains ~init n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_tasks ?domains ~n_tasks:n ~init
+      ~task:(fun w i -> out.(i) <- Some (f w i))
+      ();
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunked index ranges                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunk layout over [0, n): fixed-size chunks (the last one short), a pure
+   function of [n] and [chunk] only.  [chunk <= 0] is clamped to 1. *)
+let n_chunks ~chunk n =
+  let c = max 1 chunk in
+  if n <= 0 then 0 else (n + c - 1) / c
+
+let chunk_bounds ~chunk ~n i =
+  let c = max 1 chunk in
+  let lo = i * c in
+  (lo, min n (lo + c))
+
+(* Map [f ~chunk ~lo ~hi] over every chunk of [0, n); the result array is
+   in chunk-index order regardless of the domain count. *)
+let map_chunks ?domains ~chunk ~n f =
+  map_tasks ?domains
+    ~init:(fun () -> ())
+    (n_chunks ~chunk n)
+    (fun () i ->
+      let lo, hi = chunk_bounds ~chunk ~n i in
+      f ~chunk:i ~lo ~hi)
+
+(* Chunked map-reduce: chunk results are folded with [merge] strictly in
+   chunk-index order, so non-commutative merges (running statistics) stay
+   deterministic. *)
+let fold_chunks ?domains ~chunk ~n ~init:acc0 ~merge f =
+  Array.fold_left merge acc0 (map_chunks ?domains ~chunk ~n f)

@@ -10,6 +10,13 @@ module Stats = Ssta_gauss.Stats
 
 let ctx = lazy (Ssta_mc.Sampler.ctx_of_build (Build.characterize (Iscas.build "c432")))
 
+(* Each golden runs once on the ambient (PAR_DOMAINS-controlled) pool and
+   once pinned to 4 domains: the chunked parallel engine must reproduce the
+   pre-refactor sequential stream bit for bit at every domain count. *)
+let with_pool f () =
+  f ();
+  Ssta_par.Par.with_domains 4 f
+
 let test_allpairs_golden () =
   let mc = Ssta_mc.Allpairs_mc.run ~iterations:250 ~seed:42 (Lazy.force ctx) in
   (* Order-stable checksums over every reachable pair: any change to the
@@ -44,7 +51,8 @@ let suites =
     ( "determinism.mc_golden",
       [
         Alcotest.test_case "allpairs_mc c432@250 seed=42" `Slow
-          test_allpairs_golden;
-        Alcotest.test_case "flat_mc c432@250 seed=7" `Slow test_flat_golden;
+          (with_pool test_allpairs_golden);
+        Alcotest.test_case "flat_mc c432@250 seed=7" `Slow
+          (with_pool test_flat_golden);
       ] );
   ]

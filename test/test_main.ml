@@ -20,5 +20,6 @@ let () =
          Test_property.suites;
          Test_kernels.suites;
          Test_determinism.suites;
+         Test_par.suites;
          Test_integration.suites;
        ])
