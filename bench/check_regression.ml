@@ -9,6 +9,10 @@
      is machine- and load-dependent;
    - [_speedup]: a ratio of two timings - informational only, skipped (its
      noise is the product of both operands' noise);
+   - [_frac]: an upper-bounded overhead fraction - passes iff the current
+     value is at most GATE_OVERHEAD_MAX (default 0.02); the baseline value
+     only marks the key as gated.  Used for the observability layer's
+     disabled-mode overhead guarantee;
    - everything else (allocation bytes, screen/eval/edge counts, error
      percentages): deterministic for a pinned code path, compared exactly
      by default.  GATE_EXACT_TOL=0.1 relaxes this to a relative tolerance
@@ -66,16 +70,22 @@ let parse_metrics path =
   close_in ic;
   List.rev !metrics
 
-type klass = Timing | Ratio | Exact
+type klass = Timing | Ratio | Exact | Bound
 
+(* Seconds-denominated keys additionally get a small absolute slack: phase
+   breakdown spans can be sub-millisecond, where the relative tolerance is
+   smaller than gettimeofday jitter.  [_us]/[_ns] keys are per-rep means of
+   tight loops and stay purely relative. *)
 let classify key =
   match String.rindex_opt key '_' with
-  | None -> Exact
+  | None -> (Exact, 0.0)
   | Some i -> (
       match String.sub key (i + 1) (String.length key - i - 1) with
-      | "s" | "us" | "ns" -> Timing
-      | "speedup" -> Ratio
-      | _ -> Exact)
+      | "s" -> (Timing, 0.005)
+      | "us" | "ns" -> (Timing, 0.0)
+      | "speedup" -> (Ratio, 0.0)
+      | "frac" -> (Bound, 0.0)
+      | _ -> (Exact, 0.0))
 
 let () =
   let baseline_path, current_path =
@@ -85,6 +95,7 @@ let () =
   in
   let time_tol = env_tol "GATE_TIME_TOL" 0.30 in
   let exact_tol = env_tol "GATE_EXACT_TOL" 0.0 in
+  let overhead_max = env_tol "GATE_OVERHEAD_MAX" 0.02 in
   let baseline = parse_metrics baseline_path in
   let current = parse_metrics current_path in
   let failures = ref 0 and checked = ref 0 and skipped = ref 0 in
@@ -94,16 +105,24 @@ let () =
       | _, _, None ->
           incr failures;
           Printf.printf "FAIL %-36s missing from current run\n" key
-      | Ratio, _, _ -> incr skipped
+      | (Ratio, _), _, _ -> incr skipped
       | _, None, _ | _, _, Some None ->
           incr skipped;
           Printf.printf "SKIP %-36s null measurement\n" key
-      | klass, Some b, Some (Some c) ->
+      | (Bound, _), Some _, Some (Some c) ->
+          incr checked;
+          if c <= overhead_max then ()
+          else begin
+            incr failures;
+            Printf.printf "FAIL %-36s %.6g exceeds bound %.6g\n" key c
+              overhead_max
+          end
+      | (klass, slack), Some b, Some (Some c) ->
           incr checked;
           let tol = match klass with Timing -> time_tol | _ -> exact_tol in
           let ok =
             if tol = 0.0 then c = b
-            else abs_float (c -. b) <= tol *. abs_float b
+            else abs_float (c -. b) <= Float.max (tol *. abs_float b) slack
           in
           if ok then ()
           else begin
@@ -114,6 +133,7 @@ let () =
           end)
     baseline;
   Printf.printf "bench gate: %d checked, %d skipped, %d failed (time tol \
-                 +/-%.0f%%, exact tol +/-%.0f%%)\n"
-    !checked !skipped !failures (100.0 *. time_tol) (100.0 *. exact_tol);
+                 +/-%.0f%%, exact tol +/-%.0f%%, overhead bound %.0f%%)\n"
+    !checked !skipped !failures (100.0 *. time_tol) (100.0 *. exact_tol)
+    (100.0 *. overhead_max);
   exit (if !failures > 0 then 1 else 0)

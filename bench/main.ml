@@ -24,6 +24,7 @@ module Build = Ssta_timing.Build
 module Stats = Ssta_gauss.Stats
 module Iscas = Ssta_circuit.Iscas
 module N = Ssta_circuit.Netlist
+module Obs = Ssta_obs.Obs
 
 let mc_iters =
   match Sys.getenv_opt "MC_ITERS" with
@@ -484,17 +485,132 @@ let run_criticality_c1908 () =
 let run_extract_c7552 () =
   header "Extraction: c7552 end-to-end timing model (delta=0.05)";
   let b = Build.characterize (Iscas.build "c7552") in
+  (* The extraction runs with observability enabled: the per-phase spans
+     (extract.criticality / reduce / freeze / output_load) become the
+     BENCH_JSON phase breakdown.  Span overhead is a handful of coarse
+     events, far below the gate's timing tolerance. *)
+  let saved = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
   let model = H.Extract.extract ~delta b in
   let dt = Unix.gettimeofday () -. t0 in
   let da = Gc.allocated_bytes () -. a0 in
+  Obs.set_enabled saved;
   let stats = model.H.Timing_model.stats in
   Printf.printf "%.2f s, %.3f GB allocated (%d -> %d edges)\n" dt (da /. 1e9)
     stats.H.Timing_model.original_edges stats.H.Timing_model.model_edges;
+  let phases = [ "criticality"; "reduce"; "freeze"; "output_load" ] in
+  List.iter
+    (fun phase ->
+      let s = Obs.span_seconds ("extract." ^ phase) in
+      Printf.printf "  phase %-12s %7.3f s (%4.1f%%)\n" phase s
+        (100.0 *. s /. Float.max dt 1e-9);
+      record (Printf.sprintf "extract_c7552_phase_%s_s" phase) s)
+    phases;
   record "extract_c7552_s" dt;
   record "extract_c7552_bytes" da;
   record "extract_c7552_model_edges" (float_of_int stats.H.Timing_model.model_edges)
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: instrumented-but-disabled vs a raw replica  *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression gate's disabled-mode guarantee: a forward sweep through
+   the instrumented [Propagate.forward_into] with observability off must
+   cost within GATE_OVERHEAD_MAX (default 2%) of an uninstrumented replica
+   of the same kernel loop.  The replica below is a line-for-line copy of
+   the sweep with every Obs touch point deleted - same Form_buf kernels,
+   same reachability-mask discipline - so the measured difference is
+   exactly the instrumentation's disabled-mode residue (one flag load per
+   sweep).  Raw/disabled/enabled are timed in adjacent slices within each
+   round, and the gated fraction is the median of the per-round
+   disabled/raw ratios: pairing inside a round cancels CPU frequency
+   drift between rounds, which dwarfs the effect being measured. *)
+let run_obs_overhead () =
+  header
+    "Observability: disabled-mode overhead on the c432 forward sweep \
+     (median of 9 paired rounds)";
+  let b = Build.characterize (Iscas.build "c432") in
+  let g = b.Build.graph and forms = b.Build.forms in
+  let inputs = g.Ssta_timing.Tgraph.inputs in
+  let dims =
+    if Array.length forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+    else Form.dims forms.(0)
+  in
+  let fbuf = Form_buf.of_forms dims forms in
+  let n = Ssta_timing.Tgraph.n_vertices g in
+  let rbuf = Form_buf.create dims n in
+  let reach = Bytes.make n '\000' in
+  let raw_sweep () =
+    Bytes.fill reach 0 n '\000';
+    Array.iter
+      (fun v ->
+        Form_buf.clear_slot rbuf v;
+        Bytes.unsafe_set reach v '\001')
+      inputs;
+    let src = g.Ssta_timing.Tgraph.src and dst = g.Ssta_timing.Tgraph.dst in
+    for i = 0 to Array.length src - 1 do
+      let s = Array.unsafe_get src i in
+      if Bytes.unsafe_get reach s <> '\000' then begin
+        let d = Array.unsafe_get dst i in
+        if Bytes.unsafe_get reach d <> '\000' then
+          Form_buf.add_then_max_into ~acc:rbuf ~iacc:d ~a:rbuf ~ia:s ~b:fbuf
+            ~ib:i
+        else begin
+          Form_buf.add_into ~a:rbuf ~ia:s ~b:fbuf ~ib:i ~dst:rbuf ~idst:d;
+          Bytes.unsafe_set reach d '\001'
+        end
+      end
+    done
+  in
+  let ws = H.Propagate.create_workspace () in
+  let inst_sweep () =
+    H.Propagate.forward_into ws g ~forms:fbuf ~sources:inputs
+  in
+  let inner = max (bench_reps * 5) 400 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do
+      f ()
+    done;
+    Float.max (Unix.gettimeofday () -. t0) 1e-9 /. float_of_int inner
+  in
+  let saved = Obs.enabled () in
+  (* Warm-up: fault in code paths and size the reused workspace. *)
+  Obs.set_enabled false;
+  raw_sweep ();
+  inst_sweep ();
+  let rounds = 9 in
+  let ratios = Array.make rounds 0.0 in
+  let t_raw = ref infinity
+  and t_disabled = ref infinity
+  and t_enabled = ref infinity in
+  for r = 0 to rounds - 1 do
+    Obs.set_enabled false;
+    let raw = timed raw_sweep in
+    let disabled = timed inst_sweep in
+    Obs.set_enabled true;
+    let enabled = timed inst_sweep in
+    ratios.(r) <- disabled /. raw;
+    t_raw := Float.min !t_raw raw;
+    t_disabled := Float.min !t_disabled disabled;
+    t_enabled := Float.min !t_enabled enabled
+  done;
+  Obs.set_enabled saved;
+  Array.sort compare ratios;
+  let frac = ratios.(rounds / 2) -. 1.0 in
+  Printf.printf "%-28s %10.2f us/sweep\n" "raw replica" (1e6 *. !t_raw);
+  Printf.printf "%-28s %10.2f us/sweep (%+.2f%%)\n" "instrumented, disabled"
+    (1e6 *. !t_disabled) (100.0 *. frac);
+  Printf.printf "%-28s %10.2f us/sweep (%+.2f%%)\n" "instrumented, enabled"
+    (1e6 *. !t_enabled)
+    (100.0 *. (!t_enabled -. !t_raw) /. !t_raw);
+  (* Only the paired ratio is recorded: the absolute sweep time is already
+     gated via kernels_forward_c432_kernel_us, and on a machine with
+     frequency drift the ratio is the only stable statistic here. *)
+  record "obs_disabled_overhead_frac" frac
 
 (* ------------------------------------------------------------------ *)
 (* Parallel scaling: chunked MC over 1/2/4/8 domains                   *)
@@ -697,6 +813,7 @@ let experiments =
     ("kernels", run_kernels);
     ("criticality_c1908", run_criticality_c1908);
     ("extract_c7552", run_extract_c7552);
+    ("obs_overhead", run_obs_overhead);
     ("mc_par", run_mc_par);
     ("extract_par_c7552", run_extract_par_c7552);
   ]

@@ -39,6 +39,39 @@ let setup_domains =
   let apply = function None -> () | Some n -> Ssta_par.Par.set_domains n in
   Term.(const apply $ arg)
 
+(* Observability: [--trace FILE] streams JSONL span/counter events (same as
+   the OBS_TRACE environment variable); [--obs-summary] prints the
+   aggregated per-phase table to stderr when the command finishes. *)
+let setup_obs =
+  let trace_arg =
+    let doc =
+      "Enable instrumentation and stream JSONL trace events to $(docv) \
+       (equivalent to setting $(b,OBS_TRACE))."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let summary_arg =
+    let doc =
+      "Enable instrumentation and print the aggregated span/counter summary \
+       to stderr on exit."
+    in
+    Arg.(value & flag & info [ "obs-summary" ] ~doc)
+  in
+  let apply trace summary =
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Ssta_obs.Obs.trace_to_file path;
+        Ssta_obs.Obs.enable ());
+    if summary then begin
+      Ssta_obs.Obs.enable ();
+      at_exit (fun () ->
+          Ssta_obs.Obs.pp Format.err_formatter ();
+          Format.pp_print_flush Format.err_formatter ())
+    end
+  in
+  Term.(const apply $ trace_arg $ summary_arg)
+
 let circuit_arg =
   let doc = "Benchmark circuit name (see `hssta list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
@@ -79,7 +112,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let sta_cmd =
-  let run () () name =
+  let run () () () name =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -105,10 +138,10 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta"
        ~doc:"Deterministic and statistical timing of one circuit")
-    Term.(const run $ setup_logs $ setup_domains $ circuit_arg)
+    Term.(const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg)
 
 let extract_cmd =
-  let run () () name delta iters seed =
+  let run () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -147,11 +180,11 @@ let extract_cmd =
     (Cmd.info "extract"
        ~doc:"Extract a statistical timing model and validate it against MC")
     Term.(
-      const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg
-      $ iters_arg $ seed_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
+      $ delta_arg $ iters_arg $ seed_arg)
 
 let criticality_cmd =
-  let run () () name delta =
+  let run () () () name delta =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -175,7 +208,9 @@ let criticality_cmd =
   Cmd.v
     (Cmd.info "criticality"
        ~doc:"Edge-criticality histogram of a circuit (paper Fig. 6)")
-    Term.(const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg)
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
+      $ delta_arg)
 
 let hier_cmd =
   let circuit =
@@ -183,7 +218,7 @@ let hier_cmd =
                inputs and outputs, e.g. c6288)." in
     Arg.(value & pos 0 string "c6288" & info [] ~docv:"CIRCUIT" ~doc)
   in
-  let run () () name delta iters seed =
+  let run () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -215,8 +250,8 @@ let hier_cmd =
     (Cmd.info "hier"
        ~doc:"Hierarchical SSTA of the paper's 2x2 experiment (Fig. 7)")
     Term.(
-      const run $ setup_logs $ setup_domains $ circuit $ delta_arg
-      $ iters_arg $ seed_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ circuit
+      $ delta_arg $ iters_arg $ seed_arg)
 
 let paths_cmd =
   let k_arg =
@@ -254,7 +289,7 @@ let model_cmd =
     let doc = "Output path for the serialized timing model." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run () () name delta out =
+  let run () () () name delta out =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -268,7 +303,9 @@ let model_cmd =
     (Cmd.info "model"
        ~doc:"Extract a timing model and write it to a file (gray-box IP \
              hand-off)")
-    Term.(const run $ setup_logs $ setup_domains $ circuit_arg $ delta_arg $ out_arg)
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
+      $ delta_arg $ out_arg)
 
 let model_info_cmd =
   let path_arg =

@@ -3,6 +3,18 @@ module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
 module Normal = Ssta_gauss.Normal
 module Par = Ssta_par.Par
+module Obs = Ssta_obs.Obs
+
+(* All four counters are published once per [compute] from the merged
+   chunk results.  The chunk layout is a pure function of the port counts
+   (never of the domain count), and each chunk's contribution is summed,
+   so the totals are domain-count invariant - test_obs.ml pins them at 1
+   vs 4 domains. *)
+let c_exact_evals = Obs.counter "criticality.exact_evals"
+let c_screened_pairs = Obs.counter "criticality.screened_pairs"
+let c_screen_pruned = Obs.counter "criticality.screen_pruned_pairs"
+let c_kept_edges = Obs.counter "criticality.kept_edges"
+let c_removed_edges = Obs.counter "criticality.removed_edges"
 
 type result = {
   keep : bool array;
@@ -73,15 +85,16 @@ let compute ?(exact = false) ?domains ~delta g ~forms =
   let req_mu = Array.make_matrix no nv nan in
   let req_sig = Array.make_matrix no nv nan in
   let passes =
-    Par.map_tasks ?domains
-      ~init:(fun () -> ())
-      no
-      (fun () j ->
-        let ws = Propagate.create_workspace () in
-        Propagate.backward_to_into ws g ~forms:fbuf outputs.(j);
-        Propagate.scalar_summaries_into ws ~n:nv ~mu:req_mu.(j)
-          ~sigma:req_sig.(j);
-        ws)
+    Obs.with_span "criticality.backward" (fun () ->
+        Par.map_tasks ?domains
+          ~init:(fun () -> ())
+          no
+          (fun () j ->
+            let ws = Propagate.create_workspace () in
+            Propagate.backward_to_into ws g ~forms:fbuf outputs.(j);
+            Propagate.scalar_summaries_into ws ~n:nv ~mu:req_mu.(j)
+              ~sigma:req_sig.(j);
+            ws))
   in
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
   (* Screening fan-out: inputs are cut into at most 32 fixed chunks (a
@@ -215,19 +228,20 @@ let compute ?(exact = false) ?domains ~delta g ~forms =
       c_screened = !screened }
   in
   let chunks =
-    Par.map_tasks ?domains
-      ~init:(fun () ->
-        {
-          ws_arr = Propagate.create_workspace ();
-          quad = Array.make Form_buf.quad_size 0.0;
-          a_mu = Array.make nv nan;
-          a_sig = Array.make nv nan;
-          source1 = [| 0 |];
-        })
-      (Par.n_chunks ~chunk:input_chunk ni)
-      (fun scratch c ->
-        let lo, hi = Par.chunk_bounds ~chunk:input_chunk ~n:ni c in
-        screen_chunk scratch ~lo ~hi)
+    Obs.with_span "criticality.screen" (fun () ->
+        Par.map_tasks ?domains
+          ~init:(fun () ->
+            {
+              ws_arr = Propagate.create_workspace ();
+              quad = Array.make Form_buf.quad_size 0.0;
+              a_mu = Array.make nv nan;
+              a_sig = Array.make nv nan;
+              source1 = [| 0 |];
+            })
+          (Par.n_chunks ~chunk:input_chunk ni)
+          (fun scratch c ->
+            let lo, hi = Par.chunk_bounds ~chunk:input_chunk ~n:ni c in
+            screen_chunk scratch ~lo ~hi))
   in
   (* Merge in chunk-index order (all four merges are order-insensitive, but
      the fixed order keeps the determinism argument local). *)
@@ -252,4 +266,12 @@ let compute ?(exact = false) ?domains ~delta g ~forms =
         else Normal.cdf z)
       cm_z
   in
+  if Obs.enabled () then begin
+    let kept = Array.fold_left (fun n k -> if k then n + 1 else n) 0 keep in
+    Obs.add c_exact_evals !exact_evals;
+    Obs.add c_screened_pairs !screened;
+    Obs.add c_screen_pruned (!screened - !exact_evals);
+    Obs.add c_kept_edges kept;
+    Obs.add c_removed_edges (m - kept)
+  end;
   { keep; cm; exact_evals = !exact_evals; screened_pairs = !screened }

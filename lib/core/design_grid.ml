@@ -10,6 +10,7 @@ type t = {
 }
 
 let build (fp : Floorplan.t) =
+  Ssta_obs.Obs.with_span "design_grid.build" @@ fun () ->
   let instances = fp.Floorplan.instances in
   let first = instances.(0).Floorplan.model.Timing_model.basis in
   let pitch = first.Basis.pitch in
@@ -56,7 +57,11 @@ let build (fp : Floorplan.t) =
       end)
     filler.Grid.tiles;
   let tiles = Array.of_list (List.rev !tiles) in
-  let basis = Basis.make ~n_params ~corr ~pitch tiles in
+  (* Basis.make runs the design-grid PCA - the dominant cost here. *)
+  let basis =
+    Ssta_obs.Obs.with_span "design_grid.pca" (fun () ->
+        Basis.make ~n_params ~corr ~pitch tiles)
+  in
   {
     tiles;
     basis;

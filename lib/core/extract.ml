@@ -1,5 +1,6 @@
 module Build = Ssta_timing.Build
 module Tgraph = Ssta_timing.Tgraph
+module Obs = Ssta_obs.Obs
 
 (* Delay increment per additional external sink on each output port: the
    output-driving arcs were characterized at their internal fanout with a
@@ -27,11 +28,24 @@ let output_load_increments (b : Build.t) =
 
 (* Shared between module- and design-level extraction: criticality filter,
    merge to fixpoint, and the Table-I bookkeeping. *)
+(* Each extraction phase gets its own observability span (the journal
+   extension's Table-breakdown granularity): the delta criticality
+   screen, the merge fixpoint, and the freeze back into a sorted graph.
+   bench/main.ml turns these into the per-phase BENCH_JSON breakdown. *)
 let reduce_and_stats ?(exact = false) ?domains ~delta ~t0 g forms =
-  let crit = Criticality.compute ~exact ?domains ~delta g ~forms in
-  let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
-  Reduce.reduce work;
-  let graph, rforms, _inputs, _outputs = Reduce.freeze work in
+  let crit =
+    Obs.with_span "extract.criticality" (fun () ->
+        Criticality.compute ~exact ?domains ~delta g ~forms)
+  in
+  let work =
+    Obs.with_span "extract.reduce" (fun () ->
+        let work = Reduce.of_graph g ~forms ~keep:crit.Criticality.keep in
+        Reduce.reduce work;
+        work)
+  in
+  let graph, rforms, _inputs, _outputs =
+    Obs.with_span "extract.freeze" (fun () -> Reduce.freeze work)
+  in
   let removed =
     Array.fold_left
       (fun acc k -> if k then acc else acc + 1)
@@ -57,6 +71,9 @@ let extract_with_criticality ?(exact = false) ?domains ?(delta = 0.05)
   let crit, graph, forms, stats =
     reduce_and_stats ~exact ?domains ~delta ~t0 g b.Build.forms
   in
+  let output_load =
+    Obs.with_span "extract.output_load" (fun () -> output_load_increments b)
+  in
   let model =
     {
       Timing_model.name = b.Build.netlist.Ssta_circuit.Netlist.name;
@@ -65,7 +82,7 @@ let extract_with_criticality ?(exact = false) ?domains ?(delta = 0.05)
       basis = b.Build.basis;
       die = b.Build.placement.Ssta_circuit.Placement.die;
       delta;
-      output_load = output_load_increments b;
+      output_load;
       stats;
     }
   in
@@ -85,15 +102,14 @@ let extract_design ?domains ?(delta = 0.05) ~name (fp : Floorplan.t)
   (* Each design output is an instance output port; its load increment is
      the instance's, rewritten over the design basis. *)
   let output_load =
-    Array.map
-      (fun ({ Floorplan.inst; port } as _p) ->
-        let model = fp.Floorplan.instances.(inst).Floorplan.model in
-        let m =
-          Some (Replace.matrix dg fp ~inst)
-        in
-        Replace.transform_form dg ~mode:Replace.Replaced ~m ~inst
-          model.Timing_model.output_load.(port))
-      fp.Floorplan.ext_outputs
+    Obs.with_span "extract.output_load" (fun () ->
+        Array.map
+          (fun ({ Floorplan.inst; port } as _p) ->
+            let model = fp.Floorplan.instances.(inst).Floorplan.model in
+            let m = Some (Replace.matrix dg fp ~inst) in
+            Replace.transform_form dg ~mode:Replace.Replaced ~m ~inst
+              model.Timing_model.output_load.(port))
+          fp.Floorplan.ext_outputs)
   in
   {
     Timing_model.name;

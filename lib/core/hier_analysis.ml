@@ -27,6 +27,7 @@ let stitch_vertices graphs =
   (offsets, !total)
 
 let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
+  let sp_setup = Ssta_obs.Obs.span_begin "hier.setup" in
   let t0 = Unix.gettimeofday () in
   let instances = fp.Floorplan.instances in
   let graphs =
@@ -96,6 +97,8 @@ let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
   let graph, perm = Tgraph.make_sorted ~n_vertices ~edges ~inputs ~outputs in
   let forms = Array.map (fun i -> weights.(i)) perm in
   let t1 = Unix.gettimeofday () in
+  Ssta_obs.Obs.span_end sp_setup;
+  let sp_prop = Ssta_obs.Obs.span_begin "hier.propagate" in
   (* Kernel-tier sweep: the stitched design graph is propagated through a
      (possibly caller-owned, reused) workspace; only the exported per-vertex
      option array is materialized afterwards. *)
@@ -114,6 +117,7 @@ let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
     | None -> failwith "Hier_analysis.analyze: no design output is reachable"
   in
   let t2 = Unix.gettimeofday () in
+  Ssta_obs.Obs.span_end sp_prop;
   {
     graph;
     forms;

@@ -1,6 +1,17 @@
 module Form = Ssta_canonical.Form
 module Form_buf = Ssta_canonical.Form_buf
 module Tgraph = Ssta_timing.Tgraph
+module Obs = Ssta_obs.Obs
+
+(* Sweep-level instrumentation.  The kernels' inner loops stay untouched:
+   sweep and Clark-max counts are recovered from the final reachability
+   mask after the sweep (see [account] below), so the disabled-mode cost
+   is one flag load per sweep. *)
+let c_forward_sweeps = Obs.counter "propagate.forward_sweeps"
+let c_backward_sweeps = Obs.counter "propagate.backward_sweeps"
+let c_clark_max_evals = Obs.counter "propagate.clark_max_evals"
+let c_add_evals = Obs.counter "propagate.add_evals"
+let g_ws_floats = Obs.gauge "propagate.ws_floats_hw"
 
 let check g forms =
   if Array.length forms <> Tgraph.n_edges g then
@@ -31,12 +42,37 @@ let ws_form ws v =
    are left as-is (reads are gated by the mask, so stale values from a
    previous sweep are never observed). *)
 let prepare ws ~dims ~n =
-  if Form_buf.dims ws.buf <> dims || Form_buf.length ws.buf < n then
+  if Form_buf.dims ws.buf <> dims || Form_buf.length ws.buf < n then begin
     ws.buf <- Form_buf.create dims n;
+    Obs.gauge_max g_ws_floats (Form_buf.length ws.buf * Form_buf.stride ws.buf)
+  end;
   if Bytes.length ws.reach < n then ws.reach <- Bytes.make n '\000'
   else Bytes.fill ws.reach 0 (Bytes.length ws.reach) '\000'
 
 let mark ws v = Bytes.unsafe_set ws.reach v '\001'
+
+(* Post-sweep op accounting, run only when observability is enabled so
+   the kernel loops carry no per-edge instrumentation.  The edge list is
+   topologically sorted (every fanin edge of a vertex precedes every
+   fanout edge), so "endpoint reached in the final mask" is exactly
+   "endpoint was reached when the edge was processed": the processed-edge
+   count is the number of edges whose upstream endpoint ([src] forward,
+   [dst] backward) is reached, each reached non-seed vertex was produced
+   by exactly one plain add, and every remaining processed edge ran the
+   fused add + Clark-max kernel. *)
+let account ws g ~n_seeds ~upstream ~sweeps =
+  let processed = ref 0 in
+  for i = 0 to Array.length upstream - 1 do
+    if ws_reached ws (Array.unsafe_get upstream i) then Stdlib.incr processed
+  done;
+  let reached = ref 0 in
+  for v = 0 to Tgraph.n_vertices g - 1 do
+    if ws_reached ws v then Stdlib.incr reached
+  done;
+  let adds = !reached - n_seeds in
+  Obs.incr sweeps;
+  Obs.add c_add_evals adds;
+  Obs.add c_clark_max_evals (!processed - adds)
 
 let forward_into ws g ~forms ~sources =
   check_buf g forms;
@@ -59,7 +95,10 @@ let forward_into ws g ~forms ~sources =
         mark ws d
       end
     end
-  done
+  done;
+  if Obs.enabled () then
+    account ws g ~n_seeds:(Array.length sources) ~upstream:src
+      ~sweeps:c_forward_sweeps
 
 let backward_to_into ws g ~forms out =
   check_buf g forms;
@@ -79,7 +118,9 @@ let backward_to_into ws g ~forms out =
         mark ws s
       end
     end
-  done
+  done;
+  if Obs.enabled () then
+    account ws g ~n_seeds:1 ~upstream:dst ~sweeps:c_backward_sweeps
 
 let scalar_summaries_into ws ~n ~mu ~sigma =
   for v = 0 to n - 1 do

@@ -1,5 +1,13 @@
 module Form = Ssta_canonical.Form
 module Tgraph = Ssta_timing.Tgraph
+module Obs = Ssta_obs.Obs
+
+(* Table-I bookkeeping for the merge fixpoint: totals accumulate across
+   the passes of one [reduce] call and are published once at the end. *)
+let c_serial_merges = Obs.counter "reduce.serial_merges"
+let c_parallel_merges = Obs.counter "reduce.parallel_merges"
+let c_pruned_vertices = Obs.counter "reduce.pruned_vertices"
+let c_passes = Obs.counter "reduce.passes"
 
 type edge = {
   mutable esrc : int;
@@ -166,14 +174,25 @@ let parallel_pass t =
   !merged
 
 let reduce t =
-  ignore (prune t : int);
+  let pruned = ref (prune t) in
+  let serial = ref 0 and par = ref 0 and passes = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     let p = parallel_pass t in
     let s = serial_pass t in
     let d = prune t in
+    par := !par + p;
+    serial := !serial + s;
+    pruned := !pruned + d;
+    Stdlib.incr passes;
     continue_ := p + s + d > 0
-  done
+  done;
+  if Obs.enabled () then begin
+    Obs.add c_serial_merges !serial;
+    Obs.add c_parallel_merges !par;
+    Obs.add c_pruned_vertices !pruned;
+    Obs.add c_passes !passes
+  end
 
 let freeze t =
   let n = Array.length t.vertices in

@@ -5,7 +5,16 @@ module Basis = Ssta_variation.Basis
 
 type mode = Replaced | Global_only
 
+module Obs = Ssta_obs.Obs
+
+let c_forms_transformed = Obs.counter "replace.forms_transformed"
+
+(* The substitution matrix M = A^{-1} B_n of paper eq. (18): x = M x^t
+   rewrites a module-basis form over the design basis.  One span per
+   instance matrix - this is the design-level flow's dense-linear-algebra
+   phase (pinv application + the m x n product). *)
 let matrix (dg : Design_grid.t) (fp : Floorplan.t) ~inst =
+  Obs.with_span "replace.matrix" @@ fun () ->
   let model = fp.Floorplan.instances.(inst).Floorplan.model in
   let mbasis = model.Timing_model.basis in
   let pca = mbasis.Basis.pca in
@@ -59,9 +68,11 @@ let transform_form (dg : Design_grid.t) ~mode ~m ~inst (f : Form.t) =
     ~rand:f.Form.rand
 
 let transform_instance dg fp ~mode ~inst forms =
+  Obs.with_span "replace.transform_instance" @@ fun () ->
   let m =
     match mode with
     | Replaced -> Some (matrix dg fp ~inst)
     | Global_only -> None
   in
+  Obs.add c_forms_transformed (Array.length forms);
   Array.map (transform_form dg ~mode ~m ~inst) forms

@@ -27,24 +27,25 @@ let n_inputs t = Array.length t.graph.Tgraph.inputs
 let n_outputs t = Array.length t.graph.Tgraph.outputs
 
 let io_delays ?domains t =
-  let inputs = t.graph.Tgraph.inputs in
-  let outputs = t.graph.Tgraph.outputs in
-  (* One packed form buffer shared by all per-input sweeps, one workspace
-     per pool domain; only the |I| x |O| result forms are materialized.
-     Each sweep is an independent task, so the rows come back in input
-     order no matter how many domains ran them. *)
-  let dims =
-    if Array.length t.forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
-    else Form.dims t.forms.(0)
-  in
-  let fbuf = Form_buf.of_forms dims t.forms in
-  Ssta_par.Par.map_tasks ?domains
-    ~init:(fun () -> (Propagate.create_workspace (), [| 0 |]))
-    (Array.length inputs)
-    (fun (ws, source1) i ->
-      source1.(0) <- inputs.(i);
-      Propagate.forward_into ws t.graph ~forms:fbuf ~sources:source1;
-      Array.map (fun out -> Propagate.ws_form ws out) outputs)
+  Ssta_obs.Obs.with_span "timing_model.io_delays" (fun () ->
+      let inputs = t.graph.Tgraph.inputs in
+      let outputs = t.graph.Tgraph.outputs in
+      (* One packed form buffer shared by all per-input sweeps, one
+         workspace per pool domain; only the |I| x |O| result forms are
+         materialized.  Each sweep is an independent task, so the rows
+         come back in input order no matter how many domains ran them. *)
+      let dims =
+        if Array.length t.forms = 0 then { Form.n_globals = 0; n_pcs = 0 }
+        else Form.dims t.forms.(0)
+      in
+      let fbuf = Form_buf.of_forms dims t.forms in
+      Ssta_par.Par.map_tasks ?domains
+        ~init:(fun () -> (Propagate.create_workspace (), [| 0 |]))
+        (Array.length inputs)
+        (fun (ws, source1) i ->
+          source1.(0) <- inputs.(i);
+          Propagate.forward_into ws t.graph ~forms:fbuf ~sources:source1;
+          Array.map (fun out -> Propagate.ws_form ws out) outputs))
 
 let compression t =
   ( float_of_int t.stats.model_edges /. float_of_int t.stats.original_edges,

@@ -2,6 +2,11 @@ module Rng = Ssta_gauss.Rng
 module Sta = Ssta_timing.Sta
 module Tgraph = Ssta_timing.Tgraph
 module Par = Ssta_par.Par
+module Obs = Ssta_obs.Obs
+
+(* Published once per chunk; totals are domain-count invariant because the
+   chunk layout depends only on [iterations]. *)
+let c_samples = Obs.counter "mc.allpairs.samples"
 
 type result = {
   n_inputs : int;
@@ -63,8 +68,10 @@ let run ?domains ~iterations ~seed ctx =
   let ni = Array.length inputs and no = Array.length outputs in
   let chunk = Sampler.chunk_iterations in
   let t0 = Unix.gettimeofday () in
+  Obs.with_span "mc.allpairs" @@ fun () ->
   let chunks =
     Par.map_chunks ?domains ~chunk ~n:iterations (fun ~chunk:c ~lo ~hi ->
+        Obs.with_span "mc.allpairs.chunk" @@ fun () ->
         let rng = Rng.stream ~seed ~index:c in
         let weights = Array.make (Tgraph.n_edges g) 0.0 in
         let arr = Array.make (Tgraph.n_vertices g) neg_infinity in
@@ -89,6 +96,7 @@ let run ?domains ~iterations ~seed ctx =
             done
           done
         done;
+        if Obs.enabled () then Obs.add c_samples (hi - lo);
         { count = hi - lo; mean; m2; reach })
   in
   let acc =

@@ -2,8 +2,14 @@ module Rng = Ssta_gauss.Rng
 module Sta = Ssta_timing.Sta
 module Tgraph = Ssta_timing.Tgraph
 module Par = Ssta_par.Par
+module Obs = Ssta_obs.Obs
 
 type result = { delays : float array; wall_seconds : float }
+
+(* Sample totals are published per chunk (not per iteration), so the counter
+   stays out of the sampling loop and the totals are domain-count invariant:
+   chunk layout is a pure function of [iterations]. *)
+let c_samples = Obs.counter "mc.flat.samples"
 
 (* Chunked deterministic Monte Carlo: iterations are cut into fixed
    [Sampler.chunk_iterations]-sized chunks, chunk [c] draws from the
@@ -17,17 +23,20 @@ let run ?domains ~iterations ~seed ctx =
   let chunk = Sampler.chunk_iterations in
   let delays = Array.make iterations 0.0 in
   let t0 = Unix.gettimeofday () in
+  Obs.with_span "mc.flat" @@ fun () ->
   Par.run_tasks ?domains
     ~n_tasks:(Par.n_chunks ~chunk iterations)
     ~init:(fun () -> Array.make n_edges 0.0)
     ~task:(fun weights c ->
+      Obs.with_span "mc.flat.chunk" @@ fun () ->
       let lo, hi = Par.chunk_bounds ~chunk ~n:iterations c in
       let rng = Rng.stream ~seed ~index:c in
       for it = lo to hi - 1 do
         let sample = Sampler.draw ctx.Sampler.basis rng in
         Sampler.fill_weights ctx sample rng weights;
         delays.(it) <- Sta.design_delay g ~weights
-      done)
+      done;
+      if Obs.enabled () then Obs.add c_samples (hi - lo))
     ();
   { delays; wall_seconds = Unix.gettimeofday () -. t0 }
 
@@ -38,10 +47,12 @@ let arrival_samples ?domains ~iterations ~seed ctx ~vertex =
   let n_edges = Tgraph.n_edges g in
   let chunk = Sampler.chunk_iterations in
   let out = Array.make iterations 0.0 in
+  Obs.with_span "mc.flat" @@ fun () ->
   Par.run_tasks ?domains
     ~n_tasks:(Par.n_chunks ~chunk iterations)
     ~init:(fun () -> Array.make n_edges 0.0)
     ~task:(fun weights c ->
+      Obs.with_span "mc.flat.chunk" @@ fun () ->
       let lo, hi = Par.chunk_bounds ~chunk ~n:iterations c in
       let rng = Rng.stream ~seed ~index:c in
       for it = lo to hi - 1 do
@@ -49,6 +60,7 @@ let arrival_samples ?domains ~iterations ~seed ctx ~vertex =
         Sampler.fill_weights ctx sample rng weights;
         let arr = Sta.forward g ~weights in
         out.(it) <- arr.(vertex)
-      done)
+      done;
+      if Obs.enabled () then Obs.add c_samples (hi - lo))
     ();
   out

@@ -25,6 +25,7 @@ type t = {
 }
 
 let characterize ?(corr = Correlation.default) ?(cells_per_tile = 100) nl =
+  Ssta_obs.Obs.with_span "build.characterize" @@ fun () ->
   let placement = Ssta_circuit.Placement.place nl in
   let die = placement.Ssta_circuit.Placement.die in
   let pitch =

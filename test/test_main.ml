@@ -16,6 +16,9 @@ let () =
          Test_mc.suites;
          Test_model.suites;
          Test_hier.suites;
+         Test_hier_flow.suites;
+         Test_diagnostics.suites;
+         Test_obs.suites;
          Test_extensions.suites;
          Test_property.suites;
          Test_kernels.suites;
