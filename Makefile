@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-smoke bench-gate bench-par check ci fmt fmt-check clean
+.PHONY: all build test bench bench-smoke bench-gate bench-crit bench-par check ci fmt fmt-check clean
 
 all: build
 
@@ -29,14 +29,25 @@ bench-gate: build
 	$(DUNE) exec bench/check_regression.exe -- \
 	  BENCH_kernels.json _build/BENCH_gate.json
 
+# Criticality-screen gate: phase breakdown, visit counters and the
+# tile-equality assertion of the cone-indexed screen, compared against
+# the committed BENCH_crit.json baseline (counters exact, timings within
+# the usual tolerance).  PAR_DOMAINS=1 for the same allocation-counting
+# reason as bench-gate.
+bench-crit: build
+	BENCH_REPS=20 PAR_DOMAINS=1 BENCH_JSON=_build/BENCH_crit_run.json \
+	  $(DUNE) exec bench/main.exe criticality_screen
+	$(DUNE) exec bench/check_regression.exe -- \
+	  BENCH_crit.json _build/BENCH_crit_run.json
+
 # Parallel-scaling sweep (1/2/4/8 domains); regenerates BENCH_par.json.
 bench-par: build
 	BENCH_JSON=BENCH_par.json $(DUNE) exec bench/main.exe mc_par extract_par_c7552
 
 check: build test bench-smoke
 
-# What CI runs: build, tests, the bench regression gate, format check.
-ci: build test bench-gate fmt-check
+# What CI runs: build, tests, the bench regression gates, format check.
+ci: build test bench-gate bench-crit fmt-check
 
 fmt:
 	$(DUNE) build @fmt --auto-promote

@@ -13,7 +13,11 @@
      value is at most GATE_OVERHEAD_MAX (default 0.02); the baseline value
      only marks the key as gated.  Used for the observability layer's
      disabled-mode overhead guarantee;
-   - everything else (allocation bytes, screen/eval/edge counts, error
+   - [_pairs] / [_evals] / [_edges] / [_tiles]: visit and structure
+     counters of the criticality screen - always compared exactly, even
+     under GATE_EXACT_TOL (they are pinned by the screen's determinism
+     argument, not by the environment);
+   - everything else (allocation bytes, screen/eval counts, error
      percentages): deterministic for a pinned code path, compared exactly
      by default.  GATE_EXACT_TOL=0.1 relaxes this to a relative tolerance
      for environments with a different compiler (allocation counts shift
@@ -70,7 +74,7 @@ let parse_metrics path =
   close_in ic;
   List.rev !metrics
 
-type klass = Timing | Ratio | Exact | Bound
+type klass = Timing | Ratio | Exact | Bound | Count
 
 (* Seconds-denominated keys additionally get a small absolute slack: phase
    breakdown spans can be sub-millisecond, where the relative tolerance is
@@ -85,6 +89,12 @@ let classify key =
       | "us" | "ns" -> (Timing, 0.0)
       | "speedup" -> (Ratio, 0.0)
       | "frac" -> (Bound, 0.0)
+      (* Visit/structure counters of the criticality screen: pinned by
+         the determinism argument (chunk layout a function of port counts
+         only), so they are compared exactly even under GATE_EXACT_TOL -
+         a drifted count means the screen's visit semantics changed, not
+         that the environment did. *)
+      | "pairs" | "evals" | "edges" | "tiles" -> (Count, 0.0)
       | _ -> (Exact, 0.0))
 
 let () =
@@ -119,7 +129,12 @@ let () =
           end
       | (klass, slack), Some b, Some (Some c) ->
           incr checked;
-          let tol = match klass with Timing -> time_tol | _ -> exact_tol in
+          let tol =
+            match klass with
+            | Timing -> time_tol
+            | Count -> 0.0
+            | _ -> exact_tol
+          in
           let ok =
             if tol = 0.0 then c = b
             else abs_float (c -. b) <= Float.max (tol *. abs_float b) slack

@@ -479,6 +479,65 @@ let run_criticality_c1908 () =
   record "criticality_c1908_bytes_per_screen" per_screen
 
 (* ------------------------------------------------------------------ *)
+(* Criticality screen breakdown: cone-indexed visits, phases, tiling   *)
+(* ------------------------------------------------------------------ *)
+
+(* The cone-indexed screen's own dashboard (c1908 at the default delta):
+   per-phase span seconds (backward sweeps vs pair screening), the visit
+   counters (screened = scalar-screen disposals, exact = full
+   evaluations, cone = active cone entries built, compacted = settled
+   entries dropped by compaction, tiles = backward storage tiles), and a
+   tile-sweep assertion that bounding the backward storage changes no
+   result bits.  The counters are deterministic for a pinned code path
+   and gated exactly (see check_regression.ml's Count class). *)
+let run_criticality_screen () =
+  header "Criticality screen: cone-indexed breakdown (c1908, delta=0.05)";
+  let b = Build.characterize (Iscas.build "c1908") in
+  let g = b.Build.graph and forms = b.Build.forms in
+  let saved = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let t0 = Unix.gettimeofday () in
+  let cr = H.Criticality.compute ~delta g ~forms in
+  let dt = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let backward_s = Obs.span_seconds "criticality.backward" in
+  let screen_s = Obs.span_seconds "criticality.screen" in
+  let counter = Obs.find_counter in
+  let cone = counter "criticality.cone_edges" in
+  let compacted = counter "criticality.compacted_edges" in
+  let tiles = counter "criticality.backward_tiles" in
+  Obs.set_enabled saved;
+  Printf.printf
+    "%.3f s total (%.3f s backward, %.3f s screen)\n\
+     screened=%d exact=%d cone=%d compacted=%d tiles=%d\n"
+    dt backward_s screen_s cr.H.Criticality.screened_pairs
+    cr.H.Criticality.exact_evals cone compacted tiles;
+  (* Tiled backward storage must be invisible in the results: same keep
+     set, bit-identical criticalities, same visit counters. *)
+  let tiled = H.Criticality.compute ~tile:8 ~delta g ~forms in
+  let equal =
+    tiled.H.Criticality.keep = cr.H.Criticality.keep
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         tiled.H.Criticality.cm cr.H.Criticality.cm
+    && tiled.H.Criticality.exact_evals = cr.H.Criticality.exact_evals
+    && tiled.H.Criticality.screened_pairs = cr.H.Criticality.screened_pairs
+  in
+  if not equal then
+    failwith "criticality_screen: tile=8 diverged from the untiled screen";
+  Printf.printf "tile=8 bit-equal: yes\n";
+  record "crit_screen_c1908_s" dt;
+  record "crit_screen_c1908_backward_s" backward_s;
+  record "crit_screen_c1908_screen_s" screen_s;
+  record "crit_screen_c1908_screened_pairs"
+    (float_of_int cr.H.Criticality.screened_pairs);
+  record "crit_screen_c1908_exact_evals"
+    (float_of_int cr.H.Criticality.exact_evals);
+  record "crit_screen_c1908_cone_edges" (float_of_int cone);
+  record "crit_screen_c1908_compacted_edges" (float_of_int compacted);
+  record "crit_screen_c1908_backward_tiles" (float_of_int tiles)
+
+(* ------------------------------------------------------------------ *)
 (* Extraction benchmark: c7552, the largest ISCAS-85 circuit           *)
 (* ------------------------------------------------------------------ *)
 
@@ -812,6 +871,7 @@ let experiments =
     ("micro", run_micro);
     ("kernels", run_kernels);
     ("criticality_c1908", run_criticality_c1908);
+    ("criticality_screen", run_criticality_screen);
     ("extract_c7552", run_extract_c7552);
     ("obs_overhead", run_obs_overhead);
     ("mc_par", run_mc_par);

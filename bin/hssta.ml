@@ -39,6 +39,32 @@ let setup_domains =
   let apply = function None -> () | Some n -> Ssta_par.Par.set_domains n in
   Term.(const apply $ arg)
 
+(* Backward tile size of the criticality screen.  The flag overrides the
+   CRIT_TILE environment variable; the default keeps every output's
+   backward workspace resident at once (the untiled behaviour).  Smaller
+   tiles cap the screen's peak RSS at the cost of one extra forward sweep
+   per input per additional tile; keep/cm and the screen's pair counters
+   are bit-identical for every value. *)
+let setup_crit_tile =
+  let doc =
+    "Backward tile size for the criticality screen: at most $(docv) \
+     retained backward workspaces are resident at once (default: \
+     $(b,CRIT_TILE) or all outputs).  Smaller tiles trade extra forward \
+     sweeps for a lower peak RSS; results are bit-identical for every \
+     value."
+  in
+  let arg =
+    Arg.(value & opt (some int) None & info [ "crit-tile" ] ~docv:"N" ~doc)
+  in
+  let apply = function
+    | None -> ()
+    | Some n when n >= 1 -> Hier_ssta.Criticality.set_tile n
+    | Some n ->
+        Printf.eprintf "hssta: --crit-tile must be at least 1 (got %d)\n%!" n;
+        exit 124
+  in
+  Term.(const apply $ arg)
+
 (* Observability: [--trace FILE] streams JSONL span/counter events (same as
    the OBS_TRACE environment variable); [--obs-summary] prints the
    aggregated per-phase table to stderr when the command finishes. *)
@@ -141,7 +167,7 @@ let sta_cmd =
     Term.(const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg)
 
 let extract_cmd =
-  let run () () () name delta iters seed =
+  let run () () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -180,11 +206,11 @@ let extract_cmd =
     (Cmd.info "extract"
        ~doc:"Extract a statistical timing model and validate it against MC")
     Term.(
-      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
-      $ delta_arg $ iters_arg $ seed_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ circuit_arg $ delta_arg $ iters_arg $ seed_arg)
 
 let criticality_cmd =
-  let run () () () name delta =
+  let run () () () () name delta =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -209,8 +235,8 @@ let criticality_cmd =
     (Cmd.info "criticality"
        ~doc:"Edge-criticality histogram of a circuit (paper Fig. 6)")
     Term.(
-      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
-      $ delta_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ circuit_arg $ delta_arg)
 
 let hier_cmd =
   let circuit =
@@ -218,7 +244,7 @@ let hier_cmd =
                inputs and outputs, e.g. c6288)." in
     Arg.(value & pos 0 string "c6288" & info [] ~docv:"CIRCUIT" ~doc)
   in
-  let run () () () name delta iters seed =
+  let run () () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -250,8 +276,8 @@ let hier_cmd =
     (Cmd.info "hier"
        ~doc:"Hierarchical SSTA of the paper's 2x2 experiment (Fig. 7)")
     Term.(
-      const run $ setup_logs $ setup_domains $ setup_obs $ circuit
-      $ delta_arg $ iters_arg $ seed_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ circuit $ delta_arg $ iters_arg $ seed_arg)
 
 let paths_cmd =
   let k_arg =
@@ -289,7 +315,7 @@ let model_cmd =
     let doc = "Output path for the serialized timing model." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run () () () name delta out =
+  let run () () () () name delta out =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -304,8 +330,8 @@ let model_cmd =
        ~doc:"Extract a timing model and write it to a file (gray-box IP \
              hand-off)")
     Term.(
-      const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg
-      $ delta_arg $ out_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ circuit_arg $ delta_arg $ out_arg)
 
 let model_info_cmd =
   let path_arg =

@@ -216,6 +216,20 @@ let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
   into.(quad_rand_r) <- rr;
   into.(quad_rand_m) <- rm
 
+let scale_into ~alpha ~a ~ia ~dst ~idst =
+  check_dims a dst "scale_into";
+  let nc = a.dims.Form.n_globals + a.dims.Form.n_pcs in
+  let oa = ia * a.stride and od = idst * dst.stride in
+  (* Same operand order as Form.scale / Vec.scale: [alpha *. v] per
+     coefficient, mean included, and the random coefficient through
+     [abs_float]. *)
+  for k = 0 to nc do
+    Array.unsafe_set dst.data (od + k)
+      (alpha *. Array.unsafe_get a.data (oa + k))
+  done;
+  Array.unsafe_set dst.data (od + dst.stride - 1)
+    (abs_float alpha *. Array.unsafe_get a.data (oa + a.stride - 1))
+
 let add_into ~a ~ia ~b ~ib ~dst ~idst =
   check_dims a dst "add_into";
   check_dims b dst "add_into";

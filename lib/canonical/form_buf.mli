@@ -59,6 +59,10 @@ val covariance : t -> int -> t -> int -> float
     written, all others only read.  Unless stated otherwise, [dst] may alias
     one of the operand slots. *)
 
+val scale_into : alpha:float -> a:t -> ia:int -> dst:t -> idst:int -> unit
+(** Slot [idst] of [dst] becomes [Form.scale alpha a.(ia)] (the random
+    coefficient through [abs_float alpha], like the pure op). *)
+
 val add_into : a:t -> ia:int -> b:t -> ib:int -> dst:t -> idst:int -> unit
 (** Slot [idst] of [dst] becomes [Form.add a.(ia) b.(ib)]. *)
 

@@ -5,16 +5,25 @@ module Normal = Ssta_gauss.Normal
 module Par = Ssta_par.Par
 module Obs = Ssta_obs.Obs
 
-(* All four counters are published once per [compute] from the merged
-   chunk results.  The chunk layout is a pure function of the port counts
-   (never of the domain count), and each chunk's contribution is summed,
-   so the totals are domain-count invariant - test_obs.ml pins them at 1
-   vs 4 domains. *)
+(* All counters are published once per [compute] from the merged chunk
+   results.  The chunk layout is a pure function of the port counts (never
+   of the domain count), and each chunk's contribution is summed, so the
+   totals are domain-count invariant - test_obs.ml pins them at 1 vs 4
+   domains.
+
+   [screened_pairs] counts the pairs the scalar screen disposed of (bound
+   test failed); pairs that went on to a full evaluation are counted by
+   [exact_evals] instead, and pairs on settled edges are never visited at
+   all.  The pre-cone implementation counted every reachable pair visit in
+   [screened_pairs], including the evaluated and settled ones - the two
+   countings are compared in EXPERIMENTS.md. *)
 let c_exact_evals = Obs.counter "criticality.exact_evals"
 let c_screened_pairs = Obs.counter "criticality.screened_pairs"
-let c_screen_pruned = Obs.counter "criticality.screen_pruned_pairs"
 let c_kept_edges = Obs.counter "criticality.kept_edges"
 let c_removed_edges = Obs.counter "criticality.removed_edges"
+let c_cone_edges = Obs.counter "criticality.cone_edges"
+let c_compacted_edges = Obs.counter "criticality.compacted_edges"
+let c_backward_tiles = Obs.counter "criticality.backward_tiles"
 
 type result = {
   keep : bool array;
@@ -23,40 +32,88 @@ type result = {
   screened_pairs : int;
 }
 
-(* Per-chunk screening state: every chunk of inputs screens against its own
-   keep/cm/bar arrays and the chunk results are merged in chunk-index order
-   (or for keep, max for cm_z, sum for the counters), so the outcome is
-   bit-identical no matter how many domains ran the chunks.  The bar-based
-   pruning therefore only accelerates within a chunk; the merged [keep] set
-   is unaffected (a pair is only ever pruned for an edge the same chunk
-   already settled), and in exact mode the merged maximum criticality is
-   unaffected too (a pruned pair's tightness is bounded by a z-score some
-   evaluated pair of the same chunk already reached). *)
-type chunk_result = {
-  c_keep : bool array;
-  c_cm_z : float array;
-  c_exact : int;
-  c_screened : int;
+(* Backward tile size: [?tile] argument, else the CLI override
+   (hssta --crit-tile), else the CRIT_TILE environment variable, else all
+   outputs at once - the pre-tiling behaviour, every backward workspace
+   resident for the whole screen. *)
+let tile_env =
+  lazy
+    (match Sys.getenv_opt "CRIT_TILE" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+    | None -> None)
+
+let tile_override = ref None
+let set_tile n = tile_override := Some (max 1 n)
+
+let resolve_tile tile no =
+  let t =
+    match tile with
+    | Some n ->
+        if n < 1 then
+          invalid_arg "Criticality.compute: tile must be at least 1";
+        n
+    | None -> (
+        match !tile_override with
+        | Some n -> n
+        | None -> (
+            match Lazy.force tile_env with Some n -> n | None -> max no 1))
+  in
+  max 1 (min t (max no 1))
+
+(* Per-chunk screening state, persistent across output tiles: every chunk
+   of inputs screens against its own keep/cm/bar arrays and the chunk
+   results are merged in chunk-index order (or for keep, max for cm_z, sum
+   for the counters), so the outcome is bit-identical no matter how many
+   domains ran the chunks.  The bar-based pruning therefore only
+   accelerates within a chunk; the merged [keep] set is unaffected (a pair
+   is only ever pruned for an edge the same chunk already settled), and in
+   exact mode the merged maximum criticality is unaffected too (a pruned
+   pair's tightness is bounded by a z-score some evaluated pair of the
+   same chunk already reached).
+
+   [s_settled] marks the edges whose [bar] reached infinity (threshold
+   mode: kept; exact mode: identity-detected, cm_z already infinite).  A
+   settled edge can never survive the bound test again nor improve cm_z,
+   so skipping it without even loading its endpoints - and compacting it
+   out of the chunk's active cone lists - changes no result bits, only the
+   visit count. *)
+type chunk_state = {
+  s_keep : bool array;
+  s_cm_z : float array;
+  s_bar : float array;
+  s_settled : Bytes.t;
+  mutable s_exact : int;
+  mutable s_screened : int;
+  mutable s_cone : int;
+  mutable s_compacted : int;
 }
 
-(* Per-domain scratch reused across the chunks a domain claims: one forward
-   workspace plus the scalar/quad gather rows - the allocation profile per
-   domain matches what the sequential loop used to allocate once. *)
+(* Per-domain scratch drawn from a pool and reused across every tile's
+   screen region: one forward workspace, scalar row and active cone list
+   per input slot of a chunk, plus the quad gather row.  The whole screen
+   builds at most [domains] of these. *)
 type scratch = {
-  ws_arr : Propagate.workspace;
+  fwd : Propagate.workspace array;
+  a_mu : float array array;
+  a_sig : float array array;
+  cone : int array array;
+  cone_len : int array;
   quad : float array;
-  a_mu : float array;
-  a_sig : float array;
   source1 : int array;
 }
 
-let compute ?(exact = false) ?domains ~delta g ~forms =
+let compute ?(exact = false) ?domains ?tile ~delta g ~forms =
   if not (delta > 0.0 && delta < 1.0) then
     invalid_arg "Criticality.compute: delta must lie in (0, 1)";
   let m = Tgraph.n_edges g in
   let nv = Tgraph.n_vertices g in
   let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
   let ni = Array.length inputs and no = Array.length outputs in
+  let tile_sz = resolve_tile tile no in
+  let n_tiles = Par.n_chunks ~chunk:tile_sz no in
   let floor_p = 1e-3 in
   let z_delta = Normal.quantile delta in
   let z_floor = Normal.quantile floor_p in
@@ -75,189 +132,281 @@ let compute ?(exact = false) ?domains ~delta g ~forms =
     if m = 0 then { Form.n_globals = 0; n_pcs = 0 } else Form.dims forms.(0)
   in
   let fbuf = Form_buf.of_forms dims forms in
-  (* Full backward passes, one per output, fanned out over the pool (each
-     pass costs a full canonical sweep and they are independent).  Every
-     pass lives in a flat Form_buf workspace - |V| * stride unboxed floats
-     plus a reachability mask - retained for the whole screen because the
-     criticality loop touches every output for almost every input; the
-     scalar mu/sigma tables are filled in the same task (each task owns its
-     output's row). *)
-  let req_mu = Array.make_matrix no nv nan in
-  let req_sig = Array.make_matrix no nv nan in
-  let passes =
-    Obs.with_span "criticality.backward" (fun () ->
-        Par.map_tasks ?domains
-          ~init:(fun () -> ())
-          no
-          (fun () j ->
-            let ws = Propagate.create_workspace () in
-            Propagate.backward_to_into ws g ~forms:fbuf outputs.(j);
-            Propagate.scalar_summaries_into ws ~n:nv ~mu:req_mu.(j)
-              ~sigma:req_sig.(j);
-            ws))
-  in
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
   (* Screening fan-out: inputs are cut into at most 32 fixed chunks (a
-     function of |I| only, never of the domain count, to keep the chunk
-     layout - and the merged result - domain-count invariant). *)
+     function of |I| only, never of the domain count or the tile size, to
+     keep the chunk layout - and the merged result - invariant). *)
   let input_chunk = max 1 ((ni + 31) / 32) in
-  let screen_chunk scratch ~lo ~hi =
-    let keep = Array.make m false in
-    (* Best exact tightness z-score seen per edge (neg_infinity = never
-       evaluated); converted to a probability after the merge. *)
-    let cm_z = Array.make m neg_infinity in
-    let bar = Array.make m bar0 in
-    let exact_evals = ref 0 in
-    let screened = ref 0 in
-    for ii = lo to hi - 1 do
-      let input = inputs.(ii) in
-      scratch.source1.(0) <- input;
-      Propagate.forward_into scratch.ws_arr g ~forms:fbuf
-        ~sources:scratch.source1;
-      let abuf = Propagate.ws_buf scratch.ws_arr in
-      let a_mu = scratch.a_mu and a_sig = scratch.a_sig in
-      Propagate.scalar_summaries_into scratch.ws_arr ~n:nv ~mu:a_mu
-        ~sigma:a_sig;
-      Array.iteri
-        (fun j out ->
-          if Propagate.ws_reached scratch.ws_arr out then begin
-            let m_mu = Form_buf.mean abuf out in
-            let m_sig = Form_buf.std abuf out in
-            let rmu = req_mu.(j) and rsig = req_sig.(j) in
-            for e = 0 to m - 1 do
-              let s = Array.unsafe_get src e in
-              let amu = Array.unsafe_get a_mu s in
-              if amu = amu (* reachable from input *) then begin
-                let d = Array.unsafe_get dst e in
-                let rm = Array.unsafe_get rmu d in
-                if rm = rm (* reaches output *) then begin
-                  incr screened;
-                  let mu_de = amu +. Array.unsafe_get d_mu e +. rm in
-                  let theta_max =
-                    Array.unsafe_get a_sig s
-                    +. Array.unsafe_get d_sig e
-                    +. Array.unsafe_get rsig d
-                    +. m_sig
+  let n_chunks = Par.n_chunks ~chunk:input_chunk ni in
+  (* Backward storage for one output tile, reused tile after tile: only
+     [tile_sz] retained Form_buf workspaces (plus their scalar rows and
+     destination bitmasks) are resident at once instead of all [no].  Each
+     output's backward sweep still runs exactly once - tiling costs extra
+     FORWARD sweeps instead, [n_tiles] per input, because every chunk
+     re-derives its inputs' arrival data per tile. *)
+  let tile_ws = Array.init tile_sz (fun _ -> Propagate.create_workspace ()) in
+  let req_mu = Array.make_matrix tile_sz (max nv 1) nan in
+  let req_sig = Array.make_matrix tile_sz (max nv 1) nan in
+  let omasks = Array.init tile_sz (fun _ -> Bytes.make (max nv 1) '\000') in
+  (* Settled-edge compaction cadence: rewrite the active cone lists after
+     any output whose scan settled this many edges since the last rewrite.
+     Any cadence is result-safe (compaction only drops edges the scan
+     would skip anyway); this one bounds the rewrite work by a fraction of
+     the settles that made it worthwhile. *)
+  let compact_min = max 64 (m asr 5) in
+  let screen_tile_chunk st scratch ~t_lo ~tn ~lo ~hi =
+    let n_in = hi - lo in
+    let keep = st.s_keep
+    and cm_z = st.s_cm_z
+    and bar = st.s_bar
+    and settled = st.s_settled in
+    (* One forward sweep per input of the chunk: arrival forms, scalar
+       rows, and the input's active edge cone - ascending edge indices
+       whose source the input reaches, minus the edges this chunk already
+       settled.  Rebuilt per tile from the (bit-identical) sweep, so the
+       non-skipped visit sequence below is the same for every tile size. *)
+    for slot = 0 to n_in - 1 do
+      scratch.source1.(0) <- inputs.(lo + slot);
+      let ws = scratch.fwd.(slot) in
+      Propagate.forward_into ws g ~forms:fbuf ~sources:scratch.source1;
+      Propagate.scalar_summaries_into ws ~n:nv ~mu:scratch.a_mu.(slot)
+        ~sigma:scratch.a_sig.(slot);
+      let cone = scratch.cone.(slot) in
+      let raw = Propagate.ws_source_cone_into ws g ~into:cone in
+      let k = ref 0 in
+      for x = 0 to raw - 1 do
+        let e = Array.unsafe_get cone x in
+        if Bytes.unsafe_get settled e = '\000' then begin
+          Array.unsafe_set cone !k e;
+          incr k
+        end
+      done;
+      scratch.cone_len.(slot) <- !k;
+      st.s_cone <- st.s_cone + !k
+    done;
+    let pending = ref 0 in
+    for jj = 0 to tn - 1 do
+      let out = outputs.(t_lo + jj) in
+      let rmu = req_mu.(jj) and rsig = req_sig.(jj) in
+      let omask = omasks.(jj) in
+      let rbuf = Propagate.ws_buf tile_ws.(jj) in
+      for slot = 0 to n_in - 1 do
+        let ws = scratch.fwd.(slot) in
+        if Propagate.ws_reached ws out then begin
+          let abuf = Propagate.ws_buf ws in
+          let m_mu = Form_buf.mean abuf out in
+          let m_sig = Form_buf.std abuf out in
+          let a_mu = scratch.a_mu.(slot) and a_sig = scratch.a_sig.(slot) in
+          let cone = scratch.cone.(slot) in
+          let clen = scratch.cone_len.(slot) in
+          for x = 0 to clen - 1 do
+            let e = Array.unsafe_get cone x in
+            (* Settled edges are skipped (and periodically compacted out of
+               [cone]) without being counted: they can neither flip [keep]
+               nor raise [cm_z], see [chunk_state]. *)
+            if Bytes.unsafe_get settled e = '\000' then begin
+              let d = Array.unsafe_get dst e in
+              (* One byte load answers "does this edge reach the output"
+                 where the pre-cone screen loaded a NaN-sentinel double. *)
+              if Bytes.unsafe_get omask d <> '\000' then begin
+                let s = Array.unsafe_get src e in
+                let amu = Array.unsafe_get a_mu s in
+                let mu_de = amu +. Array.unsafe_get d_mu e
+                            +. Array.unsafe_get rmu d in
+                let theta_max =
+                  Array.unsafe_get a_sig s
+                  +. Array.unsafe_get d_sig e
+                  +. Array.unsafe_get rsig d
+                  +. m_sig
+                in
+                (* The z-space bound test, phrased as a boolean join: an
+                   [if]/[else] producing a float would box it on every
+                   screened pair (no flambda), and this comparison runs
+                   tens of millions of times at c7552 scale.  The settled
+                   test above already rules out bar = infinity, so the
+                   mu_de >= m_mu branch always survives. *)
+                let bar_e = Array.unsafe_get bar e in
+                let survivor =
+                  if mu_de >= m_mu then true
+                  else (mu_de -. m_mu) /. theta_max > bar_e
+                in
+                if survivor then begin
+                  (* Survivor: exact tightness z-score, allocation-free.
+                     With de = a + d + r (independent private randoms),
+                     Var de and Cov(de, M) decompose into pairwise
+                     covariances of the stored forms, so no canonical sum
+                     needs to be materialized; one fused strided gather
+                     reads everything out of the flat buffers. *)
+                  st.s_exact <- st.s_exact + 1;
+                  Form_buf.quad_stats_into ~a:abuf ~ia:s ~e:fbuf ~ie:e
+                    ~r:rbuf ~ir:d ~m:abuf ~im:out ~into:scratch.quad;
+                  let quad = scratch.quad in
+                  let var_de =
+                    Array.unsafe_get quad Form_buf.quad_var_a
+                    +. d_var.(e)
+                    +. Array.unsafe_get quad Form_buf.quad_var_r
+                    +. 2.0
+                       *. (Array.unsafe_get quad Form_buf.quad_cov_ae
+                          +. Array.unsafe_get quad Form_buf.quad_cov_ar
+                          +. Array.unsafe_get quad Form_buf.quad_cov_er)
                   in
-                  (* The z-space bound test, phrased as a boolean join: an
-                     [if]/[else] producing a float would box it on every
-                     screened pair (no flambda), and this comparison runs
-                     hundreds of millions of times at c7552 scale. *)
-                  let bar_e = Array.unsafe_get bar e in
-                  let survivor =
-                    if mu_de >= m_mu then bar_e < infinity
-                    else (mu_de -. m_mu) /. theta_max > bar_e
+                  let cov_dem =
+                    Array.unsafe_get quad Form_buf.quad_cov_am
+                    +. Array.unsafe_get quad Form_buf.quad_cov_em
+                    +. Array.unsafe_get quad Form_buf.quad_cov_rm
                   in
-                  if survivor then begin
-                    (* Survivor: exact tightness z-score, allocation-free.
-                       With de = a + d + r (independent private randoms),
-                       Var de and Cov(de, M) decompose into pairwise
-                       covariances of the stored forms, so no canonical sum
-                       needs to be materialized; one fused strided gather
-                       reads everything out of the flat buffers. *)
-                    let rbuf = Propagate.ws_buf passes.(j) in
-                    incr exact_evals;
-                    Form_buf.quad_stats_into ~a:abuf ~ia:s ~e:fbuf ~ie:e
-                      ~r:rbuf ~ir:d ~m:abuf ~im:out ~into:scratch.quad;
-                    let quad = scratch.quad in
-                    let var_de =
-                      Array.unsafe_get quad Form_buf.quad_var_a
-                      +. d_var.(e)
-                      +. Array.unsafe_get quad Form_buf.quad_var_r
-                      +. 2.0
-                         *. (Array.unsafe_get quad Form_buf.quad_cov_ae
-                            +. Array.unsafe_get quad Form_buf.quad_cov_ar
-                            +. Array.unsafe_get quad Form_buf.quad_cov_er)
-                    in
-                    let cov_dem =
-                      Array.unsafe_get quad Form_buf.quad_cov_am
-                      +. Array.unsafe_get quad Form_buf.quad_cov_em
-                      +. Array.unsafe_get quad Form_buf.quad_cov_rm
-                    in
-                    let m_var = m_sig *. m_sig in
-                    let theta2 = var_de +. m_var -. (2.0 *. cov_dem) in
-                    (* Identity detection: when every i->j path runs
-                       through e (or ties are perfectly correlated),
-                       M_ij IS d_e - same mean and same linear part -
-                       but the canonical forms carry the shared private
-                       randoms as if independent, which would collapse
-                       the tightness to 1/2.  The criticality of such
-                       an edge is 1 by definition (P(de >= de) = 1). *)
-                    let scale = var_de +. m_var +. 1e-30 in
-                    let rand_de2 =
-                      let ra = Array.unsafe_get quad Form_buf.quad_rand_a
-                      and rd = Array.unsafe_get quad Form_buf.quad_rand_e
-                      and rr = Array.unsafe_get quad Form_buf.quad_rand_r in
-                      (ra *. ra) +. (rd *. rd) +. (rr *. rr)
-                    in
-                    let m_rand = Array.unsafe_get quad Form_buf.quad_rand_m in
-                    let linear_dist2 =
-                      var_de -. rand_de2 +. m_var -. (m_rand *. m_rand)
-                      -. (2.0 *. cov_dem)
-                    in
-                    (* Thresholds are deliberately not machine-epsilon
-                       tight: an edge whose M differs from de only by a
-                       strongly-dominated competitor (tightness already
-                       > ~0.98) lands here too, which is where it
-                       belongs - competing paths at statistical parity
-                       shift M's mean by a sizable fraction of sigma
-                       and are rejected by the mean test. *)
-                    let same_path =
-                      m_mu -. mu_de <= (0.02 *. m_sig) +. 1e-30
-                      && linear_dist2 <= 1e-4 *. scale
-                      && m_var <= var_de +. (1e-3 *. scale)
-                    in
-                    let z =
-                      if same_path then infinity
-                      else if theta2 <= 1e-12 *. scale then
-                        if mu_de >= m_mu then infinity else neg_infinity
-                      else (mu_de -. m_mu) /. sqrt theta2
-                    in
-                    if z >= z_delta then keep.(e) <- true;
-                    if z > cm_z.(e) then cm_z.(e) <- z;
-                    if exact then bar.(e) <- Float.max bar.(e) z
-                    else if keep.(e) then bar.(e) <- infinity
+                  let m_var = m_sig *. m_sig in
+                  let theta2 = var_de +. m_var -. (2.0 *. cov_dem) in
+                  (* Identity detection: when every i->j path runs
+                     through e (or ties are perfectly correlated),
+                     M_ij IS d_e - same mean and same linear part -
+                     but the canonical forms carry the shared private
+                     randoms as if independent, which would collapse
+                     the tightness to 1/2.  The criticality of such
+                     an edge is 1 by definition (P(de >= de) = 1). *)
+                  let scale = var_de +. m_var +. 1e-30 in
+                  let rand_de2 =
+                    let ra = Array.unsafe_get quad Form_buf.quad_rand_a
+                    and rd = Array.unsafe_get quad Form_buf.quad_rand_e
+                    and rr = Array.unsafe_get quad Form_buf.quad_rand_r in
+                    (ra *. ra) +. (rd *. rd) +. (rr *. rr)
+                  in
+                  let m_rand = Array.unsafe_get quad Form_buf.quad_rand_m in
+                  let linear_dist2 =
+                    var_de -. rand_de2 +. m_var -. (m_rand *. m_rand)
+                    -. (2.0 *. cov_dem)
+                  in
+                  (* Thresholds are deliberately not machine-epsilon
+                     tight: an edge whose M differs from de only by a
+                     strongly-dominated competitor (tightness already
+                     > ~0.98) lands here too, which is where it
+                     belongs - competing paths at statistical parity
+                     shift M's mean by a sizable fraction of sigma
+                     and are rejected by the mean test. *)
+                  let same_path =
+                    m_mu -. mu_de <= (0.02 *. m_sig) +. 1e-30
+                    && linear_dist2 <= 1e-4 *. scale
+                    && m_var <= var_de +. (1e-3 *. scale)
+                  in
+                  let z =
+                    if same_path then infinity
+                    else if theta2 <= 1e-12 *. scale then
+                      if mu_de >= m_mu then infinity else neg_infinity
+                    else (mu_de -. m_mu) /. sqrt theta2
+                  in
+                  if z >= z_delta then keep.(e) <- true;
+                  if z > cm_z.(e) then cm_z.(e) <- z;
+                  (if exact then bar.(e) <- Float.max bar_e z
+                   else if keep.(e) then bar.(e) <- infinity);
+                  if Array.unsafe_get bar e = infinity then begin
+                    Bytes.unsafe_set settled e '\001';
+                    incr pending
                   end
                 end
+                else st.s_screened <- st.s_screened + 1
               end
-            done
-          end)
-        outputs
-    done;
-    { c_keep = keep; c_cm_z = cm_z; c_exact = !exact_evals;
-      c_screened = !screened }
+            end
+          done
+        end
+      done;
+      if !pending >= compact_min then begin
+        for slot = 0 to n_in - 1 do
+          let cone = scratch.cone.(slot) in
+          let clen = scratch.cone_len.(slot) in
+          let k = ref 0 in
+          for x = 0 to clen - 1 do
+            let e = Array.unsafe_get cone x in
+            if Bytes.unsafe_get settled e = '\000' then begin
+              Array.unsafe_set cone !k e;
+              incr k
+            end
+          done;
+          st.s_compacted <- st.s_compacted + (clen - !k);
+          scratch.cone_len.(slot) <- !k
+        done;
+        pending := 0
+      end
+    done
   in
-  let chunks =
+  let states =
+    Array.init n_chunks (fun _ ->
+        {
+          s_keep = Array.make m false;
+          (* Best exact tightness z-score seen per edge (neg_infinity =
+             never evaluated); converted to a probability after the
+             merge. *)
+          s_cm_z = Array.make m neg_infinity;
+          s_bar = Array.make m bar0;
+          s_settled = Bytes.make (max m 1) '\000';
+          s_exact = 0;
+          s_screened = 0;
+          s_cone = 0;
+          s_compacted = 0;
+        })
+  in
+  let pool =
+    Par.pool (fun () ->
+        {
+          fwd = Array.init input_chunk (fun _ -> Propagate.create_workspace ());
+          a_mu = Array.init input_chunk (fun _ -> Array.make (max nv 1) nan);
+          a_sig = Array.init input_chunk (fun _ -> Array.make (max nv 1) nan);
+          cone = Array.init input_chunk (fun _ -> Array.make (max m 1) 0);
+          cone_len = Array.make input_chunk 0;
+          quad = Array.make Form_buf.quad_size 0.0;
+          source1 = [| 0 |];
+        })
+  in
+  (* Tiles are processed strictly in ascending output order, and inside a
+     tile every chunk visits (output, input, cone edge) in ascending
+     order, so a chunk's flattened visit sequence over the whole screen is
+     (j, i, e) regardless of the tile size: the per-edge bar/settled
+     trajectory - hence keep, cm_z and both pair counters - is
+     bit-identical at every tile size, and (by the per-chunk state) at
+     every domain count.  Only the cone/compaction counters and the RSS
+     depend on the tile size. *)
+  for t = 0 to n_tiles - 1 do
+    let t_lo, t_hi = Par.chunk_bounds ~chunk:tile_sz ~n:no t in
+    let tn = t_hi - t_lo in
+    (* Backward passes for this tile's outputs, fanned out over the pool
+       (each is a full canonical sweep and they are independent).  Each
+       task owns its tile slot: workspace, scalar rows and destination
+       bitmask. *)
+    Obs.with_span "criticality.backward" (fun () ->
+        Par.run_tasks ?domains ~n_tasks:tn
+          ~init:(fun () -> ())
+          ~task:(fun () k ->
+            let ws = tile_ws.(k) in
+            Propagate.backward_to_into ws g ~forms:fbuf outputs.(t_lo + k);
+            Propagate.scalar_summaries_into ws ~n:nv ~mu:req_mu.(k)
+              ~sigma:req_sig.(k);
+            Propagate.ws_reach_into ws ~n:nv ~into:omasks.(k))
+          ());
     Obs.with_span "criticality.screen" (fun () ->
-        Par.map_tasks ?domains
-          ~init:(fun () ->
-            {
-              ws_arr = Propagate.create_workspace ();
-              quad = Array.make Form_buf.quad_size 0.0;
-              a_mu = Array.make nv nan;
-              a_sig = Array.make nv nan;
-              source1 = [| 0 |];
-            })
-          (Par.n_chunks ~chunk:input_chunk ni)
-          (fun scratch c ->
+        Par.run_tasks_pool ?domains ~n_tasks:n_chunks ~pool
+          ~task:(fun scratch c ->
             let lo, hi = Par.chunk_bounds ~chunk:input_chunk ~n:ni c in
-            screen_chunk scratch ~lo ~hi))
-  in
-  (* Merge in chunk-index order (all four merges are order-insensitive, but
-     the fixed order keeps the determinism argument local). *)
+            screen_tile_chunk states.(c) scratch ~t_lo ~tn ~lo ~hi)
+          ())
+  done;
+  (* Merge in chunk-index order (all merges are order-insensitive, but the
+     fixed order keeps the determinism argument local). *)
   let keep = Array.make m false in
   let cm_z = Array.make m neg_infinity in
   let exact_evals = ref 0 in
   let screened = ref 0 in
+  let cone_edges = ref 0 in
+  let compacted = ref 0 in
   Array.iter
-    (fun c ->
+    (fun st ->
       for e = 0 to m - 1 do
-        if c.c_keep.(e) then keep.(e) <- true;
-        if c.c_cm_z.(e) > cm_z.(e) then cm_z.(e) <- c.c_cm_z.(e)
+        if st.s_keep.(e) then keep.(e) <- true;
+        if st.s_cm_z.(e) > cm_z.(e) then cm_z.(e) <- st.s_cm_z.(e)
       done;
-      exact_evals := !exact_evals + c.c_exact;
-      screened := !screened + c.c_screened)
-    chunks;
+      exact_evals := !exact_evals + st.s_exact;
+      screened := !screened + st.s_screened;
+      cone_edges := !cone_edges + st.s_cone;
+      compacted := !compacted + st.s_compacted)
+    states;
   let cm =
     Array.map
       (fun z ->
@@ -270,8 +419,10 @@ let compute ?(exact = false) ?domains ~delta g ~forms =
     let kept = Array.fold_left (fun n k -> if k then n + 1 else n) 0 keep in
     Obs.add c_exact_evals !exact_evals;
     Obs.add c_screened_pairs !screened;
-    Obs.add c_screen_pruned (!screened - !exact_evals);
     Obs.add c_kept_edges kept;
-    Obs.add c_removed_edges (m - kept)
+    Obs.add c_removed_edges (m - kept);
+    Obs.add c_cone_edges !cone_edges;
+    Obs.add c_compacted_edges !compacted;
+    Obs.add c_backward_tiles n_tiles
   end;
   { keep; cm; exact_evals = !exact_evals; screened_pairs = !screened }

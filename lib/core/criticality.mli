@@ -38,12 +38,21 @@ type result = {
           [delta] (kept edges carry a witness >= delta, removed edges their
           best evaluated value, 0 if screened out) *)
   exact_evals : int;  (** number of full tightness evaluations performed *)
-  screened_pairs : int;  (** number of (edge, pair) screens performed *)
+  screened_pairs : int;
+      (** number of (edge, pair) visits the scalar screen disposed of
+          without a full evaluation; visits on already-settled edges are
+          skipped outright and counted nowhere *)
 }
+
+val set_tile : int -> unit
+(** Override the backward tile size for subsequent {!compute} calls
+    (clamped to at least 1) - the [hssta --crit-tile] hook.  An explicit
+    [?tile] argument still wins. *)
 
 val compute :
   ?exact:bool ->
   ?domains:int ->
+  ?tile:int ->
   delta:float ->
   Tgraph.t ->
   forms:Form.t array ->
@@ -57,4 +66,16 @@ val compute :
     backward sweeps and the chunked per-input screening over a fixed-size
     domain pool.  The chunk layout is a function of the port counts only,
     so [keep], [cm], and both counters are bit-identical for every domain
-    count (including the never-spawning sequential path at 1). *)
+    count (including the never-spawning sequential path at 1).
+
+    [tile] bounds how many retained backward [Form_buf] workspaces are
+    resident at once: outputs are processed in ascending tiles of this
+    size, capping backward storage at [tile * |V| * stride] floats at the
+    cost of one extra forward sweep per input per additional tile (every
+    chunk re-derives its inputs' arrival data per tile; backward sweeps
+    still run once per output).  Raises [Invalid_argument] if < 1.  When
+    omitted the override of {!set_tile}, then the [CRIT_TILE] environment
+    variable, then all outputs at once (the untiled behaviour) apply.
+    [keep], [cm], [exact_evals] and [screened_pairs] are bit-identical at
+    every tile size: a chunk's flattened visit order over (output, input,
+    cone edge) does not depend on where the tile boundaries fall. *)

@@ -6,23 +6,39 @@ module Obs = Ssta_obs.Obs
    output-driving arcs were characterized at their internal fanout with a
    12%-per-sink load slope (Cell.arc_delay), so one extra sink scales each
    final arc by slope = 0.12 / (1 + 0.12 (fanout - 1)); the increment is the
-   statistical max over the port's fanin arcs (paper future work). *)
+   statistical max over the port's fanin arcs (paper future work).
+
+   The fold runs on Form_buf in-place kernels over one two-slot scratch
+   row: slot 0 accumulates, slot 1 holds the next scaled arc.  The boxed
+   version consed a [Form.scale] list and folded [Form.max_list] per
+   output; this visits the arcs in the same order that fold did (the list
+   head was the LAST fanin arc), so the Clark results are bit-identical,
+   and only the final [get] per output allocates. *)
 let output_load_increments (b : Build.t) =
   let module Form = Ssta_canonical.Form in
+  let module Form_buf = Ssta_canonical.Form_buf in
   let g = b.Build.graph in
   let fanouts = Ssta_circuit.Netlist.fanout_counts b.Build.netlist in
+  let dims = b.Build.basis.Ssta_variation.Basis.dims in
+  let fbuf = Form_buf.of_forms dims b.Build.forms in
+  let scratch = Form_buf.create dims 2 in
   Array.map
     (fun out ->
       let lo = g.Tgraph.fanin_lo.(out) and hi = g.Tgraph.fanin_hi.(out) in
-      if hi <= lo then Form.zero b.Build.basis.Ssta_variation.Basis.dims
+      if hi <= lo then Form.zero dims
       else begin
         let fanout = max fanouts.(out) 1 in
         let slope = 0.12 /. (1.0 +. (0.12 *. float_of_int (fanout - 1))) in
-        let arcs = ref [] in
-        for e = lo to hi - 1 do
-          arcs := Form.scale slope b.Build.forms.(e) :: !arcs
+        Form_buf.scale_into ~alpha:slope ~a:fbuf ~ia:(hi - 1) ~dst:scratch
+          ~idst:0;
+        for e = hi - 2 downto lo do
+          Form_buf.scale_into ~alpha:slope ~a:fbuf ~ia:e ~dst:scratch ~idst:1;
+          (* In-place accumulate: max2_into reads every operand coefficient
+             before overwriting it, so dst = a is safe. *)
+          Form_buf.max2_into ~a:scratch ~ia:0 ~b:scratch ~ib:1 ~dst:scratch
+            ~idst:0
         done;
-        Form.max_list !arcs
+        Form_buf.get scratch 0
       end)
     g.Tgraph.outputs
 

@@ -38,6 +38,14 @@ let ws_reached ws v = Bytes.unsafe_get ws.reach v <> '\000'
 let ws_form ws v =
   if ws_reached ws v then Some (Form_buf.get ws.buf v) else None
 
+let ws_reach_into ws ~n ~into =
+  if Bytes.length into < n then
+    invalid_arg "Propagate.ws_reach_into: destination shorter than n";
+  Bytes.blit ws.reach 0 into 0 n
+
+let ws_source_cone_into ws g ~into =
+  Tgraph.src_cone_into g ~reach:ws.reach ~into
+
 (* Size the workspace for one sweep and clear the reachability mask; slots
    are left as-is (reads are gated by the mask, so stale values from a
    previous sweep are never observed). *)

@@ -35,6 +35,20 @@ val ws_reached : workspace -> int -> bool
 val ws_form : workspace -> int -> Form.t option
 (** Allocating probe of one vertex (for result extraction and tests). *)
 
+val ws_reach_into : workspace -> n:int -> into:Bytes.t -> unit
+(** Copy the first [n] bytes of the last sweep's reachability mask into a
+    caller-owned buffer (non-zero byte = reached).  The criticality screen
+    snapshots each backward pass's mask this way, so its inner loop tests
+    output membership with one byte load instead of a NaN-sentinel double
+    load. *)
+
+val ws_source_cone_into : workspace -> Tgraph.t -> into:int array -> int
+(** Fill [into] (length >= [Tgraph.n_edges]) with the indices, ascending,
+    of the edges whose source the last sweep reached, returning the count —
+    {!Tgraph.src_cone_into} over the workspace's own mask.  Built once per
+    forward sweep, an input's cone replaces the per-output full edge scan
+    of the criticality screen. *)
+
 val forward_into :
   workspace -> Tgraph.t -> forms:Form_buf.t -> sources:int array -> unit
 (** Arrival forms with arrival 0 at every vertex of [sources], left in the

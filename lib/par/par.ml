@@ -83,6 +83,78 @@ let run_tasks ?domains ~n_tasks ~init ~task () =
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Pooled scratch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A reusable bag of worker-scratch values for regions that run many times
+   in sequence - e.g. the criticality screen, once per output tile.  Each
+   worker checks one value out at region entry and returns it at the join,
+   so the whole sequence of regions builds at most max(domains) scratch
+   values instead of one set per region.  Determinism is untouched: tasks
+   already must not let results depend on scratch history (workspaces
+   re-prepare themselves per sweep), and which worker drew which scratch is
+   exactly as unobservable as which worker ran which task. *)
+type 'w pool = { mk : unit -> 'w; lock : Mutex.t; mutable free : 'w list }
+
+let pool mk = { mk; lock = Mutex.create (); free = [] }
+
+let pool_take p =
+  Mutex.lock p.lock;
+  let w =
+    match p.free with
+    | [] -> None
+    | w :: tl ->
+        p.free <- tl;
+        Some w
+  in
+  Mutex.unlock p.lock;
+  match w with Some w -> w | None -> p.mk ()
+
+let pool_put p w =
+  Mutex.lock p.lock;
+  p.free <- w :: p.free;
+  Mutex.unlock p.lock
+
+(* [run_tasks] drawing worker scratch from a pool instead of building it
+   with a per-region [init].  Same task semantics and the same
+   deterministic chunk-claiming scheme. *)
+let run_tasks_pool ?domains ~n_tasks ~pool:p ~task () =
+  if n_tasks > 0 then begin
+    let d = min (resolve domains) n_tasks in
+    if d <= 1 then begin
+      let w = pool_take p in
+      Fun.protect ~finally:(fun () -> pool_put p w) @@ fun () ->
+      for i = 0 to n_tasks - 1 do
+        task w i
+      done
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let w = pool_take p in
+        Fun.protect ~finally:(fun () -> pool_put p w) @@ fun () ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n_tasks then begin
+            task w i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let others = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      let first_exn = ref None in
+      (try worker () with e -> first_exn := Some e);
+      Array.iter
+        (fun dom ->
+          try Domain.join dom
+          with e -> if !first_exn = None then first_exn := Some e)
+        others;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+  end
+
 (* As [run_tasks], but collect each task's return value, in task order. *)
 let map_tasks ?domains ~init n f =
   if n = 0 then [||]

@@ -135,6 +135,36 @@ let edge_index_matrix t =
     t.src;
   tbl
 
+(* CSR cone builders for the criticality screen: collect, in ascending edge
+   order, the edges whose named endpoint is marked in a per-vertex byte mask
+   (the reachability masks the propagation workspaces maintain).  Ascending
+   order matters - the screen's pruning state evolves edge by edge, so cone
+   iteration must visit edges exactly as a full [0, m) scan would. *)
+
+let cone_check t ~reach ~into name =
+  if Bytes.length reach < t.n_vertices then
+    invalid_arg (Printf.sprintf "Tgraph.%s: mask shorter than vertex count" name);
+  if Array.length into < Array.length t.src then
+    invalid_arg (Printf.sprintf "Tgraph.%s: cone array shorter than edge count" name)
+
+let endpoint_cone_into ~reach ~into endpoint =
+  let k = ref 0 in
+  for e = 0 to Array.length endpoint - 1 do
+    if Bytes.unsafe_get reach (Array.unsafe_get endpoint e) <> '\000' then begin
+      Array.unsafe_set into !k e;
+      incr k
+    end
+  done;
+  !k
+
+let src_cone_into t ~reach ~into =
+  cone_check t ~reach ~into "src_cone_into";
+  endpoint_cone_into ~reach ~into t.src
+
+let dst_cone_into t ~reach ~into =
+  cone_check t ~reach ~into "dst_cone_into";
+  endpoint_cone_into ~reach ~into t.dst
+
 let reachable_from t v0 =
   let seen = Array.make t.n_vertices false in
   seen.(v0) <- true;

@@ -54,6 +54,17 @@ val edge_index_matrix : t -> (int * int, int list) Hashtbl.t
 (** Map from (src, dst) to edge indices (several for parallel edges);
     built on demand for tests. *)
 
+val src_cone_into : t -> reach:Bytes.t -> into:int array -> int
+(** [src_cone_into t ~reach ~into] writes, in ascending edge order, the
+    indices of every edge whose source vertex is marked non-zero in [reach]
+    (a per-vertex byte mask of length >= [n_vertices]) into the caller-owned
+    [into] (length >= [n_edges]) and returns how many were written — the
+    "edge cone" of a reachability mask, built once per forward sweep and
+    reused across every output by the criticality screen. *)
+
+val dst_cone_into : t -> reach:Bytes.t -> into:int array -> int
+(** As {!src_cone_into} for the destination endpoint (backward cones). *)
+
 val reachable_from : t -> int -> bool array
 (** Vertices reachable from a vertex by forward edges (including itself). *)
 

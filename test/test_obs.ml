@@ -112,25 +112,36 @@ let test_criticality_counters_domain_invariant () =
   with_obs @@ fun () ->
   Obs.enable ();
   let b = Lazy.force module_build in
-  let counters =
+  (* The result counters are pinned invariant across BOTH the domain count
+     and the tile size; the cone/compaction/tile bookkeeping counters are
+     only domain-invariant (tiling legitimately rebuilds the cone lists
+     once per tile). *)
+  let result_counters =
     [
       "criticality.exact_evals";
       "criticality.screened_pairs";
-      "criticality.screen_pruned_pairs";
       "criticality.kept_edges";
       "criticality.removed_edges";
     ]
   in
-  let run domains =
+  let bookkeeping_counters =
+    [
+      "criticality.cone_edges";
+      "criticality.compacted_edges";
+      "criticality.backward_tiles";
+    ]
+  in
+  let counters = result_counters @ bookkeeping_counters in
+  let run domains tile =
     Obs.reset ();
     let crit =
-      H.Criticality.compute ~domains ~delta:0.05 b.Build.graph
+      H.Criticality.compute ~domains ?tile ~delta:0.05 b.Build.graph
         ~forms:b.Build.forms
     in
     (crit, List.map (fun n -> (n, Obs.find_counter n)) counters)
   in
-  let crit1, counts1 = run 1 in
-  let crit4, counts4 = run 4 in
+  let crit1, counts1 = run 1 None in
+  let crit4, counts4 = run 4 None in
   List.iter2
     (fun (n, v1) (_, v4) ->
       Alcotest.(check int) (n ^ " invariant across domains") v1 v4)
@@ -144,7 +155,26 @@ let test_criticality_counters_domain_invariant () =
   (* The published counter agrees with the result record's own count. *)
   Alcotest.(check int) "exact_evals counter = record field"
     crit1.H.Criticality.exact_evals
-    (List.assoc "criticality.exact_evals" counts1)
+    (List.assoc "criticality.exact_evals" counts1);
+  (* Tiling the backward storage changes neither the results nor the
+     result counters (only the bookkeeping ones may move). *)
+  let critt, countst = run 4 (Some 3) in
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (n ^ " invariant across tile sizes")
+        (List.assoc n counts1) (List.assoc n countst))
+    result_counters;
+  Alcotest.(check bool) "keep mask bit-equal under tiling" true
+    (crit1.H.Criticality.keep = critt.H.Criticality.keep);
+  Alcotest.(check bool) "criticalities bit-equal under tiling" true
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       crit1.H.Criticality.cm critt.H.Criticality.cm);
+  let no = Array.length b.Build.graph.Ssta_timing.Tgraph.outputs in
+  Alcotest.(check int) "backward_tiles = ceil(|O| / tile)"
+    ((no + 2) / 3)
+    (List.assoc "criticality.backward_tiles" countst)
 
 (* ------------------------------------------------------------------ *)
 (* JSONL trace sink                                                    *)
