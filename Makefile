@@ -17,7 +17,7 @@ bench: build
 # Quick sanity pass over the kernel benchmarks: few repetitions, no
 # large circuits.  Used by `make check`.
 bench-smoke: build
-	BENCH_REPS=20 $(DUNE) exec bench/main.exe kernels criticality_c1908 obs_overhead
+	BENCH_REPS=20 $(DUNE) exec bench/main.exe kernels criticality_c1908 obs_overhead robust_overhead
 
 # Regression gate: regenerate the kernel metrics and compare against the
 # committed baseline (timings within +/-30%, counters exact).
@@ -25,7 +25,7 @@ bench-smoke: build
 # counts are only meaningful on the sequential path.
 bench-gate: build
 	BENCH_REPS=20 PAR_DOMAINS=1 BENCH_JSON=_build/BENCH_gate.json \
-	  $(DUNE) exec bench/main.exe kernels criticality_c1908 obs_overhead
+	  $(DUNE) exec bench/main.exe kernels criticality_c1908 obs_overhead robust_overhead
 	$(DUNE) exec bench/check_regression.exe -- \
 	  BENCH_kernels.json _build/BENCH_gate.json
 

@@ -12,7 +12,9 @@
    - [_frac]: an upper-bounded overhead fraction - passes iff the current
      value is at most GATE_OVERHEAD_MAX (default 0.02); the baseline value
      only marks the key as gated.  Used for the observability layer's
-     disabled-mode overhead guarantee;
+     disabled-mode overhead guarantee (obs_disabled_overhead_frac) and the
+     robustness layer's clean-path guard overhead guarantee
+     (robust_disabled_overhead_frac);
    - [_pairs] / [_evals] / [_edges] / [_tiles]: visit and structure
      counters of the criticality screen - always compared exactly, even
      under GATE_EXACT_TOL (they are pinned by the screen's determinism

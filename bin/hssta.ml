@@ -65,6 +65,38 @@ let setup_crit_tile =
   in
   Term.(const apply $ arg)
 
+(* Numerical robustness policy for the graceful-degradation layer.  The
+   flag overrides the ROBUST_POLICY environment variable (default:
+   repair).  Under strict, any detected numerical degeneracy raises a
+   structured error naming the fault site (exit code 3); under repair the
+   documented repair is applied and counted; warn additionally logs each
+   repair to stderr (rate-limited). *)
+let setup_robust =
+  let doc =
+    "Numerical robustness policy: $(b,strict) turns every detected \
+     degeneracy (non-finite values, indefinite covariances, degenerate \
+     max operands) into a structured error naming the fault site; \
+     $(b,repair) applies the documented numerical repair and counts it; \
+     $(b,warn) repairs, counts and logs.  Overrides $(b,ROBUST_POLICY); \
+     default repair."
+  in
+  let arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "robust" ] ~docv:"POLICY" ~doc)
+  in
+  let apply = function
+    | None -> ()
+    | Some s -> (
+        match Ssta_robust.Robust.policy_of_string s with
+        | Ok p -> Ssta_robust.Robust.set_policy p
+        | Error m ->
+            Printf.eprintf "hssta: --robust: %s\n%!" m;
+            exit 124)
+  in
+  Term.(const apply $ arg)
+
 (* Observability: [--trace FILE] streams JSONL span/counter events (same as
    the OBS_TRACE environment variable); [--obs-summary] prints the
    aggregated per-phase table to stderr when the command finishes. *)
@@ -138,7 +170,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let sta_cmd =
-  let run () () () name =
+  let run () () () () name =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -164,10 +196,12 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta"
        ~doc:"Deterministic and statistical timing of one circuit")
-    Term.(const run $ setup_logs $ setup_domains $ setup_obs $ circuit_arg)
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_robust
+      $ circuit_arg)
 
 let extract_cmd =
-  let run () () () () name delta iters seed =
+  let run () () () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -207,10 +241,10 @@ let extract_cmd =
        ~doc:"Extract a statistical timing model and validate it against MC")
     Term.(
       const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
-      $ circuit_arg $ delta_arg $ iters_arg $ seed_arg)
+      $ setup_robust $ circuit_arg $ delta_arg $ iters_arg $ seed_arg)
 
 let criticality_cmd =
-  let run () () () () name delta =
+  let run () () () () () name delta =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -236,7 +270,7 @@ let criticality_cmd =
        ~doc:"Edge-criticality histogram of a circuit (paper Fig. 6)")
     Term.(
       const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
-      $ circuit_arg $ delta_arg)
+      $ setup_robust $ circuit_arg $ delta_arg)
 
 let hier_cmd =
   let circuit =
@@ -244,7 +278,7 @@ let hier_cmd =
                inputs and outputs, e.g. c6288)." in
     Arg.(value & pos 0 string "c6288" & info [] ~docv:"CIRCUIT" ~doc)
   in
-  let run () () () () name delta iters seed =
+  let run () () () () () name delta iters seed =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -277,7 +311,7 @@ let hier_cmd =
        ~doc:"Hierarchical SSTA of the paper's 2x2 experiment (Fig. 7)")
     Term.(
       const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
-      $ circuit $ delta_arg $ iters_arg $ seed_arg)
+      $ setup_robust $ circuit $ delta_arg $ iters_arg $ seed_arg)
 
 let paths_cmd =
   let k_arg =
@@ -315,7 +349,7 @@ let model_cmd =
     let doc = "Output path for the serialized timing model." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run () () () () name delta out =
+  let run () () () () () name delta out =
     match build_circuit name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok nl ->
@@ -331,7 +365,7 @@ let model_cmd =
              hand-off)")
     Term.(
       const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
-      $ circuit_arg $ delta_arg $ out_arg)
+      $ setup_robust $ circuit_arg $ delta_arg $ out_arg)
 
 let model_info_cmd =
   let path_arg =
@@ -364,15 +398,87 @@ let model_info_cmd =
     (Cmd.info "model-info" ~doc:"Inspect a serialized timing model")
     Term.(const run $ setup_logs $ path_arg)
 
+let inject_cmd =
+  let module Inject = Ssta_robust_inject.Inject in
+  let module Robust = Ssta_robust.Robust in
+  let policy_arg =
+    let doc =
+      "Policy (or policies) to run the corpus under: $(b,strict), \
+       $(b,repair), $(b,warn) or $(b,both) (= strict then repair)."
+    in
+    Arg.(value & opt string "both" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let out_arg =
+    let doc = "Write per-case verdicts as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run () () name policy_s out seed =
+    let policies =
+      match policy_s with
+      | "both" -> [ Robust.Strict; Robust.Repair ]
+      | s -> (
+          match Robust.policy_of_string s with
+          | Ok p -> [ p ]
+          | Error m ->
+              Printf.eprintf "hssta inject: --policy: %s\n%!" m;
+              exit 124)
+    in
+    let ctx = Inject.make_ctx name in
+    let verdicts =
+      List.concat_map
+        (fun policy -> Inject.run_corpus ctx ~seed ~policy)
+        policies
+    in
+    List.iter
+      (fun (v : Inject.verdict) ->
+        Printf.printf "%-6s %-7s %-26s %-12s %s  %s\n" v.Inject.circuit
+          (Robust.policy_name v.Inject.policy)
+          v.Inject.fault
+          (Inject.flow_name v.Inject.flow)
+          (if v.Inject.ok then "PASS" else "FAIL")
+          v.Inject.detail)
+      verdicts;
+    let pass = List.length (List.filter (fun v -> v.Inject.ok) verdicts) in
+    Printf.printf "%d/%d cases pass\n" pass (List.length verdicts);
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Inject.jsonl_of_verdicts verdicts);
+        close_out oc;
+        Printf.printf "verdicts written to %s\n" path);
+    if not (Inject.all_pass verdicts) then exit 3
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run the deterministic fault-injection corpus against one \
+             circuit: every fault class crossed with the extraction and \
+             hierarchical flows, under strict and repair policies")
+    Term.(
+      const run $ setup_logs $ setup_domains $ circuit_arg $ policy_arg
+      $ out_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "hssta" ~version:"1.0.0"
       ~doc:"Hierarchical statistical static timing analysis (DATE'09 reproduction)"
   in
+  let group =
+    Cmd.group info
+      [
+        list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
+        paths_cmd; corners_cmd; model_cmd; model_info_cmd; inject_cmd;
+      ]
+  in
+  (* With --robust strict, a detected degeneracy surfaces here as a
+     structured error: report the fault site and exit 3 (distinct from
+     usage errors and from cmdliner's internal-error 125). *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
-            paths_cmd; corners_cmd; model_cmd; model_info_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+     | Ssta_robust.Robust.Error c ->
+         Printf.eprintf "hssta: robustness error (strict policy):\n  %s\n%!"
+           (Ssta_robust.Robust.to_string c);
+         3
+     | e ->
+         Printf.eprintf "hssta: internal error: %s\n%!" (Printexc.to_string e);
+         125)

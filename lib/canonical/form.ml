@@ -104,3 +104,75 @@ let pp ppf t =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
        (fun ppf v -> Format.fprintf ppf "%.4f" v))
     t.globals (Vec.norm2 t.pcs) t.rand
+
+(* Validated boundary of the robust layer: [Extract], [Hier_analysis] and
+   [Replace] pass their incoming form arrays through here before entering
+   the kernels.  Detection is read-only and clean arrays are returned
+   physically unchanged, so the clean path is bit-identical under every
+   policy; the copy is made lazily on the first repaired form. *)
+
+module Robust = Ssta_robust.Robust
+
+let nan_sanitized = Robust.counter "robust.nan_sanitized"
+let zero_variance_arcs = Robust.counter "robust.zero_variance_arcs"
+
+(* One pass per form accumulating the coefficient sum (self-subtraction
+   catches NaN/Inf anywhere) and the squared-coefficient sum (exact zero
+   variance with a positive mean marks a statistically degenerate arc -
+   every characterized arc carries variation; interconnect constants have
+   mean 0 and are exempt). *)
+let classify_form f =
+  let s = ref (f.mean +. f.rand) in
+  let q = ref (f.rand *. f.rand) in
+  for i = 0 to Array.length f.globals - 1 do
+    let x = f.globals.(i) in
+    s := !s +. x;
+    q := !q +. (x *. x)
+  done;
+  for i = 0 to Array.length f.pcs - 1 do
+    let x = f.pcs.(i) in
+    s := !s +. x;
+    q := !q +. (x *. x)
+  done;
+  if !s -. !s <> 0.0 then `Nonfinite
+  else if f.mean > 0.0 && !q = 0.0 then `Zero_variance
+  else `Ok
+
+let repair_form f =
+  let fin x = if Robust.is_finite x then x else 0.0 in
+  {
+    mean = fin f.mean;
+    globals = Array.map fin f.globals;
+    pcs = Array.map fin f.pcs;
+    rand = (let r = fin f.rand in if r > 0.0 then r else 0.0);
+  }
+
+let sanitize_forms ~subsystem ~operation forms =
+  let n = Array.length forms in
+  let fixed = ref None in
+  for i = 0 to n - 1 do
+    let f = forms.(i) in
+    match classify_form f with
+    | `Ok -> ()
+    | `Zero_variance ->
+        Robust.repair zero_variance_arcs
+          (Robust.context ~subsystem ~operation ~indices:[ i ]
+             ~values:[ f.mean ]
+             "zero-variance arc with positive mean (statistically degenerate \
+              cell)")
+    | `Nonfinite ->
+        Robust.repair nan_sanitized
+          (Robust.context ~subsystem ~operation ~indices:[ i ]
+             ~values:[ f.mean; f.rand ]
+             "non-finite coefficient in canonical form; zeroing");
+        let dst =
+          match !fixed with
+          | Some a -> a
+          | None ->
+              let a = Array.copy forms in
+              fixed := Some a;
+              a
+        in
+        dst.(i) <- repair_form f
+  done;
+  match !fixed with Some a -> a | None -> forms

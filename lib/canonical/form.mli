@@ -76,3 +76,16 @@ val sample : t -> globals:float array -> pcs:float array -> rand:float -> float
 
 val equal : ?tol:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val sanitize_forms :
+  subsystem:string -> operation:string -> t array -> t array
+(** Validated boundary of the robust layer.  Scans every form for
+    non-finite coefficients and for statistically degenerate arcs
+    (positive mean with exactly zero variance; mean-0 interconnect
+    constants are exempt).  Under [Strict] the first offense raises
+    [Ssta_robust.Robust.Error] with [subsystem]/[operation] context and
+    the form index; under [Repair]/[Warn] non-finite coefficients are
+    zeroed into a lazily-made copy (counted in [robust.nan_sanitized])
+    and zero-variance arcs are kept but counted
+    ([robust.zero_variance_arcs]).  A clean array is returned physically
+    unchanged. *)

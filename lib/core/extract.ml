@@ -1,6 +1,7 @@
 module Build = Ssta_timing.Build
 module Tgraph = Ssta_timing.Tgraph
 module Obs = Ssta_obs.Obs
+module CForm = Ssta_canonical.Form
 
 (* Delay increment per additional external sink on each output port: the
    output-driving arcs were characterized at their internal fanout with a
@@ -14,13 +15,14 @@ module Obs = Ssta_obs.Obs
    output; this visits the arcs in the same order that fold did (the list
    head was the LAST fanin arc), so the Clark results are bit-identical,
    and only the final [get] per output allocates. *)
-let output_load_increments (b : Build.t) =
+let output_load_increments ?forms (b : Build.t) =
   let module Form = Ssta_canonical.Form in
   let module Form_buf = Ssta_canonical.Form_buf in
   let g = b.Build.graph in
   let fanouts = Ssta_circuit.Netlist.fanout_counts b.Build.netlist in
   let dims = b.Build.basis.Ssta_variation.Basis.dims in
-  let fbuf = Form_buf.of_forms dims b.Build.forms in
+  let forms = match forms with Some f -> f | None -> b.Build.forms in
+  let fbuf = Form_buf.of_forms dims forms in
   let scratch = Form_buf.create dims 2 in
   Array.map
     (fun out ->
@@ -84,11 +86,19 @@ let extract_with_criticality ?(exact = false) ?domains ?(delta = 0.05)
     (b : Build.t) =
   let t0 = Unix.gettimeofday () in
   let g = b.Build.graph in
+  (* Validated boundary: characterized forms enter the extraction pipeline
+     checked (and, under Repair/Warn, sanitized); clean arrays pass
+     through physically unchanged. *)
+  let in_forms =
+    CForm.sanitize_forms ~subsystem:"extract" ~operation:"extract"
+      b.Build.forms
+  in
   let crit, graph, forms, stats =
-    reduce_and_stats ~exact ?domains ~delta ~t0 g b.Build.forms
+    reduce_and_stats ~exact ?domains ~delta ~t0 g in_forms
   in
   let output_load =
-    Obs.with_span "extract.output_load" (fun () -> output_load_increments b)
+    Obs.with_span "extract.output_load" (fun () ->
+        output_load_increments ~forms:in_forms b)
   in
   let model =
     {
@@ -111,7 +121,10 @@ let extract_design ?domains ?(delta = 0.05) ~name (fp : Floorplan.t)
     (dg : Design_grid.t) (res : Hier_analysis.result) =
   let t0 = Unix.gettimeofday () in
   let g = res.Hier_analysis.graph in
-  let forms = res.Hier_analysis.forms in
+  let forms =
+    CForm.sanitize_forms ~subsystem:"extract" ~operation:"extract_design"
+      res.Hier_analysis.forms
+  in
   let _crit, graph, rforms, stats =
     reduce_and_stats ?domains ~delta ~t0 g forms
   in

@@ -56,6 +56,19 @@ let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
     (fun i inst ->
       let g = graphs.(i) in
       let model = inst.Floorplan.model in
+      (* Validated boundary: instance models arrive from disk or from
+         earlier extractions; their forms and load increments are checked
+         (and, under Repair/Warn, sanitized) before stitching. *)
+      let model_forms =
+        Form.sanitize_forms ~subsystem:"hier_analysis"
+          ~operation:("analyze:" ^ inst.Floorplan.label)
+          model.Timing_model.forms
+      in
+      let load_forms =
+        Form.sanitize_forms ~subsystem:"hier_analysis"
+          ~operation:("analyze.output_load:" ^ inst.Floorplan.label)
+          model.Timing_model.output_load
+      in
       (* Output-port index per model vertex (for load increments). *)
       let port_of_vertex = Array.make (Tgraph.n_vertices g) (-1) in
       Array.iteri
@@ -69,9 +82,9 @@ let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
               Form.add f
                 (Form.scale
                    (float_of_int extra_sinks.(i).(p))
-                   model.Timing_model.output_load.(p))
+                   load_forms.(p))
             else f)
-          model.Timing_model.forms
+          model_forms
       in
       let tf = Replace.transform_instance dg fp ~mode ~inst:i base_forms in
       Array.iteri
@@ -114,7 +127,10 @@ let analyze ?workspace (fp : Floorplan.t) (dg : Design_grid.t) ~mode =
   let delay =
     match Propagate.max_over arrival graph.Tgraph.outputs with
     | Some d -> d
-    | None -> failwith "Hier_analysis.analyze: no design output is reachable"
+    | None ->
+        Ssta_robust.Robust.fail ~subsystem:"hier_analysis" ~operation:"analyze"
+          ~indices:[ Array.length outputs ]
+          "no design output is reachable from any design input"
   in
   let t2 = Unix.gettimeofday () in
   Ssta_obs.Obs.span_end sp_prop;
@@ -237,4 +253,7 @@ let flat_form (fp : Floorplan.t) (dg : Design_grid.t) =
   in
   match Propagate.max_over arrival graph.Tgraph.outputs with
   | Some d -> d
-  | None -> failwith "Hier_analysis.flat_form: no design output reachable"
+  | None ->
+      Ssta_robust.Robust.fail ~subsystem:"hier_analysis" ~operation:"flat_form"
+        ~indices:[ Array.length graph.Tgraph.outputs ]
+        "no design output is reachable from any design input"

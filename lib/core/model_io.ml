@@ -5,6 +5,7 @@ module Basis = Ssta_variation.Basis
 module Correlation = Ssta_variation.Correlation
 module Mat = Ssta_linalg.Mat
 module Pca = Ssta_linalg.Pca
+module Robust = Ssta_robust.Robust
 
 let magic = "hssta-timing-model v1"
 
@@ -85,8 +86,15 @@ let to_string (m : Timing_model.t) =
 
 type parser_state = { lines : string array; mutable pos : int }
 
+let nan_sanitized = Robust.counter "robust.nan_sanitized"
+
+(* All parse failures carry the 1-based line position as structured
+   context; nothing below may let a raw [Failure]/[Invalid_argument]/
+   [Scanf] exception escape (the fuzz suite pins this). *)
 let fail_at st msg =
-  failwith (Printf.sprintf "Model_io: line %d: %s" (st.pos + 1) msg)
+  Robust.fail ~subsystem:"model_io" ~operation:"parse"
+    ~indices:[ st.pos + 1 ]
+    (Printf.sprintf "line %d: %s" (st.pos + 1) msg)
 
 let next_line st =
   if st.pos >= Array.length st.lines then fail_at st "unexpected end of file";
@@ -109,17 +117,33 @@ let expect st key =
 let int_of st s =
   try int_of_string s with _ -> fail_at st ("not an integer: " ^ s)
 
+let nat_of st s =
+  let n = int_of st s in
+  if n < 0 then fail_at st ("negative count: " ^ s);
+  n
+
+(* Validated boundary: serialized floats must be finite.  A "nan"/"inf"
+   token (file corruption - the writer only emits finite %.17g values)
+   fails with line context under Strict and parses as 0.0, counted in
+   robust.nan_sanitized, under Repair/Warn. *)
 let float_of st s =
-  try float_of_string s with _ -> fail_at st ("not a float: " ^ s)
+  match float_of_string_opt s with
+  | None -> fail_at st ("not a float: " ^ s)
+  | Some v ->
+      if Robust.is_finite v then v
+      else begin
+        Robust.repair nan_sanitized
+          (Robust.context ~subsystem:"model_io" ~operation:"parse"
+             ~indices:[ st.pos ] ~values:[ v ]
+             (Printf.sprintf "line %d: non-finite value: %s" st.pos s));
+        0.0
+      end
 
 let one st = function
   | [ x ] -> x
   | _ -> fail_at st "expected exactly one value"
 
-let of_string text =
-  let st =
-    { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 }
-  in
+let parse st =
   let header = next_line st in
   if String.trim header <> magic then
     fail_at st (Printf.sprintf "bad magic; expected %S" magic);
@@ -158,9 +182,9 @@ let of_string text =
           ~d_far:(float_of st df) ()
     | _ -> fail_at st "corr expects 4 floats"
   in
-  let n_params = int_of st (one st (expect st "params")) in
+  let n_params = nat_of st (one st (expect st "params")) in
   let pitch = float_of st (one st (expect st "pitch")) in
-  let n_tiles = int_of st (one st (expect st "tiles")) in
+  let n_tiles = nat_of st (one st (expect st "tiles")) in
   let tiles =
     Array.init n_tiles (fun _ ->
         match expect st "tile" with
@@ -174,7 +198,7 @@ let of_string text =
   in
   if Array.length values <> n_tiles then
     fail_at st "pca-values count does not match tiles";
-  let dim = int_of st (one st (expect st "pca-vectors")) in
+  let dim = nat_of st (one st (expect st "pca-vectors")) in
   if dim <> n_tiles then fail_at st "pca dimension does not match tiles";
   let vectors =
     Mat.of_arrays
@@ -189,11 +213,11 @@ let of_string text =
   in
   let pca = Pca.of_parts ~values ~vectors in
   let basis = Basis.of_parts ~n_params ~corr ~pitch ~tiles ~pca in
-  let n_vertices = int_of st (one st (expect st "vertices")) in
+  let n_vertices = nat_of st (one st (expect st "vertices")) in
   let id_list key =
     match expect st key with
     | count :: ids ->
-        let n = int_of st count in
+        let n = nat_of st count in
         let ids = Array.of_list (List.map (int_of st) ids) in
         if Array.length ids <> n then
           fail_at st (key ^ " count does not match ids");
@@ -219,7 +243,7 @@ let of_string text =
       ~globals:(Array.of_list globals)
       ~pcs ~rand:(float_of st rand)
   in
-  let n_loads = int_of st (one st (expect st "output-loads")) in
+  let n_loads = nat_of st (one st (expect st "output-loads")) in
   if n_loads <> Array.length outputs then
     fail_at st "output-load count does not match outputs";
   let output_load =
@@ -228,7 +252,7 @@ let of_string text =
         | mean :: rand :: "g" :: rest -> parse_form "load" mean rand rest
         | _ -> fail_at st "malformed load line")
   in
-  let n_edges = int_of st (one st (expect st "edges")) in
+  let n_edges = nat_of st (one st (expect st "edges")) in
   let edges = Array.make n_edges (0, 0) in
   let forms =
     Array.init n_edges (fun e ->
@@ -244,6 +268,20 @@ let of_string text =
   | _ -> fail_at st "trailing tokens after 'end'");
   let graph = Tgraph.make ~n_vertices ~edges ~inputs ~outputs in
   { Timing_model.name; graph; forms; basis; die; delta; output_load; stats }
+
+let of_string text =
+  let st =
+    { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 }
+  in
+  (* Catch-all: token mutations can trip validation deep inside the model
+     constructors (Tile.make, Correlation.make, Pca.of_parts, Form.make,
+     ...) as bare Failure/Invalid_argument; rewrap them with the current
+     line position.  Structured errors (including Tgraph's) already name
+     their site and pass through. *)
+  try parse st with
+  | Robust.Error _ as e -> raise e
+  | Failure msg | Invalid_argument msg ->
+      fail_at st ("invalid model data: " ^ msg)
 
 let save m ~path =
   let oc = open_out path in

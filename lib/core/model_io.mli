@@ -12,9 +12,16 @@
     valid (re-running PCA could flip eigenvector signs). *)
 
 val to_string : Timing_model.t -> string
+
 val of_string : string -> Timing_model.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises {!Ssta_robust.Robust.Error} (subsystem ["model_io"]) on
+    malformed input; the error's indices carry the 1-based line number
+    (and token position where applicable) of the offending construct.
+    Non-finite numeric fields are a policy decision: [Strict] raises,
+    [Repair]/[Warn] substitute zero and count [robust.nan_sanitized]. *)
 
 val save : Timing_model.t -> path:string -> unit
+
 val load : path:string -> Timing_model.t
-(** Raises [Sys_error] on IO problems, [Failure] on parse errors. *)
+(** Raises [Sys_error] on IO problems and {!Ssta_robust.Robust.Error} on
+    parse errors, as {!of_string}. *)

@@ -6,8 +6,10 @@ module Basis = Ssta_variation.Basis
 type mode = Replaced | Global_only
 
 module Obs = Ssta_obs.Obs
+module Robust = Ssta_robust.Robust
 
 let c_forms_transformed = Obs.counter "replace.forms_transformed"
+let nan_sanitized = Robust.counter "robust.nan_sanitized"
 
 (* The substitution matrix M = A^{-1} B_n of paper eq. (18): x = M x^t
    rewrites a module-basis form over the design basis.  One span per
@@ -33,7 +35,29 @@ let matrix (dg : Design_grid.t) (fp : Floorplan.t) ~inst =
   let a_inv =
     Mat.init n n (fun i j -> if i < retained then Mat.get pinv i j else 0.0)
   in
-  Mat.mul a_inv bn
+  let m = Mat.mul a_inv bn in
+  (* Validated boundary: a non-finite substitution entry would silently
+     poison every transformed form of the instance.  Strict raises naming
+     (instance, row, column); Repair/Warn zero the offending entries into
+     a copy and count them.  Clean matrices pass through unchanged. *)
+  let bad = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to m_design - 1 do
+      let x = Mat.get m i j in
+      if not (Robust.is_finite x) then begin
+        Robust.repair nan_sanitized
+          (Robust.context ~subsystem:"replace" ~operation:"matrix"
+             ~indices:[ inst; i; j ] ~values:[ x ]
+             "non-finite substitution-matrix entry (instance, row, column)");
+        incr bad
+      end
+    done
+  done;
+  if !bad = 0 then m
+  else
+    Mat.init n m_design (fun i j ->
+        let x = Mat.get m i j in
+        if Robust.is_finite x then x else 0.0)
 
 let transform_form (dg : Design_grid.t) ~mode ~m ~inst (f : Form.t) =
   let dbasis = dg.Design_grid.basis in

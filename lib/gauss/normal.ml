@@ -95,18 +95,31 @@ let quantile p =
 
 type max_moments = { tightness : float; mean : float; variance : float }
 
-(* Allocation-free variant of [clark_max] below: every float crossing an
-   OCaml function boundary is boxed (no flambda), so the kernel loops in
-   Form_buf pass the five inputs and three results through one caller-owned
-   scratch array instead.  The body replicates [clark_max] - with [cdf],
+module Robust = Ssta_robust.Robust
+
+let clark_degenerate_count = Robust.counter "robust.clark_degenerate"
+let nan_sanitized = Robust.counter "robust.nan_sanitized"
+
+(* The Clark-max fast path admits exactly the operands for which the
+   moment formulas are well-defined: finite inputs and non-negative
+   variances.  The tie branch inside the core already gives the exact
+   closed form for sigma_a = sigma_b = 0, rho = +1 with equal sigmas, and
+   equal-moment ties (theta^2 = 0); sigma -> 0+ flows through the generic
+   formulas, which degrade gracefully (alpha -> +/-inf, tp -> {0,1},
+   ph -> 0).  The single sum's self-subtraction test catches NaN and Inf
+   in any operand at the cost of four adds and a compare. *)
+let clark_operands_ok ~mean_a ~var_a ~mean_b ~var_b ~cov =
+  var_a >= 0.0 && var_b >= 0.0
+  &&
+  let t = mean_a +. var_a +. mean_b +. var_b +. cov in
+  t -. t = 0.0
+
+(* Fast-path body shared by [clark_max_into]: operates on slot values
+   already loaded into unboxed locals so the array is read exactly once
+   (guard included).  The arithmetic replicates [clark_max] - with [cdf],
    [pdf] and [erfc] inlined - operation for operation; the kernel test
    suite pins bit-identity against the record-returning original. *)
-let clark_max_into s =
-  let mean_a = s.(0)
-  and var_a = s.(1)
-  and mean_b = s.(2)
-  and var_b = s.(3)
-  and cov = s.(4) in
+let[@inline] clark_max_into_fast s ~mean_a ~var_a ~mean_b ~var_b ~cov =
   let theta2 = var_a +. var_b -. (2.0 *. cov) in
   let scale = var_a +. var_b +. 1e-30 in
   if theta2 <= 1e-12 *. scale then
@@ -166,7 +179,7 @@ let clark_max_into s =
     if v > 0.0 then s.(2) <- v else s.(2) <- 0.0
   end
 
-let clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov =
+let clark_core ~mean_a ~var_a ~mean_b ~var_b ~cov =
   let theta2 = var_a +. var_b -. (2.0 *. cov) in
   let scale = var_a +. var_b +. 1e-30 in
   if theta2 <= 1e-12 *. scale then
@@ -188,3 +201,76 @@ let clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov =
     in
     let variance = Float.max 0.0 (second -. (mean *. mean)) in
     { tightness = tp; mean; variance }
+
+(* Cold path: degenerate operands (NaN/Inf anywhere, or a negative
+   variance).  Strict raises a structured error naming the offending slot;
+   Repair/Warn sanitize each bad operand to its nearest valid value -
+   non-finite -> 0, variance clamped >= 0, covariance clamped to the
+   Cauchy-Schwarz bound - and re-enter the exact core on the repaired
+   operands. *)
+let clark_max_degenerate ~mean_a ~var_a ~mean_b ~var_b ~cov =
+  let bad_slots =
+    List.filter_map
+      (fun (ok, i) -> if ok then None else Some i)
+      [
+        (Robust.is_finite mean_a, 0);
+        (Robust.is_finite var_a && var_a >= 0.0, 1);
+        (Robust.is_finite mean_b, 2);
+        (Robust.is_finite var_b && var_b >= 0.0, 3);
+        (Robust.is_finite cov, 4);
+      ]
+  in
+  let ctx =
+    Robust.context ~subsystem:"gauss.normal" ~operation:"clark_max"
+      ~indices:bad_slots
+      ~values:[ mean_a; var_a; mean_b; var_b; cov ]
+      "degenerate Clark max operands (non-finite value or negative variance)"
+  in
+  Robust.repair clark_degenerate_count ctx;
+  let fin slot x =
+    if Robust.is_finite x then x
+    else begin
+      Robust.count nan_sanitized
+        (Robust.context ~subsystem:"gauss.normal" ~operation:"clark_max"
+           ~indices:[ slot ] ~values:[ x ] "non-finite operand zeroed");
+      0.0
+    end
+  in
+  let mean_a = fin 0 mean_a in
+  let var_a = Float.max 0.0 (fin 1 var_a) in
+  let mean_b = fin 2 mean_b in
+  let var_b = Float.max 0.0 (fin 3 var_b) in
+  let bound = sqrt (var_a *. var_b) in
+  let cov = Float.min bound (Float.max (-.bound) (fin 4 cov)) in
+  clark_core ~mean_a ~var_a ~mean_b ~var_b ~cov
+
+let clark_max ~mean_a ~var_a ~mean_b ~var_b ~cov =
+  if clark_operands_ok ~mean_a ~var_a ~mean_b ~var_b ~cov then
+    clark_core ~mean_a ~var_a ~mean_b ~var_b ~cov
+  else clark_max_degenerate ~mean_a ~var_a ~mean_b ~var_b ~cov
+
+let clark_max_into s =
+  (* The slots are loaded into unboxed locals exactly once and shared
+     between the guard and the fast body; the guard itself costs two
+     compares, four adds and one subtraction. *)
+  let mean_a = s.(0)
+  and var_a = s.(1)
+  and mean_b = s.(2)
+  and var_b = s.(3)
+  and cov = s.(4) in
+  let ok =
+    var_a >= 0.0
+    && var_b >= 0.0
+    &&
+    let t = mean_a +. var_a +. mean_b +. var_b +. cov in
+    t -. t = 0.0
+  in
+  if ok then (clark_max_into_fast [@inlined]) s ~mean_a ~var_a ~mean_b ~var_b ~cov
+  else begin
+    let { tightness; mean; variance } =
+      clark_max_degenerate ~mean_a ~var_a ~mean_b ~var_b ~cov
+    in
+    s.(0) <- tightness;
+    s.(1) <- mean;
+    s.(2) <- variance
+  end

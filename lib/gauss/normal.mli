@@ -42,7 +42,17 @@ val clark_max :
 (** Moments of the maximum of two jointly Gaussian variables.  When the
     discriminant [var_a + var_b - 2 cov] is (numerically) zero the variables
     differ by a constant and the result degenerates to the variable with the
-    larger mean. *)
+    larger mean - the exact closed form for the sigma_a = sigma_b = 0,
+    rho = +1 equal-sigma, and equal-moment tie cases.
+
+    Degenerate operands (any non-finite value, or a negative variance) are
+    routed through the robust layer: [Strict] raises
+    [Ssta_robust.Robust.Error] naming the offending slots; [Repair]/[Warn]
+    sanitize (non-finite -> 0, variance clamped >= 0, covariance clamped to
+    the Cauchy-Schwarz bound), count [robust.clark_degenerate] /
+    [robust.nan_sanitized], and evaluate the exact formulas on the repaired
+    operands.  Valid operands never enter the slow path and take the
+    historical code bit-for-bit. *)
 
 val clark_max_into : float array -> unit
 (** Allocation-free {!clark_max}: reads [mean_a; var_a; mean_b; var_b; cov]

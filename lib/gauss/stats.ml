@@ -15,9 +15,26 @@ module Welford = struct
   let std t = sqrt (variance t)
 end
 
+module Robust = Ssta_robust.Robust
+
+(* Order statistics and moments are undefined on NaN (polymorphic compare
+   gives an arbitrary order; sums poison silently), so the entry points
+   that sort or average reject NaN samples with a structured error naming
+   the first offending index.  One pass, no allocation. *)
+let check_no_nan op xs =
+  let n = Array.length xs in
+  let i = ref 0 in
+  while !i < n && not (Float.is_nan xs.(!i)) do
+    incr i
+  done;
+  if !i < n then
+    Robust.fail ~subsystem:"gauss.stats" ~operation:op ~indices:[ !i ]
+      ~values:[ xs.(!i) ] "NaN sample"
+
 let mean xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.mean: empty sample";
+  check_no_nan "mean" xs;
   Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
 let variance xs =
@@ -40,6 +57,7 @@ let quantile xs p =
   if n = 0 then invalid_arg "Stats.quantile: empty sample";
   if not (p >= 0.0 && p <= 1.0) then
     invalid_arg "Stats.quantile: p outside [0, 1]";
+  check_no_nan "quantile" xs;
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let pos = p *. float_of_int (n - 1) in
@@ -53,14 +71,16 @@ let quantile xs p =
 let empirical_cdf xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.empirical_cdf: empty sample";
+  check_no_nan "empirical_cdf" xs;
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let probs = Array.init n (fun i -> float_of_int (i + 1) /. float_of_int n) in
   (sorted, probs)
 
-let histogram ?lo ?hi ~bins xs =
+let histogram_dropped ?lo ?hi ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
   if Array.length xs = 0 then invalid_arg "Stats.histogram: empty sample";
+  check_no_nan "histogram" xs;
   let lo =
     match lo with Some v -> v | None -> Array.fold_left min xs.(0) xs
   in
@@ -69,6 +89,7 @@ let histogram ?lo ?hi ~bins xs =
   in
   let width = (hi -. lo) /. float_of_int bins in
   let counts = Array.make bins 0 in
+  let dropped = ref 0 in
   Array.iter
     (fun x ->
       if x >= lo && x <= hi then begin
@@ -77,9 +98,12 @@ let histogram ?lo ?hi ~bins xs =
           else min (bins - 1) (int_of_float ((x -. lo) /. width))
         in
         counts.(b) <- counts.(b) + 1
-      end)
+      end
+      else incr dropped)
     xs;
-  counts
+  (counts, !dropped)
+
+let histogram ?lo ?hi ~bins xs = fst (histogram_dropped ?lo ?hi ~bins xs)
 
 let ks_distance xs cdf =
   let sorted, _ = empirical_cdf xs in

@@ -15,6 +15,12 @@ module Welford : sig
 end
 
 val mean : float array -> float
+(** Raises [Ssta_robust.Robust.Error] (naming the first offending index)
+    if the sample contains NaN — as do {!quantile}, {!empirical_cdf},
+    {!histogram} and everything built on them: polymorphic compare orders
+    NaN arbitrarily and sums poison silently, so the failure is made
+    explicit at the boundary. *)
+
 val variance : float array -> float
 (** Unbiased sample variance. *)
 
@@ -30,7 +36,15 @@ val empirical_cdf : float array -> float array * float array
 
 val histogram : ?lo:float -> ?hi:float -> bins:int -> float array -> int array
 (** Counts per bin over [lo, hi] (defaults: sample min/max).  Values landing
-    exactly on [hi] go to the last bin. *)
+    exactly on [hi] go to the last bin.  With explicit [lo]/[hi], samples
+    outside the range are {e dropped} — use {!histogram_dropped} when the
+    caller needs to know how many (a histogram that silently loses mass
+    misreports tails). *)
+
+val histogram_dropped :
+  ?lo:float -> ?hi:float -> bins:int -> float array -> int array * int
+(** Like {!histogram}, also returning the number of samples that fell
+    outside [lo, hi] (always [0] when both default). *)
 
 val ks_distance : float array -> (float -> float) -> float
 (** Kolmogorov-Smirnov distance between the sample and a reference CDF. *)

@@ -1,8 +1,16 @@
+module Robust = Ssta_robust.Robust
+
+let jitter_retries = Robust.counter "robust.chol_jitter_retries"
+
+(* One factorization attempt with [boost] added to the diagonal.  Returns
+   the failing pivot index and its (non-positive) value on failure so the
+   caller can report a structured error naming the exact site. *)
 let attempt c boost =
   let n, m = Mat.dims c in
   if n <> m then invalid_arg "Cholesky.factor: matrix not square";
   let l = Mat.make n n in
-  let ok = ref true in
+  let bad_pivot = ref (-1) in
+  let bad_value = ref 0.0 in
   (try
      for j = 0 to n - 1 do
        let sum = ref (Mat.get c j j +. boost) in
@@ -11,7 +19,8 @@ let attempt c boost =
          sum := !sum -. (v *. v)
        done;
        if !sum <= 0.0 then begin
-         ok := false;
+         bad_pivot := j;
+         bad_value := !sum;
          raise Exit
        end;
        let diag = sqrt !sum in
@@ -25,7 +34,7 @@ let attempt c boost =
        done
      done
    with Exit -> ());
-  if !ok then Some l else None
+  if !bad_pivot < 0 then Ok l else Error (!bad_pivot, !bad_value)
 
 let factor ?jitter c =
   let n, _ = Mat.dims c in
@@ -38,10 +47,18 @@ let factor ?jitter c =
   in
   let rec go boost tries =
     match attempt c boost with
-    | Some l -> l
-    | None when tries > 0 ->
+    | Ok l -> l
+    | Error (j, v) when tries > 0 ->
+        Robust.repair jitter_retries
+          (Robust.context ~subsystem:"linalg.cholesky" ~operation:"factor"
+             ~indices:[ j ] ~values:[ v; boost ]
+             "non-positive pivot; retrying with scaled diagonal jitter");
         go (Float.max base_jitter (boost *. 100.0)) (tries - 1)
-    | None -> failwith "Cholesky.factor: matrix is not positive definite"
+    | Error (j, v) ->
+        Robust.fail ~subsystem:"linalg.cholesky" ~operation:"factor"
+          ~indices:[ j ] ~values:[ v; boost ]
+          "matrix is not positive definite (pivot non-positive after jitter \
+           escalation)"
   in
   go 0.0 6
 

@@ -4,9 +4,13 @@
 val factor : ?jitter:float -> Mat.t -> Mat.t
 (** [factor c] returns the lower-triangular [l] with [l * l^T = c].
     If a pivot is non-positive, [jitter] (default [1e-10] times the largest
-    diagonal entry) is added to the diagonal and the factorization restarts;
-    raises [Failure] if the matrix is too indefinite to repair within a few
-    attempts. *)
+    diagonal entry) is added to the diagonal and the factorization restarts.
+    Each restart is a repair: under the [Strict] robust policy the first
+    non-positive pivot raises [Ssta_robust.Robust.Error] naming the pivot
+    index and its value instead of retrying; under [Repair]/[Warn] the
+    historical jitter-escalation ladder runs, counted in
+    [robust.chol_jitter_retries].  A matrix still indefinite after the
+    ladder raises [Ssta_robust.Robust.Error] under every policy. *)
 
 val solve_lower : Mat.t -> float array -> float array
 (** [solve_lower l b] solves [l x = b] by forward substitution. *)

@@ -23,7 +23,16 @@ val of_covariance : ?min_eig:float -> Mat.t -> t
 (** Eigenvalues below [min_eig] (default [1e-9] times the largest eigenvalue)
     are clamped to zero and excluded from [pinv_factor]; the truncated
     correlation model of the paper can make covariance matrices slightly
-    indefinite, and clamping is the documented repair. *)
+    indefinite, and clamping is the documented repair.
+
+    Validated boundary of the robust layer: a non-finite covariance entry
+    raises [Ssta_robust.Robust.Error] under the [Strict] policy and is
+    zeroed (symmetrically) and counted in [robust.nan_sanitized] under
+    [Repair]/[Warn]; an eigenvalue negative beyond numerical noise
+    (below [-2%] of the largest - the measured clean-circuit envelope of the truncated correlation model is [-0.64%]) likewise raises under [Strict] and
+    is clipped to the nearest PSD spectrum and counted in
+    [robust.psd_clips] under [Repair]/[Warn].  Clean inputs take the
+    historical path bit-for-bit. *)
 
 val of_parts : values:float array -> vectors:Mat.t -> t
 (** Rebuild a decomposition from serialized eigenvalues and eigenvectors
@@ -31,7 +40,9 @@ val of_parts : values:float array -> vectors:Mat.t -> t
     [pinv_factor] deterministically.  Eigenvector sign conventions are
     whatever the serialized matrix carries, so coefficient vectors written
     against it stay consistent.  Raises [Invalid_argument] on dimension
-    mismatch, negative eigenvalues or increasing order. *)
+    mismatch or increasing order; a negative serialized eigenvalue raises
+    [Ssta_robust.Robust.Error] under [Strict] and is clamped to zero
+    (counted in [robust.psd_clips]) under [Repair]/[Warn]. *)
 
 val coeff_row : t -> int -> float array
 (** [coeff_row t i] is row [i] of [factor]: the PC coefficients expressing

@@ -1,0 +1,29 @@
+module Robust = Ssta_robust.Robust
+
+let psd_clips = Robust.counter "robust.psd_clips"
+
+let nearest ?(tol = 0.0) c =
+  let { Sym_eig.values; vectors } = Sym_eig.decompose c in
+  let clipped =
+    Array.fold_left (fun k v -> if v < tol then k + 1 else k) 0 values
+  in
+  if clipped = 0 then (c, 0)
+  else begin
+    let values = Array.map (fun v -> if v < tol then 0.0 else v) values in
+    (Sym_eig.reconstruct { Sym_eig.values; vectors }, clipped)
+  end
+
+let robust_factor ?jitter c =
+  match Robust.policy () with
+  | Robust.Strict -> Cholesky.factor ?jitter c
+  | Robust.Repair | Robust.Warn -> (
+      try Cholesky.factor ?jitter c
+      with Robust.Error _ ->
+        let repaired, clipped = nearest c in
+        for _ = 1 to clipped do
+          Robust.count psd_clips
+            (Robust.context ~subsystem:"linalg.psd" ~operation:"robust_factor"
+               ~indices:[ clipped ]
+               "clipped negative eigenvalue for Cholesky repair")
+        done;
+        Cholesky.factor ?jitter repaired)

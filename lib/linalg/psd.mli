@@ -1,0 +1,24 @@
+(** Nearest-PSD repair for covariance matrices.
+
+    Grid covariances reach [Cholesky.factor] and {!Pca.of_covariance}
+    through the truncated correlation model, which can leave them
+    slightly — or, on degenerate floorplans, badly — indefinite.  The
+    classical Frobenius-nearest PSD matrix keeps the eigenvectors and
+    clips negative eigenvalues to zero (Higham 1988); this module exposes
+    that repair and a Cholesky entry point that applies it under the
+    [Repair]/[Warn] robust policies before falling back to the jitter
+    ladder. *)
+
+val nearest : ?tol:float -> Mat.t -> Mat.t * int
+(** [nearest c] returns the Frobenius-nearest positive-semidefinite matrix
+    to [c] (eigenvalues below [tol], default [0.0], clipped to zero) and
+    the number of clipped eigenvalues.  When nothing clips, the
+    reconstruction is skipped and [c] itself is returned (count [0]), so
+    clean inputs are untouched bit-for-bit. *)
+
+val robust_factor : ?jitter:float -> Mat.t -> Mat.t
+(** Cholesky factorization of a covariance matrix behind the robust
+    policy.  [Strict]: exactly {!Cholesky.factor} (first bad pivot raises
+    a structured error).  [Repair]/[Warn]: if the direct factorization
+    fails, the matrix is clipped to its nearest PSD spectrum (counted in
+    [robust.psd_clips]) and re-factored with the jitter ladder. *)

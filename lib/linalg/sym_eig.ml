@@ -1,4 +1,8 @@
+module Robust = Ssta_robust.Robust
+
 type decomposition = { values : float array; vectors : Mat.t }
+
+let jacobi_residual = Robust.counter "robust.jacobi_residual"
 
 (* Cyclic Jacobi: repeatedly zero the largest off-diagonal entries with Givens
    rotations until the off-diagonal Frobenius mass is negligible. *)
@@ -9,13 +13,33 @@ let decompose ?(max_sweeps = 64) c =
     let s = ref 1e-300 in
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do
-        s := Float.max !s (abs_float (Mat.get c i j))
+        let x = Mat.get c i j in
+        if not (Robust.is_finite x) then
+          Robust.fail ~subsystem:"linalg.sym_eig" ~operation:"decompose"
+            ~indices:[ i; j ] ~values:[ x ] "non-finite matrix entry";
+        s := Float.max !s (abs_float x)
       done
     done;
     !s
   in
-  if not (Mat.is_symmetric ~tol:(1e-8 *. scale) c) then
-    invalid_arg "Sym_eig.decompose: matrix not symmetric";
+  if not (Mat.is_symmetric ~tol:(1e-8 *. scale) c) then begin
+    (* Name the worst-offending entry pair in the error. *)
+    let bi = ref 0 and bj = ref 0 and bd = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = abs_float (Mat.get c i j -. Mat.get c j i) in
+        if d > !bd then begin
+          bd := d;
+          bi := i;
+          bj := j
+        end
+      done
+    done;
+    Robust.fail ~subsystem:"linalg.sym_eig" ~operation:"decompose"
+      ~indices:[ !bi; !bj ]
+      ~values:[ Mat.get c !bi !bj; Mat.get c !bj !bi ]
+      "matrix not symmetric"
+  end;
   let a = Mat.to_arrays c in
   let v = Mat.to_arrays (Mat.identity n) in
   let off_norm () =
@@ -63,6 +87,17 @@ let decompose ?(max_sweeps = 64) c =
       done
     done
   done;
+  (* The sweep cap is a hard iteration bound; verify the residual actually
+     converged.  For finite symmetric input cyclic Jacobi converges well
+     inside 64 sweeps, so this fires only on pathological inputs: Strict
+     raises, Repair/Warn accept the partial diagonalisation and count it. *)
+  let residual = off_norm () in
+  if residual > eps then
+    Robust.repair jacobi_residual
+      (Robust.context ~subsystem:"linalg.sym_eig" ~operation:"decompose"
+         ~indices:[ !sweep; max_sweeps ]
+         ~values:[ residual; eps ]
+         "sweep cap reached with off-diagonal residual above tolerance");
   let order = Array.init n (fun i -> i) in
   Array.sort (fun i j -> compare a.(j).(j) a.(i).(i)) order;
   let values = Array.map (fun i -> a.(i).(i)) order in

@@ -8,8 +8,13 @@ type decomposition = {
 }
 
 val decompose : ?max_sweeps:int -> Mat.t -> decomposition
-(** Raises [Invalid_argument] if the matrix is not square or not symmetric
-    (tolerance 1e-8 relative to the largest entry). *)
+(** Raises [Invalid_argument] if the matrix is not square, and
+    [Ssta_robust.Robust.Error] if an entry is non-finite or the matrix is
+    not symmetric (tolerance 1e-8 relative to the largest entry; the error
+    names the worst-offending entry pair).  The sweep cap is verified: an
+    off-diagonal residual above tolerance at the cap raises under the
+    [Strict] policy and is counted in [robust.jacobi_residual] under
+    [Repair]/[Warn]. *)
 
 val reconstruct : decomposition -> Mat.t
 (** [v * diag(values) * v^T]; useful for testing. *)

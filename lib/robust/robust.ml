@@ -1,0 +1,137 @@
+module Obs = Ssta_obs.Obs
+
+type policy = Strict | Repair | Warn
+
+type context = {
+  subsystem : string;
+  operation : string;
+  indices : int list;
+  values : float list;
+  detail : string;
+}
+
+exception Error of context
+
+let context ~subsystem ~operation ?(indices = []) ?(values = []) detail =
+  { subsystem; operation; indices; values; detail }
+
+let to_string c =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "robust error: ";
+  Buffer.add_string b c.subsystem;
+  Buffer.add_char b '.';
+  Buffer.add_string b c.operation;
+  Buffer.add_string b ": ";
+  Buffer.add_string b c.detail;
+  if c.indices <> [] then begin
+    Buffer.add_string b " [at";
+    List.iter (fun i -> Buffer.add_string b (Printf.sprintf " %d" i)) c.indices;
+    Buffer.add_char b ']'
+  end;
+  if c.values <> [] then begin
+    Buffer.add_string b " (values";
+    List.iter (fun v -> Buffer.add_string b (Printf.sprintf " %.17g" v)) c.values;
+    Buffer.add_char b ')'
+  end;
+  Buffer.contents b
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let fail ~subsystem ~operation ?indices ?values detail =
+  raise (Error (context ~subsystem ~operation ?indices ?values detail))
+
+let () =
+  Printexc.register_printer (function
+    | Error c -> Some (to_string c)
+    | _ -> None)
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "strict" -> Ok Strict
+  | "repair" -> Ok Repair
+  | "warn" -> Ok Warn
+  | other ->
+      Result.Error
+        (Printf.sprintf "unknown robust policy %S (expected strict|repair|warn)"
+           other)
+
+let policy_name = function
+  | Strict -> "strict"
+  | Repair -> "repair"
+  | Warn -> "warn"
+
+let policy_ref =
+  ref
+    (match Sys.getenv_opt "ROBUST_POLICY" with
+    | None -> Repair
+    | Some s -> (
+        match policy_of_string s with
+        | Ok p -> p
+        | Result.Error msg ->
+            Printf.eprintf "ROBUST_POLICY: %s; defaulting to repair\n%!" msg;
+            Repair))
+
+let policy () = !policy_ref
+let set_policy p = policy_ref := p
+
+(* Counters: always-on atomics mirrored into same-named Obs counters so
+   repairs show up in --obs-summary / traces when observability is on.
+   Registration happens at module-init time (no contention); increments
+   are lock-free and only occur on actual repairs. *)
+
+type counter = { name : string; cell : int Atomic.t; obs : Obs.counter }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; cell = Atomic.make 0; obs = Obs.counter name } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let value c = Atomic.get c.cell
+
+let counters () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun _ c acc -> (c.name, value c) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_lock
+
+let count c _ctx =
+  Atomic.incr c.cell;
+  Obs.incr c.obs
+
+(* Warn-mode logging is rate-limited: degenerate inputs can fire per edge
+   in extraction-scale loops, and stderr is not the place for millions of
+   lines.  The counters keep the exact totals. *)
+let warn_budget = Atomic.make 20
+
+let warn_log ctx =
+  let left = Atomic.fetch_and_add warn_budget (-1) in
+  if left > 0 then Printf.eprintf "robust: repaired %s\n%!" (to_string ctx)
+  else if left = 0 then
+    Printf.eprintf
+      "robust: further repair warnings suppressed (see robust.* counters)\n%!"
+
+let repair c ctx =
+  match !policy_ref with
+  | Strict -> raise (Error ctx)
+  | Repair -> count c ctx
+  | Warn ->
+      count c ctx;
+      warn_log ctx
+
+let is_finite x = x -. x = 0.0

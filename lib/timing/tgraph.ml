@@ -1,3 +1,5 @@
+module Robust = Ssta_robust.Robust
+
 type t = {
   n_vertices : int;
   src : int array;
@@ -18,7 +20,9 @@ let make ~n_vertices ~edges ~inputs ~outputs =
   Array.iteri
     (fun i (s, d) ->
       if s < 0 || s >= n_vertices || d < 0 || d >= n_vertices then
-        failwith "Tgraph.make: vertex index out of range";
+        Robust.fail ~subsystem:"timing.tgraph" ~operation:"make"
+          ~indices:[ i; s; d; n_vertices ]
+          "edge endpoint out of range [0, n_vertices)";
       src.(i) <- s;
       dst.(i) <- d)
     edges;
@@ -32,9 +36,10 @@ let make ~n_vertices ~edges ~inputs ~outputs =
   Array.iteri
     (fun i s ->
       if seen_fanin.(s) <> fanin_count.(s) then
-        failwith
-          (Printf.sprintf
-             "Tgraph.make: edge %d uses source %d before all its fanins" i s);
+        Robust.fail ~subsystem:"timing.tgraph" ~operation:"make"
+          ~indices:[ i; s; seen_fanin.(s); fanin_count.(s) ]
+          "edge uses its source before all the source's fanin edges (edge, \
+           vertex, fanins seen, fanins total)";
       seen_fanin.(dst.(i)) <- seen_fanin.(dst.(i)) + 1)
     src;
   (* Fanin edges of each vertex must form one contiguous run (any run order
@@ -45,7 +50,10 @@ let make ~n_vertices ~edges ~inputs ~outputs =
   let i = ref 0 in
   while !i < m do
     let d = dst.(!i) in
-    if closed.(d) then failwith "Tgraph.make: fanin edges not contiguous";
+    if closed.(d) then
+      Robust.fail ~subsystem:"timing.tgraph" ~operation:"make"
+        ~indices:[ !i; d ]
+        "fanin edges of vertex not contiguous (edge, vertex)";
     fanin_lo.(d) <- !i;
     let j = ref !i in
     while !j < m && dst.(!j) = d do
@@ -73,7 +81,9 @@ let make_sorted ~n_vertices ~edges ~inputs ~outputs =
   Array.iteri
     (fun i (s, d) ->
       if s < 0 || s >= n_vertices || d < 0 || d >= n_vertices then
-        failwith "Tgraph.make_sorted: vertex index out of range";
+        Robust.fail ~subsystem:"timing.tgraph" ~operation:"make_sorted"
+          ~indices:[ i; s; d; n_vertices ]
+          "edge endpoint out of range [0, n_vertices)";
       fanin_count.(d) <- fanin_count.(d) + 1;
       out_adj.(s) <- i :: out_adj.(s))
     edges;
@@ -105,7 +115,33 @@ let make_sorted ~n_vertices ~edges ~inputs ~outputs =
         if remaining.(d) = 0 then Queue.push d queue)
       out_adj.(v)
   done;
-  if !settled <> n_vertices then failwith "Tgraph.make_sorted: graph is cyclic";
+  if !settled <> n_vertices then begin
+    (* Name a vertex that is actually on a cycle, not merely downstream of
+       one: walk backwards through unsettled predecessors until a vertex
+       repeats.  Every unsettled vertex has at least one unsettled
+       predecessor (otherwise Kahn would have settled it), so the walk is
+       total and must revisit within n steps. *)
+    let unsettled v = remaining.(v) > 0 in
+    let start = ref 0 in
+    while not (unsettled !start) do
+      incr start
+    done;
+    let visited = Array.make n_vertices false in
+    let cur = ref !start in
+    while not visited.(!cur) do
+      visited.(!cur) <- true;
+      let next = ref (-1) in
+      List.iter
+        (fun i ->
+          let s, _ = edges.(i) in
+          if !next < 0 && unsettled s then next := s)
+        fanin_edges.(!cur);
+      cur := !next
+    done;
+    Robust.fail ~subsystem:"timing.tgraph" ~operation:"make_sorted"
+      ~indices:[ !cur; n_vertices - !settled ]
+      "graph is cyclic (vertex on a cycle, unsettled vertex count)"
+  end;
   let sorted = Array.map (fun i -> edges.(i)) perm in
   (make ~n_vertices ~edges:sorted ~inputs ~outputs, perm)
 

@@ -2,6 +2,9 @@ module Form = Ssta_canonical.Form
 module Mat = Ssta_linalg.Mat
 module Pca = Ssta_linalg.Pca
 module Rng = Ssta_gauss.Rng
+module Robust = Ssta_robust.Robust
+
+let degenerate_tiles = Robust.counter "robust.degenerate_tiles"
 
 type t = {
   n_params : int;
@@ -24,6 +27,26 @@ let make ~n_params ~corr ~pitch tiles =
   if n_params <= 0 then invalid_arg "Basis.make: n_params must be positive";
   if Array.length tiles = 0 then invalid_arg "Basis.make: no tiles";
   if pitch <= 0.0 then invalid_arg "Basis.make: pitch must be positive";
+  (* Coincident tiles make the local covariance exactly rank-deficient
+     (duplicate rows), which PCA truncation would silently absorb just as
+     it absorbs legitimate small eigenvalues - so the defect is detected
+     here at its cause.  Any tile partition has distinct centers; two
+     tiles closer than 1e-6 of a pitch mean the floorplan or grid was
+     corrupted.  Strict raises naming the pair; Repair/Warn count the
+     event and let PCA truncate the duplicated direction. *)
+  let n_t = Array.length tiles in
+  let coincident_tol = 1e-6 *. pitch in
+  for i = 0 to n_t - 1 do
+    for j = i + 1 to n_t - 1 do
+      let d = Tile.center_distance tiles.(i) tiles.(j) in
+      if d < coincident_tol then
+        Robust.repair degenerate_tiles
+          (Robust.context ~subsystem:"variation.basis" ~operation:"make"
+             ~indices:[ i; j ] ~values:[ d; pitch ]
+             "coincident tiles: local covariance is rank-deficient \
+              (duplicate rows)")
+    done
+  done;
   let c = local_cov_matrix corr pitch tiles in
   let pca = Pca.of_covariance c in
   let n_tiles = Array.length tiles in

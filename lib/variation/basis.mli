@@ -22,7 +22,12 @@ type t = private {
 
 val make :
   n_params:int -> corr:Correlation.model -> pitch:float -> Tile.t array -> t
-(** Raises [Invalid_argument] on an empty tile set or non-positive counts. *)
+(** Raises [Invalid_argument] on an empty tile set or non-positive counts.
+    Coincident tiles (centers closer than [1e-6] pitch) make the local
+    covariance rank-deficient: under the [Strict] robustness policy this
+    raises [Ssta_robust.Robust.Error] naming the tile pair; under
+    [Repair]/[Warn] the event is counted in [robust.degenerate_tiles] and
+    PCA truncates the duplicated direction. *)
 
 val of_parts :
   n_params:int ->

@@ -80,7 +80,9 @@ let test_model_io_rejects_garbage () =
         (try
            ignore (H.Model_io.of_string text);
            false
-         with Failure _ -> true))
+         with Ssta_robust.Robust.Error ctx ->
+           ctx.Ssta_robust.Robust.subsystem = "model_io"
+           && ctx.Ssta_robust.Robust.indices <> []))
     [
       ("bad magic", "not-a-model\n");
       ("truncated", "hssta-timing-model v1\nname x\n");

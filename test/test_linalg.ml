@@ -79,13 +79,18 @@ let test_cholesky_solve () =
 
 let test_cholesky_rejects_indefinite () =
   let c = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
-  (* Eigenvalues 3 and -1: not repairable by tiny jitter. *)
+  (* Eigenvalues 3 and -1: not repairable by tiny jitter.  The structured
+     error names the failing pivot (index 1 here: the first pivot is the
+     positive diagonal). *)
   Alcotest.(check bool)
-    "indefinite rejected" true
+    "indefinite rejected with pivot context" true
     (try
        ignore (Cholesky.factor ~jitter:1e-12 c);
        false
-     with Failure _ -> true)
+     with Ssta_robust.Robust.Error ctx ->
+       ctx.Ssta_robust.Robust.subsystem = "linalg.cholesky"
+       && ctx.Ssta_robust.Robust.indices <> []
+       && List.hd ctx.Ssta_robust.Robust.indices = 1)
 
 let test_eig_diagonal () =
   let c = Mat.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 1.0 |] |] in

@@ -25,5 +25,6 @@ let () =
          Test_crit_screen.suites;
          Test_determinism.suites;
          Test_par.suites;
+         Test_robust.suites;
          Test_integration.suites;
        ])

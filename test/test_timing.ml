@@ -36,7 +36,9 @@ let test_tgraph_rejects_disorder () =
             ~edges:[| (1, 2); (0, 1) |]
             ~inputs:[| 0 |] ~outputs:[| 2 |]);
        false
-     with Failure _ -> true)
+     with Ssta_robust.Robust.Error ctx ->
+       ctx.Ssta_robust.Robust.subsystem = "timing.tgraph"
+       && ctx.Ssta_robust.Robust.indices <> [])
 
 let test_make_sorted_recovers () =
   (* Shuffled edges are re-sorted; arrival times agree with the reference. *)
@@ -61,7 +63,12 @@ let test_make_sorted_rejects_cycle () =
             ~edges:[| (0, 1); (1, 0) |]
             ~inputs:[||] ~outputs:[||]);
        false
-     with Failure _ -> true)
+     with Ssta_robust.Robust.Error ctx ->
+       (* The named vertex must actually lie on the cycle. *)
+       ctx.Ssta_robust.Robust.subsystem = "timing.tgraph"
+       && (match ctx.Ssta_robust.Robust.indices with
+          | v :: _ -> v = 0 || v = 1
+          | [] -> false))
 
 let test_sta_forward () =
   let g = diamond () in
