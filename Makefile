@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-smoke bench-gate bench-crit bench-par check ci fmt fmt-check clean
+.PHONY: all build test bench bench-smoke bench-gate bench-crit bench-par bench-batch check ci fmt fmt-check clean
 
 all: build
 
@@ -44,10 +44,24 @@ bench-crit: build
 bench-par: build
 	BENCH_JSON=BENCH_par.json $(DUNE) exec bench/main.exe mc_par extract_par_c7552
 
+# Scenario-batch gate: per-scenario throughput, the deterministic slab
+# footprint, the engine's disabled-observability overhead, the domain
+# sweep (with its bit-identity assertions), and the ~1M-gate bounded-RSS
+# extraction, compared against the committed BENCH_batch.json baseline.
+# Domain counts are pinned inside the experiments (recorded timings at
+# domains=1, the sweep at 1/2/4), so PAR_DOMAINS is left alone here.
+# The d4 speedup is enforced (GATE_PAR_MIN_SPEEDUP, default 2x) when the
+# current machine reports >= 4 cores, informational otherwise.
+bench-batch: build
+	BENCH_REPS=20 BENCH_JSON=_build/BENCH_batch_run.json \
+	  $(DUNE) exec bench/main.exe batch_scenarios batch_overhead batch_large
+	$(DUNE) exec bench/check_regression.exe -- \
+	  BENCH_batch.json _build/BENCH_batch_run.json
+
 check: build test bench-smoke
 
 # What CI runs: build, tests, the bench regression gates, format check.
-ci: build test bench-gate bench-crit fmt-check
+ci: build test bench-gate bench-crit bench-batch fmt-check
 
 fmt:
 	$(DUNE) build @fmt --auto-promote

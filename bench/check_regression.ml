@@ -19,6 +19,17 @@
      counters of the criticality screen - always compared exactly, even
      under GATE_EXACT_TOL (they are pinned by the screen's determinism
      argument, not by the environment);
+   - [_mb]: a memory footprint (peak RSS) - compared with the timing
+     tolerance plus a 64 MB absolute slack, because the resident peak
+     depends on the allocator and the kernel, not just the code;
+   - [_cores]: the machine's available core count - recorded so a human
+     (and the [_d4_speedup] gate below) can interpret the parallel
+     numbers; never compared, the environment is allowed to change;
+   - [_d4_speedup]: the lib/par multicore claim - when the CURRENT run
+     reports [par_available_cores >= 4] the value must reach
+     GATE_PAR_MIN_SPEEDUP (default 2.0); on smaller machines the key is
+     reported informationally and skipped, and the chosen mode is printed
+     either way so CI logs show which one ran;
    - everything else (allocation bytes, screen/eval counts, error
      percentages): deterministic for a pinned code path, compared exactly
      by default.  GATE_EXACT_TOL=0.1 relaxes this to a relative tolerance
@@ -76,28 +87,35 @@ let parse_metrics path =
   close_in ic;
   List.rev !metrics
 
-type klass = Timing | Ratio | Exact | Bound | Count
+type klass = Timing | Ratio | Exact | Bound | Count | Cores | Par_speedup
 
 (* Seconds-denominated keys additionally get a small absolute slack: phase
    breakdown spans can be sub-millisecond, where the relative tolerance is
    smaller than gettimeofday jitter.  [_us]/[_ns] keys are per-rep means of
-   tight loops and stay purely relative. *)
+   tight loops and stay purely relative.  [_mb] peaks get a 64 MB slack:
+   small-footprint runs sit inside allocator/kernel noise. *)
 let classify key =
-  match String.rindex_opt key '_' with
-  | None -> (Exact, 0.0)
-  | Some i -> (
-      match String.sub key (i + 1) (String.length key - i - 1) with
-      | "s" -> (Timing, 0.005)
-      | "us" | "ns" -> (Timing, 0.0)
-      | "speedup" -> (Ratio, 0.0)
-      | "frac" -> (Bound, 0.0)
-      (* Visit/structure counters of the criticality screen: pinned by
-         the determinism argument (chunk layout a function of port counts
-         only), so they are compared exactly even under GATE_EXACT_TOL -
-         a drifted count means the screen's visit semantics changed, not
-         that the environment did. *)
-      | "pairs" | "evals" | "edges" | "tiles" -> (Count, 0.0)
-      | _ -> (Exact, 0.0))
+  (* The d4 speedup is the enforceable multicore claim; other domain
+     counts stay informational ratios (their suffix is plain _speedup). *)
+  if String.ends_with ~suffix:"_d4_speedup" key then (Par_speedup, 0.0)
+  else
+    match String.rindex_opt key '_' with
+    | None -> (Exact, 0.0)
+    | Some i -> (
+        match String.sub key (i + 1) (String.length key - i - 1) with
+        | "s" -> (Timing, 0.005)
+        | "us" | "ns" -> (Timing, 0.0)
+        | "mb" -> (Timing, 64.0)
+        | "speedup" -> (Ratio, 0.0)
+        | "frac" -> (Bound, 0.0)
+        | "cores" -> (Cores, 0.0)
+        (* Visit/structure counters of the criticality screen: pinned by
+           the determinism argument (chunk layout a function of port counts
+           only), so they are compared exactly even under GATE_EXACT_TOL -
+           a drifted count means the screen's visit semantics changed, not
+           that the environment did. *)
+        | "pairs" | "evals" | "edges" | "tiles" -> (Count, 0.0)
+        | _ -> (Exact, 0.0))
 
 let () =
   let baseline_path, current_path =
@@ -108,8 +126,19 @@ let () =
   let time_tol = env_tol "GATE_TIME_TOL" 0.30 in
   let exact_tol = env_tol "GATE_EXACT_TOL" 0.0 in
   let overhead_max = env_tol "GATE_OVERHEAD_MAX" 0.02 in
+  let min_speedup = env_tol "GATE_PAR_MIN_SPEEDUP" 2.0 in
   let baseline = parse_metrics baseline_path in
   let current = parse_metrics current_path in
+  (* The multicore-speedup gate keys off the CURRENT machine: the baseline
+     may have been recorded on different hardware, but the claim under
+     test ("lib/par reaches 2x on >= 4 cores") is about this run. *)
+  let avail_cores =
+    match List.assoc_opt "par_available_cores" current with
+    | Some (Some c) -> c
+    | _ -> 1.0
+  in
+  let par_enforcing = avail_cores >= 4.0 in
+  let par_seen = ref false in
   let failures = ref 0 and checked = ref 0 and skipped = ref 0 in
   List.iter
     (fun (key, base) ->
@@ -121,6 +150,30 @@ let () =
       | _, None, _ | _, _, Some None ->
           incr skipped;
           Printf.printf "SKIP %-36s null measurement\n" key
+      | (Cores, _), Some b, Some (Some c) ->
+          incr skipped;
+          Printf.printf
+            "INFO %-36s baseline %.0f, current %.0f (environment, never \
+             gated)\n"
+            key b c
+      | (Par_speedup, _), Some _, Some (Some c) ->
+          par_seen := true;
+          if par_enforcing then begin
+            incr checked;
+            if c >= min_speedup then ()
+            else begin
+              incr failures;
+              Printf.printf
+                "FAIL %-36s %.2fx below GATE_PAR_MIN_SPEEDUP %.2fx on a \
+                 %.0f-core machine\n"
+                key c min_speedup avail_cores
+            end
+          end
+          else begin
+            incr skipped;
+            Printf.printf "INFO %-36s %.2fx (informational: %.0f core(s) < 4)\n"
+              key c avail_cores
+          end
       | (Bound, _), Some _, Some (Some c) ->
           incr checked;
           if c <= overhead_max then ()
@@ -149,6 +202,12 @@ let () =
               (100.0 *. (c -. b) /. (if b = 0.0 then 1.0 else abs_float b))
           end)
     baseline;
+  if !par_seen then
+    Printf.printf
+      "par speedup gate: %s (par_available_cores=%.0f, \
+       GATE_PAR_MIN_SPEEDUP=%.2fx)\n"
+      (if par_enforcing then "ENFORCING" else "informational")
+      avail_cores min_speedup;
   Printf.printf "bench gate: %d checked, %d skipped, %d failed (time tol \
                  +/-%.0f%%, exact tol +/-%.0f%%, overhead bound %.0f%%)\n"
     !checked !skipped !failures (100.0 *. time_tol) (100.0 *. exact_tol)

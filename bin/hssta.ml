@@ -6,6 +6,7 @@
      extract <circuit>     extract a statistical timing model (Table I row)
      criticality <circuit> edge-criticality histogram (Fig. 6)
      hier [<circuit>]      the 2x2 hierarchical experiment (Fig. 7)
+     batch <circuit>       evaluate a batch of scenarios over one design
 *)
 
 module H = Hier_ssta
@@ -44,24 +45,35 @@ let setup_domains =
    backward workspace resident at once (the untiled behaviour).  Smaller
    tiles cap the screen's peak RSS at the cost of one extra forward sweep
    per input per additional tile; keep/cm and the screen's pair counters
-   are bit-identical for every value. *)
+   are bit-identical for every value.  "auto" sizes the tile from the
+   CRIT_TILE_BUDGET_MB peak-RSS budget (default 256 MB) and the per-output
+   workspace footprint; see Criticality.auto_tile for the formula. *)
 let setup_crit_tile =
   let doc =
     "Backward tile size for the criticality screen: at most $(docv) \
      retained backward workspaces are resident at once (default: \
      $(b,CRIT_TILE) or all outputs).  Smaller tiles trade extra forward \
      sweeps for a lower peak RSS; results are bit-identical for every \
-     value."
+     value.  $(b,auto) picks the largest tile whose retained workspaces \
+     fit the $(b,CRIT_TILE_BUDGET_MB) budget (default 256)."
   in
   let arg =
-    Arg.(value & opt (some int) None & info [ "crit-tile" ] ~docv:"N" ~doc)
+    Arg.(value & opt (some string) None & info [ "crit-tile" ] ~docv:"N" ~doc)
   in
   let apply = function
     | None -> ()
-    | Some n when n >= 1 -> Hier_ssta.Criticality.set_tile n
-    | Some n ->
-        Printf.eprintf "hssta: --crit-tile must be at least 1 (got %d)\n%!" n;
-        exit 124
+    | Some s when String.lowercase_ascii (String.trim s) = "auto" ->
+        Hier_ssta.Criticality.set_tile_auto ()
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Hier_ssta.Criticality.set_tile n
+        | _ ->
+            Printf.eprintf
+              "hssta: --crit-tile must be a positive integer or 'auto' (got \
+               %s)\n\
+               %!"
+              s;
+            exit 124)
   in
   Term.(const apply $ arg)
 
@@ -398,6 +410,131 @@ let model_info_cmd =
     (Cmd.info "model-info" ~doc:"Inspect a serialized timing model")
     Term.(const run $ setup_logs $ path_arg)
 
+let batch_cmd =
+  let module Batch = Ssta_batch.Batch in
+  let scenarios_arg =
+    let doc =
+      "JSON scenario-spec file: an array of objects with optional fields \
+       $(b,label), $(b,corner) (nominal|slow|fast|global_slow), $(b,k) \
+       (corner sigma multiplier), $(b,delay_scale), $(b,sigma_scale), \
+       $(b,grad_x), $(b,grad_y) (linear floorplan gradient over the \
+       correlation grid) and $(b,delta).  Without it a built-in grid of \
+       $(b,-s) scenarios is used."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "scenarios" ] ~docv:"FILE" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of built-in scenarios when no spec file is given." in
+    Arg.(value & opt int 8 & info [ "s"; "count" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let doc =
+      "Evaluation mode: $(b,delay) (design delay and per-output summaries, \
+       one shared forward sweep per scenario) or $(b,io) (the full \
+       input-output delay matrix per scenario, swept over the shared \
+       per-input cone index)."
+    in
+    Arg.(value & opt string "delay" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let screen_arg =
+    let doc =
+      "Also run the criticality screen per scenario (at each scenario's \
+       delta) and report how many edges it keeps."
+    in
+    Arg.(value & flag & info [ "screen" ] ~doc)
+  in
+  let corner_name = function
+    | H.Corners.Nominal -> "nominal"
+    | H.Corners.Slow k -> Printf.sprintf "slow@%g" k
+    | H.Corners.Fast k -> Printf.sprintf "fast@%g" k
+    | H.Corners.Global_slow k -> Printf.sprintf "gslow@%g" k
+  in
+  let run () () () () () name spec s_n mode screen =
+    let mode =
+      match String.lowercase_ascii (String.trim mode) with
+      | "delay" -> Batch.Delay
+      | "io" -> Batch.Io
+      | other ->
+          Printf.eprintf "hssta batch: --mode must be delay or io (got %s)\n%!"
+            other;
+          exit 124
+    in
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let scenarios =
+          match spec with
+          | None -> Batch.default_scenarios (max 1 s_n)
+          | Some path -> (
+              let text =
+                try In_channel.with_open_bin path In_channel.input_all
+                with Sys_error m -> prerr_endline m; exit 1
+              in
+              match Batch.parse_scenarios text with
+              | Error m ->
+                  Printf.eprintf "hssta batch: %s: %s\n%!" path m;
+                  exit 1
+              | Ok [||] ->
+                  Printf.eprintf "hssta batch: %s: empty scenario list\n%!"
+                    path;
+                  exit 1
+              | Ok s -> s)
+        in
+        let b = Build.characterize nl in
+        let base = Batch.prepare b in
+        let t0 = Unix.gettimeofday () in
+        let results = Batch.run ~mode ~screen base scenarios in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "%-10s %-11s %6s %6s  %10s %9s%s\n" "scenario" "corner"
+          "scale" "sigma"
+          (match mode with Batch.Delay -> "mean ps" | Batch.Io -> "io pairs")
+          (match mode with Batch.Delay -> "sigma ps" | Batch.Io -> "worst ps")
+          (if screen then "  kept" else "");
+        Array.iter
+          (fun (r : Batch.result) ->
+            let s = r.Batch.scenario in
+            let a, b_ =
+              match mode with
+              | Batch.Delay -> (
+                  match r.Batch.delay with
+                  | Some f ->
+                      (Printf.sprintf "%10.1f" f.Form.mean,
+                       Printf.sprintf "%9.1f" (Form.std f))
+                  | None -> ("         -", "        -"))
+              | Batch.Io ->
+                  let pairs = ref 0 and worst = ref neg_infinity in
+                  Array.iter
+                    (Array.iter (function
+                      | None -> ()
+                      | Some (f : Form.t) ->
+                          incr pairs;
+                          if f.Form.mean > !worst then worst := f.Form.mean))
+                    r.Batch.io;
+                  (Printf.sprintf "%10d" !pairs,
+                   if !pairs = 0 then "        -"
+                   else Printf.sprintf "%9.1f" !worst)
+            in
+            Printf.printf "%-10s %-11s %6.3f %6.3f  %s %s%s\n" s.Batch.label
+              (corner_name s.Batch.corner)
+              s.Batch.delay_scale s.Batch.sigma_scale a b_
+              (if screen then Printf.sprintf "  %d" r.Batch.kept_edges else ""))
+          results;
+        Printf.printf "%d scenario(s) in %.3f s (one shared characterize + \
+                       prepare)\n"
+          (Array.length results) dt
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate a batch of corner/scale/gradient scenarios over one \
+             design, sharing the characterization, the packed base forms \
+             and the cone index across the whole batch (bit-identical to \
+             independent runs)")
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ setup_robust $ circuit_arg $ scenarios_arg $ count_arg $ mode_arg
+      $ screen_arg)
+
 let inject_cmd =
   let module Inject = Ssta_robust_inject.Inject in
   let module Robust = Ssta_robust.Robust in
@@ -467,7 +604,8 @@ let () =
     Cmd.group info
       [
         list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
-        paths_cmd; corners_cmd; model_cmd; model_info_cmd; inject_cmd;
+        batch_cmd; paths_cmd; corners_cmd; model_cmd; model_info_cmd;
+        inject_cmd;
       ]
   in
   (* With --robust strict, a detected degeneracy surfaces here as a

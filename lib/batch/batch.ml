@@ -1,0 +1,605 @@
+module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
+module Build = Ssta_timing.Build
+module Tgraph = Ssta_timing.Tgraph
+module Basis = Ssta_variation.Basis
+module Grid = Ssta_variation.Grid
+module Tile = Ssta_variation.Tile
+module Par = Ssta_par.Par
+module Obs = Ssta_obs.Obs
+module Propagate = Hier_ssta.Propagate
+module Corners = Hier_ssta.Corners
+module Criticality = Hier_ssta.Criticality
+
+(* Scenario-batch engine: evaluate S structured deltas over one base
+   design in a single invocation, sharing every scenario-invariant piece -
+   the topological edge order (Tgraph), the PCA basis, the packed base
+   edge forms, the per-input reachability cones - across the whole batch.
+   Per-scenario state lives on slab-backed Form_buf storage carved once
+   per pool worker, so scenario S+1 reuses scenario S's allocation.
+
+   Determinism: the task grid is a pure function of (S, |I|) - never of
+   the domain count - every task writes only its own result slot, and a
+   worker's scratch is fully re-derived per scenario (the scenario-forms
+   cache only skips re-deriving *identical* content), so batch results
+   are bit-identical at every domain count and to S independent
+   single-scenario runs. *)
+
+let g_slab_peak = Obs.gauge "batch.slab_bytes_peak"
+let c_scenarios = Obs.counter "batch.scenarios"
+
+type grid_variant = Uniform | Gradient of { gx : float; gy : float }
+
+type scenario = {
+  label : string;
+  corner : Corners.corner;
+  delay_scale : float;
+  sigma_scale : float;
+  grid_variant : grid_variant;
+  delta : float;
+}
+
+let nominal ?(label = "nominal") () =
+  {
+    label;
+    corner = Corners.Nominal;
+    delay_scale = 1.0;
+    sigma_scale = 1.0;
+    grid_variant = Uniform;
+    delta = 0.05;
+  }
+
+(* A deterministic default grid over the scenario axes, for the CLI and
+   benches: corners cycle, the deterministic scale sweeps +/- a few
+   percent, every other scenario applies a spatial gradient. *)
+let default_scenarios n =
+  Array.init n (fun i ->
+      let corner =
+        match i mod 4 with
+        | 0 -> Corners.Nominal
+        | 1 -> Corners.Slow 3.0
+        | 2 -> Corners.Fast 3.0
+        | _ -> Corners.Global_slow 3.0
+      in
+      let delay_scale = 1.0 +. (0.02 *. float_of_int (i mod 5)) in
+      let sigma_scale = 1.0 +. (0.05 *. float_of_int (i mod 3)) in
+      let grid_variant =
+        if i mod 2 = 0 then Uniform
+        else
+          Gradient
+            {
+              gx = 0.05 *. float_of_int (1 + (i mod 3));
+              gy = 0.03 *. float_of_int (i mod 2);
+            }
+      in
+      {
+        label = Printf.sprintf "s%02d" i;
+        corner;
+        delay_scale;
+        sigma_scale;
+        grid_variant;
+        delta = 0.05;
+      })
+
+type mode = Delay | Io
+
+type result = {
+  scenario : scenario;
+  delay : Form.t option;
+  out_mu : float array;
+  out_sigma : float array;
+  io : Form.t option array array;
+  kept_edges : int;
+}
+
+type base = {
+  build : Build.t;
+  dims : Form.dims;
+  m : int;
+  nv : int;
+  fbuf : Form_buf.t;
+  edge_tile : int array;
+  tile_fx : float array;
+  tile_fy : float array;
+  mutable cones : (int array * int array) option;
+}
+
+let prepare (b : Build.t) =
+  Obs.with_span "batch.prepare" @@ fun () ->
+  let dims = b.Build.basis.Basis.dims in
+  let g = b.Build.graph in
+  let m = Tgraph.n_edges g in
+  let nv = Tgraph.n_vertices g in
+  let fbuf = Form_buf.of_forms dims b.Build.forms in
+  let grid = b.Build.grid in
+  let nt = Grid.n_tiles grid in
+  (* Normalized tile-center coordinates in [0, 1): the Gradient variant's
+     per-tile factor is 1 + gx * xn + gy * yn over these. *)
+  let w = float_of_int grid.Grid.nx *. grid.Grid.pitch in
+  let h = float_of_int grid.Grid.ny *. grid.Grid.pitch in
+  let tile_fx = Array.make nt 0.0 and tile_fy = Array.make nt 0.0 in
+  Array.iteri
+    (fun i tl ->
+      let cx, cy = Tile.center tl in
+      tile_fx.(i) <- (cx -. grid.Grid.x0) /. w;
+      tile_fy.(i) <- (cy -. grid.Grid.y0) /. h)
+    grid.Grid.tiles;
+  let edge_tile = Array.map (fun s -> s.Build.tile) b.Build.sparse in
+  { build = b; dims; m; nv; fbuf; edge_tile; tile_fx; tile_fy; cones = None }
+
+(* Per-input reachable cones in CSR form, built once and shared by every
+   Io-mode sweep of every scenario: cone of input i = the ascending edge
+   indices whose source i reaches, which is exactly the set a full
+   [forward_into] scan from i would process. *)
+let cone_index base =
+  match base.cones with
+  | Some c -> c
+  | None ->
+      let c =
+        Obs.with_span "batch.cone_index" @@ fun () ->
+        let g = base.build.Build.graph in
+        let inputs = g.Tgraph.inputs in
+        let ni = Array.length inputs in
+        let src = g.Tgraph.src in
+        let m = base.m in
+        let per =
+          Array.init ni (fun i ->
+              let seen = Tgraph.reachable_from g inputs.(i) in
+              let cnt = ref 0 in
+              for e = 0 to m - 1 do
+                if Array.unsafe_get seen (Array.unsafe_get src e) then
+                  incr cnt
+              done;
+              let arr = Array.make (max !cnt 1) 0 in
+              let k = ref 0 in
+              for e = 0 to m - 1 do
+                if Array.unsafe_get seen (Array.unsafe_get src e) then begin
+                  Array.unsafe_set arr !k e;
+                  incr k
+                end
+              done;
+              (arr, !cnt))
+        in
+        let off = Array.make (ni + 1) 0 in
+        Array.iteri (fun i (_, n) -> off.(i + 1) <- off.(i) + n) per;
+        let edges = Array.make (max off.(ni) 1) 0 in
+        Array.iteri
+          (fun i (arr, n) -> Array.blit arr 0 edges off.(i) n)
+          per;
+        (off, edges)
+      in
+      base.cones <- Some c;
+      c
+
+(* Pool-worker scratch: one slab backs both the scenario form buffer and
+   the sweep workspace, so each worker performs exactly one bigarray
+   allocation for the whole batch. *)
+type scratch = {
+  slab : Form_buf.slab;
+  sforms : Form_buf.t;
+  ws : Propagate.workspace;
+  corner_w : float array;
+  tile_f : float array;
+  mutable cached : int;
+  source1 : int array;
+}
+
+let scratch_floats base =
+  Form_buf.floats_needed base.dims base.m
+  + Form_buf.floats_needed base.dims base.nv
+
+let make_scratch base =
+  let slab = Form_buf.slab_create (scratch_floats base) in
+  let sforms = Form_buf.create ~slab base.dims base.m in
+  let ws = Propagate.create_workspace ~slab () in
+  {
+    slab;
+    sforms;
+    ws;
+    corner_w = Array.make (max base.m 1) 0.0;
+    tile_f = Array.make (max (Array.length base.tile_fx) 1) 1.0;
+    cached = -1;
+    source1 = [| 0 |];
+  }
+
+(* Materialize scenario [k]'s edge forms into the worker's slab-backed
+   buffer: mean from the corner model scaled by the scenario's
+   deterministic factor, coefficients from the base form scaled by the
+   sigma factor.  Fully overwrites every slot, so the [cached] skip can
+   only ever avoid re-deriving identical content. *)
+let set_scenario base scr k (s : scenario) =
+  if scr.cached <> k then begin
+    Corners.corner_weights_into base.build s.corner ~into:scr.corner_w;
+    let nt = Array.length base.tile_fx in
+    (match s.grid_variant with
+    | Uniform -> Array.fill scr.tile_f 0 nt 1.0
+    | Gradient { gx; gy } ->
+        for t = 0 to nt - 1 do
+          scr.tile_f.(t) <-
+            1.0 +. (gx *. base.tile_fx.(t)) +. (gy *. base.tile_fy.(t))
+        done);
+    let fbuf = base.fbuf
+    and sforms = scr.sforms
+    and edge_tile = base.edge_tile
+    and corner_w = scr.corner_w
+    and tile_f = scr.tile_f in
+    for e = 0 to base.m - 1 do
+      let alpha =
+        s.delay_scale *. Array.unsafe_get tile_f (Array.unsafe_get edge_tile e)
+      in
+      let beta = alpha *. s.sigma_scale in
+      Form_buf.recompose_into
+        ~mean:(alpha *. Array.unsafe_get corner_w e)
+        ~beta ~a:fbuf ~ia:e ~dst:sforms ~idst:e
+    done;
+    scr.cached <- k
+  end
+
+let summarize_outputs scr outputs =
+  let no = Array.length outputs in
+  let out_mu = Array.make no nan and out_sigma = Array.make no nan in
+  let delay = ref None in
+  Array.iteri
+    (fun j out ->
+      match Propagate.ws_form scr.ws out with
+      | None -> ()
+      | Some f ->
+          out_mu.(j) <- f.Form.mean;
+          out_sigma.(j) <- Form.std f;
+          delay :=
+            (match !delay with
+            | None -> Some f
+            | Some acc -> Some (Form.max2 acc f)))
+    outputs;
+  (!delay, out_mu, out_sigma)
+
+let input_chunk ni = max 1 ((ni + 31) / 32)
+
+let run ?domains ?(mode = Delay) ?(screen = false) base scenarios =
+  Obs.with_span "batch.run" @@ fun () ->
+  let s_n = Array.length scenarios in
+  let g = base.build.Build.graph in
+  let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
+  let ni = Array.length inputs in
+  let results = Array.make s_n None in
+  (* The worker registry exists so the slab high-water gauge can be
+     published after the parallel regions complete; [Par.pool] itself
+     hides its free list. *)
+  let reg_lock = Mutex.create () in
+  let made = ref [] in
+  let pool =
+    Par.pool (fun () ->
+        let scr = make_scratch base in
+        Mutex.lock reg_lock;
+        made := scr :: !made;
+        Mutex.unlock reg_lock;
+        scr)
+  in
+  (match mode with
+  | Delay ->
+      (* One task per scenario: forms, one all-PI forward sweep, output
+         summaries. *)
+      Par.run_tasks_pool ?domains ~n_tasks:s_n ~pool
+        ~task:(fun scr k ->
+          Obs.with_span "batch.scenario" @@ fun () ->
+          let s = scenarios.(k) in
+          set_scenario base scr k s;
+          Propagate.forward_into scr.ws g ~forms:scr.sforms ~sources:inputs;
+          let delay, out_mu, out_sigma = summarize_outputs scr outputs in
+          results.(k) <-
+            Some
+              {
+                scenario = s;
+                delay;
+                out_mu;
+                out_sigma;
+                io = [||];
+                kept_edges = -1;
+              })
+        ()
+  | Io ->
+      (* Scenarios x input-chunks task grid: the chunk layout is a pure
+         function of |I|, consecutive tasks share a scenario so a worker
+         claiming a run of them re-derives the scenario forms once. *)
+      let off, cone_edges = cone_index base in
+      let chunk = input_chunk ni in
+      let n_ichunks = Par.n_chunks ~chunk ni in
+      let io =
+        Array.init s_n (fun _ -> Array.make ni ([||] : Form.t option array))
+      in
+      Par.run_tasks_pool ?domains ~n_tasks:(s_n * n_ichunks) ~pool
+        ~task:(fun scr t ->
+          let k = t / n_ichunks and c = t mod n_ichunks in
+          let s = scenarios.(k) in
+          set_scenario base scr k s;
+          let lo, hi = Par.chunk_bounds ~chunk ~n:ni c in
+          let row = io.(k) in
+          for i = lo to hi - 1 do
+            scr.source1.(0) <- inputs.(i);
+            Propagate.forward_cone_into scr.ws g ~forms:scr.sforms
+              ~sources:scr.source1 ~edges:cone_edges ~lo:off.(i)
+              ~hi:off.(i + 1);
+            row.(i) <-
+              Array.map (fun out -> Propagate.ws_form scr.ws out) outputs
+          done)
+        ();
+      for k = 0 to s_n - 1 do
+        let s = scenarios.(k) in
+        Obs.with_span "batch.scenario" @@ fun () ->
+        results.(k) <-
+          Some
+            {
+              scenario = s;
+              delay = None;
+              out_mu = Array.make (Array.length outputs) nan;
+              out_sigma = Array.make (Array.length outputs) nan;
+              io = io.(k);
+              kept_edges = -1;
+            }
+      done);
+  Obs.add c_scenarios s_n;
+  (* Criticality screening is itself a parallel region (it builds its own
+     pool), so it runs sequentially over scenarios after the batch sweep -
+     nesting domain pools would oversubscribe without changing results. *)
+  let results =
+    Array.map (function Some r -> r | None -> assert false) results
+  in
+  let results =
+    if not screen then results
+    else begin
+      let scr = make_scratch base in
+      Mutex.lock reg_lock;
+      made := scr :: !made;
+      Mutex.unlock reg_lock;
+      Array.mapi
+        (fun k r ->
+          Obs.with_span "batch.screen" @@ fun () ->
+          set_scenario base scr k r.scenario;
+          let forms =
+            Array.init base.m (fun e -> Form_buf.get scr.sforms e)
+          in
+          let crit =
+            Criticality.compute ?domains ~delta:r.scenario.delta g ~forms
+          in
+          let kept =
+            Array.fold_left
+              (fun n keep -> if keep then n + 1 else n)
+              0 crit.Criticality.keep
+          in
+          { r with kept_edges = kept })
+        results
+    end
+  in
+  if Obs.enabled () then
+    List.iter
+      (fun scr -> Obs.gauge_max g_slab_peak (Form_buf.slab_peak_bytes scr.slab))
+      !made;
+  results
+
+let run_one ?domains ?mode ?screen base s =
+  (run ?domains ?mode ?screen base [| s |]).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-spec JSON                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal recursive-descent JSON reader for the scenario-spec files the
+   CLI accepts: arrays, flat objects, strings, numbers, true/false/null.
+   No dependency, no stream input - spec files are tiny. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+            (* Scenario labels are ASCII; map BMP escapes below 0x80,
+               reject the rest rather than mis-decode. *)
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else fail "non-ASCII \\u escape unsupported"
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                J_arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing characters";
+  v
+
+let scenario_of_obj idx fields =
+  let find k = List.assoc_opt k fields in
+  let num ?default k =
+    match find k with
+    | Some (J_num f) -> f
+    | Some _ -> raise (Parse_error (Printf.sprintf "field %S must be a number" k))
+    | None -> (
+        match default with
+        | Some d -> d
+        | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
+  in
+  let str ?default k =
+    match find k with
+    | Some (J_str v) -> v
+    | Some _ -> raise (Parse_error (Printf.sprintf "field %S must be a string" k))
+    | None -> (
+        match default with
+        | Some d -> d
+        | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
+  in
+  let label = str ~default:(Printf.sprintf "s%02d" idx) "label" in
+  let k_sigma = num ~default:3.0 "k" in
+  let corner =
+    match String.lowercase_ascii (str ~default:"nominal" "corner") with
+    | "nominal" -> Corners.Nominal
+    | "slow" -> Corners.Slow k_sigma
+    | "fast" -> Corners.Fast k_sigma
+    | "global_slow" | "global-slow" -> Corners.Global_slow k_sigma
+    | other ->
+        raise
+          (Parse_error
+             (Printf.sprintf
+                "corner %S is not nominal/slow/fast/global_slow" other))
+  in
+  let gx = num ~default:0.0 "grad_x" and gy = num ~default:0.0 "grad_y" in
+  let grid_variant =
+    if gx = 0.0 && gy = 0.0 then Uniform else Gradient { gx; gy }
+  in
+  let delta = num ~default:0.05 "delta" in
+  if not (delta > 0.0 && delta < 1.0) then
+    raise (Parse_error "delta must lie in (0, 1)");
+  {
+    label;
+    corner;
+    delay_scale = num ~default:1.0 "delay_scale";
+    sigma_scale = num ~default:1.0 "sigma_scale";
+    grid_variant;
+    delta;
+  }
+
+let parse_scenarios text =
+  try
+    match parse_json text with
+    | J_arr items ->
+        let parse i = function
+          | J_obj fields -> scenario_of_obj i fields
+          | _ -> raise (Parse_error "scenario entries must be objects")
+        in
+        Ok (Array.of_list (List.mapi parse items))
+    | _ -> Error "scenario spec must be a JSON array of objects"
+  with Parse_error msg -> Error msg

@@ -1,20 +1,91 @@
 module Normal = Ssta_gauss.Normal
+module A1 = Bigarray.Array1
 
 (* Slot layout: mean | globals[ng] | pcs[np] | rand.  All kernels keep the
    accumulation order of the pure Form operations (globals sum, then PCs
    sum, then the random part) so results are bit-identical to Form.add /
-   Form.max2 / Form.variance / Form.covariance, not merely close. *)
+   Form.max2 / Form.variance / Form.covariance, not merely close.
+
+   Storage is an unboxed float64 bigarray rather than a [float array]: the
+   data lives outside the OCaml heap (no GC scanning of multi-megabyte
+   sweeps), buffers can be carved out of a shared slab so a pool worker
+   reuses one allocation across many scenarios, and the concrete type
+   annotation below keeps every [A1.unsafe_get]/[A1.unsafe_set] compiled to
+   a direct unboxed float load/store. *)
+
+type data = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
 
 type t = {
   dims : Form.dims;
   stride : int;
   n : int;
-  data : float array;
+  data : data;
+  clark : float array;
+      (* Clark-max argument/result scratch for the two max kernels, owned
+         by the buffer so parallel workers sweeping into their own buffers
+         never share it (a module-global here is a data race across
+         domains).  A buffer itself is still single-domain: concurrent
+         kernels targeting the SAME destination buffer are not safe. *)
 }
 
-let create dims n =
+(* A slab is a bump allocator over one bigarray chunk.  Buffers are carved
+   off the front; [slab_reset] rewinds the cursor so the same chunk backs
+   the next scenario's buffers without touching the allocator.  If a carve
+   overflows the chunk, a fresh larger chunk replaces it - buffers carved
+   earlier keep their views of the old chunk (the view keeps the backing
+   alive), so overflow is safe but defeats reuse; callers should capacity-
+   plan with [floats_needed] so steady state never grows. *)
+type slab = {
+  mutable chunk : data;
+  mutable off : int;
+  mutable peak_floats : int;
+  mutable grows : int;
+}
+
+let floats_needed dims n =
   let stride = dims.Form.n_globals + dims.Form.n_pcs + 2 in
-  { dims; stride; n; data = Array.make (max 1 (n * stride)) 0.0 }
+  max 1 (n * stride)
+
+let slab_create floats =
+  let cap = max 1 floats in
+  {
+    chunk = A1.create Bigarray.float64 Bigarray.c_layout cap;
+    off = 0;
+    peak_floats = cap;
+    grows = 0;
+  }
+
+let slab_reset s = s.off <- 0
+let slab_capacity_floats s = A1.dim s.chunk
+let slab_used_floats s = s.off
+let slab_peak_bytes s = 8 * s.peak_floats
+let slab_grows s = s.grows
+
+let slab_alloc s need =
+  if s.off + need > A1.dim s.chunk then begin
+    let cap = max (2 * A1.dim s.chunk) need in
+    s.chunk <- A1.create Bigarray.float64 Bigarray.c_layout cap;
+    s.off <- 0;
+    s.grows <- s.grows + 1;
+    if cap > s.peak_floats then s.peak_floats <- cap
+  end;
+  let view = A1.sub s.chunk s.off need in
+  s.off <- s.off + need;
+  A1.fill view 0.0;
+  view
+
+let create ?slab dims n =
+  let stride = dims.Form.n_globals + dims.Form.n_pcs + 2 in
+  let need = max 1 (n * stride) in
+  let data =
+    match slab with
+    | Some s -> slab_alloc s need
+    | None ->
+        let d = A1.create Bigarray.float64 Bigarray.c_layout need in
+        A1.fill d 0.0;
+        d
+  in
+  { dims; stride; n; data; clark = Array.make 5 0.0 }
 
 let length t = t.n
 let dims t = t.dims
@@ -24,9 +95,15 @@ let check_slot t i name =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Form_buf.%s: slot %d out of range [0, %d)" name i t.n)
 
+(* Manual loops instead of A1.fill/A1.sub in per-slot ops: sub allocates a
+   fresh view record on every call, which would put an allocation back into
+   the hot paths this module exists to keep clean. *)
 let clear_slot t i =
   check_slot t i "clear_slot";
-  Array.fill t.data (i * t.stride) t.stride 0.0
+  let off = i * t.stride in
+  for k = off to off + t.stride - 1 do
+    A1.unsafe_set t.data k 0.0
+  done
 
 let set t i f =
   check_slot t i "set";
@@ -34,20 +111,24 @@ let set t i f =
   if Array.length f.Form.globals <> ng || Array.length f.Form.pcs <> np then
     invalid_arg "Form_buf.set: form dims mismatch";
   let off = i * t.stride in
-  t.data.(off) <- f.Form.mean;
-  Array.blit f.Form.globals 0 t.data (off + 1) ng;
-  Array.blit f.Form.pcs 0 t.data (off + 1 + ng) np;
-  t.data.(off + t.stride - 1) <- f.Form.rand
+  A1.unsafe_set t.data off f.Form.mean;
+  for k = 0 to ng - 1 do
+    A1.unsafe_set t.data (off + 1 + k) (Array.unsafe_get f.Form.globals k)
+  done;
+  for k = 0 to np - 1 do
+    A1.unsafe_set t.data (off + 1 + ng + k) (Array.unsafe_get f.Form.pcs k)
+  done;
+  A1.unsafe_set t.data (off + t.stride - 1) f.Form.rand
 
 let get t i =
   check_slot t i "get";
   let ng = t.dims.Form.n_globals and np = t.dims.Form.n_pcs in
   let off = i * t.stride in
   {
-    Form.mean = t.data.(off);
-    globals = Array.sub t.data (off + 1) ng;
-    pcs = Array.sub t.data (off + 1 + ng) np;
-    rand = t.data.(off + t.stride - 1);
+    Form.mean = A1.unsafe_get t.data off;
+    globals = Array.init ng (fun k -> A1.unsafe_get t.data (off + 1 + k));
+    pcs = Array.init np (fun k -> A1.unsafe_get t.data (off + 1 + ng + k));
+    rand = A1.unsafe_get t.data (off + t.stride - 1);
   }
 
 let of_forms dims forms =
@@ -67,25 +148,27 @@ let blit src i dst j =
   check_slot src i "blit";
   check_slot dst j "blit";
   check_dims src dst "blit";
-  Array.blit src.data (i * src.stride) dst.data (j * dst.stride) src.stride
+  let os = i * src.stride and od = j * dst.stride in
+  for k = 0 to src.stride - 1 do
+    A1.unsafe_set dst.data (od + k) (A1.unsafe_get src.data (os + k))
+  done
 
-let mean t i = Array.unsafe_get t.data (i * t.stride)
-let rand_coeff t i = Array.unsafe_get t.data ((i * t.stride) + t.stride - 1)
+let mean t i = A1.unsafe_get t.data (i * t.stride)
+let rand_coeff t i = A1.unsafe_get t.data ((i * t.stride) + t.stride - 1)
 
 (* Sum of squares over [lo, lo+len), serial accumulation like Vec.sum_sq. *)
-let sum_sq_range d lo len =
+let sum_sq_range (d : data) lo len =
   let acc = ref 0.0 in
   for k = lo to lo + len - 1 do
-    let v = Array.unsafe_get d k in
+    let v = A1.unsafe_get d k in
     acc := !acc +. (v *. v)
   done;
   !acc
 
-let dot_range da la db lb len =
+let dot_range (da : data) la (db : data) lb len =
   let acc = ref 0.0 in
   for k = 0 to len - 1 do
-    acc :=
-      !acc +. (Array.unsafe_get da (la + k) *. Array.unsafe_get db (lb + k))
+    acc := !acc +. (A1.unsafe_get da (la + k) *. A1.unsafe_get db (lb + k))
   done;
   !acc
 
@@ -94,7 +177,7 @@ let variance t i =
   let ng = t.dims.Form.n_globals and np = t.dims.Form.n_pcs in
   let g = sum_sq_range t.data (off + 1) ng in
   let p = sum_sq_range t.data (off + 1 + ng) np in
-  let r = Array.unsafe_get t.data (off + t.stride - 1) in
+  let r = A1.unsafe_get t.data (off + t.stride - 1) in
   g +. p +. (r *. r)
 
 let std t i = sqrt (variance t i)
@@ -156,10 +239,10 @@ let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
   and s_em = ref 0.0
   and s_rm = ref 0.0 in
   for k = 1 to ng do
-    let va = Array.unsafe_get da (oa + k)
-    and ve = Array.unsafe_get de (oe + k)
-    and vr = Array.unsafe_get dr (or_ + k)
-    and vm = Array.unsafe_get dm (om + k) in
+    let va = A1.unsafe_get da (oa + k)
+    and ve = A1.unsafe_get de (oe + k)
+    and vr = A1.unsafe_get dr (or_ + k)
+    and vm = A1.unsafe_get dm (om + k) in
     s_aa := !s_aa +. (va *. va);
     s_rr := !s_rr +. (vr *. vr);
     s_ae := !s_ae +. (va *. ve);
@@ -186,10 +269,10 @@ let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
   s_em := 0.0;
   s_rm := 0.0;
   for k = 1 + ng to ng + np do
-    let va = Array.unsafe_get da (oa + k)
-    and ve = Array.unsafe_get de (oe + k)
-    and vr = Array.unsafe_get dr (or_ + k)
-    and vm = Array.unsafe_get dm (om + k) in
+    let va = A1.unsafe_get da (oa + k)
+    and ve = A1.unsafe_get de (oe + k)
+    and vr = A1.unsafe_get dr (or_ + k)
+    and vm = A1.unsafe_get dm (om + k) in
     s_aa := !s_aa +. (va *. va);
     s_rr := !s_rr +. (vr *. vr);
     s_ae := !s_ae +. (va *. ve);
@@ -199,10 +282,10 @@ let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
     s_em := !s_em +. (ve *. vm);
     s_rm := !s_rm +. (vr *. vm)
   done;
-  let ra = Array.unsafe_get da (oa + a.stride - 1)
-  and re = Array.unsafe_get de (oe + e.stride - 1)
-  and rr = Array.unsafe_get dr (or_ + r.stride - 1)
-  and rm = Array.unsafe_get dm (om + m.stride - 1) in
+  let ra = A1.unsafe_get da (oa + a.stride - 1)
+  and re = A1.unsafe_get de (oe + e.stride - 1)
+  and rr = A1.unsafe_get dr (or_ + r.stride - 1)
+  and rm = A1.unsafe_get dm (om + m.stride - 1) in
   into.(quad_var_a) <- (g_aa +. !s_aa) +. (ra *. ra);
   into.(quad_var_r) <- (g_rr +. !s_rr) +. (rr *. rr);
   into.(quad_cov_ae) <- g_ae +. !s_ae;
@@ -224,41 +307,56 @@ let scale_into ~alpha ~a ~ia ~dst ~idst =
      coefficient, mean included, and the random coefficient through
      [abs_float]. *)
   for k = 0 to nc do
-    Array.unsafe_set dst.data (od + k)
-      (alpha *. Array.unsafe_get a.data (oa + k))
+    A1.unsafe_set dst.data (od + k) (alpha *. A1.unsafe_get a.data (oa + k))
   done;
-  Array.unsafe_set dst.data (od + dst.stride - 1)
-    (abs_float alpha *. Array.unsafe_get a.data (oa + a.stride - 1))
+  A1.unsafe_set dst.data (od + dst.stride - 1)
+    (abs_float alpha *. A1.unsafe_get a.data (oa + a.stride - 1))
+
+(* Scenario recomposition: slot [idst] gets mean [mean], the deterministic
+   coefficients of [a.(ia)] scaled by [beta], and the random coefficient of
+   [a.(ia)] scaled by [abs_float beta].  This is how the batch engine derives
+   a scenario's edge-delay form from the base form without re-running
+   characterization: the mean comes from the corner/delay-scale model while
+   the sensitivity shape is the base's, scaled.  Operand order per
+   coefficient matches [scale_into] ([beta *. v]) so a scenario with
+   [mean = beta *. base_mean] is bit-identical to [Form.scale beta]. *)
+let recompose_into ~mean ~beta ~a ~ia ~dst ~idst =
+  check_dims a dst "recompose_into";
+  let nc = a.dims.Form.n_globals + a.dims.Form.n_pcs in
+  let oa = ia * a.stride and od = idst * dst.stride in
+  A1.unsafe_set dst.data od mean;
+  for k = 1 to nc do
+    A1.unsafe_set dst.data (od + k) (beta *. A1.unsafe_get a.data (oa + k))
+  done;
+  A1.unsafe_set dst.data (od + dst.stride - 1)
+    (abs_float beta *. A1.unsafe_get a.data (oa + a.stride - 1))
 
 let add_into ~a ~ia ~b ~ib ~dst ~idst =
   check_dims a dst "add_into";
   check_dims b dst "add_into";
   let nc = a.dims.Form.n_globals + a.dims.Form.n_pcs in
   let oa = ia * a.stride and ob = ib * b.stride and od = idst * dst.stride in
-  Array.unsafe_set dst.data od
-    (Array.unsafe_get a.data oa +. Array.unsafe_get b.data ob);
+  A1.unsafe_set dst.data od
+    (A1.unsafe_get a.data oa +. A1.unsafe_get b.data ob);
   for k = 1 to nc do
-    Array.unsafe_set dst.data (od + k)
-      (Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k))
+    A1.unsafe_set dst.data (od + k)
+      (A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k))
   done;
-  let ra = Array.unsafe_get a.data (oa + a.stride - 1)
-  and rb = Array.unsafe_get b.data (ob + b.stride - 1) in
-  Array.unsafe_set dst.data (od + dst.stride - 1)
-    (sqrt ((ra *. ra) +. (rb *. rb)))
-
-(* Clark-max argument/result scratch shared by the two max kernels.  The
-   kernels (like the workspaces layered on top of them) are single-domain
-   by design; nothing here is safe to call from parallel domains. *)
-let clark_scratch = Array.make 5 0.0
+  let ra = A1.unsafe_get a.data (oa + a.stride - 1)
+  and rb = A1.unsafe_get b.data (ob + b.stride - 1) in
+  A1.unsafe_set dst.data (od + dst.stride - 1) (sqrt ((ra *. ra) +. (rb *. rb)))
 
 let max2_into ~a ~ia ~b ~ib ~dst ~idst =
   check_dims a dst "max2_into";
   check_dims b dst "max2_into";
   let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
   let oa = ia * a.stride and ob = ib * b.stride and od = idst * dst.stride in
-  clark_scratch.(0) <- Array.unsafe_get a.data oa;
+  (* The destination buffer's scratch: the destination is exclusively
+     owned by the sweeping worker, so parallel domains never collide. *)
+  let clark_scratch = dst.clark in
+  clark_scratch.(0) <- A1.unsafe_get a.data oa;
   clark_scratch.(1) <- variance a ia;
-  clark_scratch.(2) <- Array.unsafe_get b.data ob;
+  clark_scratch.(2) <- A1.unsafe_get b.data ob;
   clark_scratch.(3) <- variance b ib;
   clark_scratch.(4) <- covariance a ia b ib;
   Normal.clark_max_into clark_scratch;
@@ -276,27 +374,27 @@ let max2_into ~a ~ia ~b ~ib ~dst ~idst =
     let s_lv = ref 0.0 in
     for k = 1 to ng do
       let v =
-        (tp *. Array.unsafe_get a.data (oa + k))
-        +. (s *. Array.unsafe_get b.data (ob + k))
+        (tp *. A1.unsafe_get a.data (oa + k))
+        +. (s *. A1.unsafe_get b.data (ob + k))
       in
-      Array.unsafe_set dst.data (od + k) v;
+      A1.unsafe_set dst.data (od + k) v;
       s_lv := !s_lv +. (v *. v)
     done;
     let lg = !s_lv in
     s_lv := 0.0;
     for k = 1 + ng to ng + np do
       let v =
-        (tp *. Array.unsafe_get a.data (oa + k))
-        +. (s *. Array.unsafe_get b.data (ob + k))
+        (tp *. A1.unsafe_get a.data (oa + k))
+        +. (s *. A1.unsafe_get b.data (ob + k))
       in
-      Array.unsafe_set dst.data (od + k) v;
+      A1.unsafe_set dst.data (od + k) v;
       s_lv := !s_lv +. (v *. v)
     done;
     let linear_var = lg +. !s_lv in
-    Array.unsafe_set dst.data od mean;
+    A1.unsafe_set dst.data od mean;
     (* Same clamp as [Float.max 0.0 v] without the boxing stdlib call. *)
     let v = target_var -. linear_var in
-    Array.unsafe_set dst.data (od + dst.stride - 1)
+    A1.unsafe_set dst.data (od + dst.stride - 1)
       (sqrt (if v > 0.0 then v else 0.0))
   end
 
@@ -308,9 +406,9 @@ let add_then_max_into ~acc ~iacc ~a ~ia ~b ~ib =
   (* Moments of the un-materialized sum s = a + b, in Form.add's order: the
      random coefficient is rounded through sqrt exactly as the pure op
      stores it, then squared again for the variance. *)
-  let mean_s = Array.unsafe_get a.data oa +. Array.unsafe_get b.data ob in
-  let ra = Array.unsafe_get a.data (oa + a.stride - 1)
-  and rb = Array.unsafe_get b.data (ob + b.stride - 1) in
+  let mean_s = A1.unsafe_get a.data oa +. A1.unsafe_get b.data ob in
+  let ra = A1.unsafe_get a.data (oa + a.stride - 1)
+  and rb = A1.unsafe_get b.data (ob + b.stride - 1) in
   let rand_s = sqrt ((ra *. ra) +. (rb *. rb)) in
   (* One fused pass per coefficient segment accumulates Var(acc), Var(s)
      and Cov(acc, s) side by side; each accumulator sees exactly the terms
@@ -319,10 +417,8 @@ let add_then_max_into ~acc ~iacc ~a ~ia ~b ~ib =
      quad_stats_into). *)
   let s_va = ref 0.0 and s_vs = ref 0.0 and s_cov = ref 0.0 in
   for k = 1 to ng do
-    let vc = Array.unsafe_get acc.data (oc + k)
-    and v =
-      Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k)
-    in
+    let vc = A1.unsafe_get acc.data (oc + k)
+    and v = A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k) in
     s_va := !s_va +. (vc *. vc);
     s_vs := !s_vs +. (v *. v);
     s_cov := !s_cov +. (vc *. v)
@@ -332,16 +428,15 @@ let add_then_max_into ~acc ~iacc ~a ~ia ~b ~ib =
   s_vs := 0.0;
   s_cov := 0.0;
   for k = 1 + ng to ng + np do
-    let vc = Array.unsafe_get acc.data (oc + k)
-    and v =
-      Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k)
-    in
+    let vc = A1.unsafe_get acc.data (oc + k)
+    and v = A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k) in
     s_va := !s_va +. (vc *. vc);
     s_vs := !s_vs +. (v *. v);
     s_cov := !s_cov +. (vc *. v)
   done;
-  let racc = Array.unsafe_get acc.data (oc + acc.stride - 1) in
-  clark_scratch.(0) <- Array.unsafe_get acc.data oc;
+  let racc = A1.unsafe_get acc.data (oc + acc.stride - 1) in
+  let clark_scratch = acc.clark in
+  clark_scratch.(0) <- A1.unsafe_get acc.data oc;
   clark_scratch.(1) <- (g_va +. !s_va) +. (racc *. racc);
   clark_scratch.(2) <- mean_s;
   clark_scratch.(3) <- (g_vs +. !s_vs) +. (rand_s *. rand_s);
@@ -352,41 +447,39 @@ let add_then_max_into ~acc ~iacc ~a ~ia ~b ~ib =
   and target_var = clark_scratch.(2) in
   if tp >= 1.0 then () (* acc already holds the max *)
   else if tp <= 0.0 then begin
-    Array.unsafe_set acc.data oc mean_s;
+    A1.unsafe_set acc.data oc mean_s;
     for k = 1 to ng + np do
-      Array.unsafe_set acc.data (oc + k)
-        (Array.unsafe_get a.data (oa + k) +. Array.unsafe_get b.data (ob + k))
+      A1.unsafe_set acc.data (oc + k)
+        (A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k))
     done;
-    Array.unsafe_set acc.data (oc + acc.stride - 1) rand_s
+    A1.unsafe_set acc.data (oc + acc.stride - 1) rand_s
   end
   else begin
     let s = 1.0 -. tp in
     let s_lv = ref 0.0 in
     for k = 1 to ng do
       let v =
-        (tp *. Array.unsafe_get acc.data (oc + k))
+        (tp *. A1.unsafe_get acc.data (oc + k))
         +. (s
-           *. (Array.unsafe_get a.data (oa + k)
-              +. Array.unsafe_get b.data (ob + k)))
+           *. (A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k)))
       in
-      Array.unsafe_set acc.data (oc + k) v;
+      A1.unsafe_set acc.data (oc + k) v;
       s_lv := !s_lv +. (v *. v)
     done;
     let lg = !s_lv in
     s_lv := 0.0;
     for k = 1 + ng to ng + np do
       let v =
-        (tp *. Array.unsafe_get acc.data (oc + k))
+        (tp *. A1.unsafe_get acc.data (oc + k))
         +. (s
-           *. (Array.unsafe_get a.data (oa + k)
-              +. Array.unsafe_get b.data (ob + k)))
+           *. (A1.unsafe_get a.data (oa + k) +. A1.unsafe_get b.data (ob + k)))
       in
-      Array.unsafe_set acc.data (oc + k) v;
+      A1.unsafe_set acc.data (oc + k) v;
       s_lv := !s_lv +. (v *. v)
     done;
     let linear_var = lg +. !s_lv in
-    Array.unsafe_set acc.data oc mean;
+    A1.unsafe_set acc.data oc mean;
     let v = target_var -. linear_var in
-    Array.unsafe_set acc.data (oc + acc.stride - 1)
+    A1.unsafe_set acc.data (oc + acc.stride - 1)
       (sqrt (if v > 0.0 then v else 0.0))
   end

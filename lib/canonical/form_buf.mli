@@ -1,7 +1,8 @@
 (** Allocation-free kernels over a population of canonical forms.
 
     A {!t} stores [n] canonical forms (see {!Form}) in one flat unboxed
-    [float array] with the strided slot layout
+    float64 bigarray ([Bigarray.Array1], c_layout) with the strided slot
+    layout
 
     {v mean | globals[n_globals] | pcs[n_pcs] | rand v}
 
@@ -13,12 +14,53 @@
     random part) matches {!Form.variance} / {!Form.covariance} /
     {!Form.add} / {!Form.max2} term for term, so a propagation rewired onto
     these kernels reproduces the pure implementation exactly, not just to
-    rounding noise.  [test/test_kernels.ml] pins that property. *)
+    rounding noise.  [test/test_kernels.ml] pins that property.
+
+    The bigarray backing stores the floats outside the OCaml heap: large
+    sweeps no longer contribute to GC scanning, and buffers can be carved
+    out of a shared {!slab} so one pool worker reuses a single allocation
+    across an entire scenario batch. *)
 
 type t
 
-val create : Form.dims -> int -> t
-(** [create dims n] is a buffer of [n] zero forms of dimension [dims]. *)
+(** {1 Slab allocation}
+
+    A {!slab} is a bump allocator over one contiguous float64 chunk.
+    {!create} with [~slab] carves the buffer off the slab's cursor instead
+    of allocating; {!slab_reset} rewinds the cursor so the same chunk backs
+    the next scenario's buffers.  Carving past the end replaces the chunk
+    with a larger one ({!slab_grows} counts these) - earlier buffers keep
+    their views of the old chunk, so overflow is safe, but steady-state use
+    should size the slab up front with {!floats_needed} so it never grows. *)
+
+type slab
+
+val slab_create : int -> slab
+(** [slab_create floats] is an empty slab whose chunk holds [floats]
+    float64 values (at least 1). *)
+
+val floats_needed : Form.dims -> int -> int
+(** Slab floats consumed by [create ~slab dims n]; sum these over every
+    buffer a worker carves to capacity-plan its slab. *)
+
+val slab_reset : slab -> unit
+(** Rewind the cursor to 0.  Buffers carved before the reset alias storage
+    that subsequent carves will reuse; callers must not touch them again. *)
+
+val slab_capacity_floats : slab -> int
+val slab_used_floats : slab -> int
+
+val slab_peak_bytes : slab -> int
+(** High-water chunk size in bytes across the slab's lifetime (the resident
+    cost of the slab when capacity planning is right). *)
+
+val slab_grows : slab -> int
+(** Number of times a carve overflowed and replaced the chunk (0 when the
+    slab was sized correctly up front). *)
+
+val create : ?slab:slab -> Form.dims -> int -> t
+(** [create dims n] is a buffer of [n] zero forms of dimension [dims],
+    freshly allocated, or carved from [slab] when given. *)
 
 val length : t -> int
 val dims : t -> Form.dims
@@ -62,6 +104,15 @@ val covariance : t -> int -> t -> int -> float
 val scale_into : alpha:float -> a:t -> ia:int -> dst:t -> idst:int -> unit
 (** Slot [idst] of [dst] becomes [Form.scale alpha a.(ia)] (the random
     coefficient through [abs_float alpha], like the pure op). *)
+
+val recompose_into :
+  mean:float -> beta:float -> a:t -> ia:int -> dst:t -> idst:int -> unit
+(** Slot [idst] of [dst] gets mean [mean], the deterministic coefficients
+    of [a.(ia)] scaled by [beta], and the random coefficient scaled by
+    [abs_float beta].  The batch engine's scenario transform: the mean is
+    supplied by the corner / delay-scale model while the sensitivity shape
+    is the base edge's, scaled.  With [mean = beta *. Form_buf.mean a ia]
+    this is bit-identical to {!scale_into}. *)
 
 val add_into : a:t -> ia:int -> b:t -> ib:int -> dst:t -> idst:int -> unit
 (** Slot [idst] of [dst] becomes [Form.add a.(ia) b.(ib)]. *)

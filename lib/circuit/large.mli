@@ -1,0 +1,26 @@
+(** Large-scale synthetic designs: a grid of {!Random_logic} blocks
+    spliced into one flat topological netlist, reaching millions of gates
+    with small port counts.  The result is a pure function of the spec
+    (every block seed derives deterministically from [seed] and the block
+    index). *)
+
+type spec = {
+  name : string;
+  n_pi : int;  (** global primary inputs *)
+  n_po : int;  (** design outputs after the merge reduction *)
+  blocks_x : int;
+  blocks_y : int;
+  gates_per_block : int;
+  block_po : int;  (** outputs each block exposes to its neighbours *)
+  seed : int;
+}
+
+val make : spec -> Netlist.t
+(** Total gate count is [blocks_x * blocks_y * gates_per_block] plus the
+    or2 merge tree over the unconsumed edge-block outputs. *)
+
+val million : ?seed:int -> unit -> Netlist.t
+(** The ~1M-gate preset (16 x 16 blocks of 4096 gates, 32 PIs/POs) used
+    by the [batch_large] bench; characterize it with a large
+    [cells_per_tile] (e.g. 65536) so the correlation grid — and with it
+    the PCA dimension — stays bounded at this scale. *)

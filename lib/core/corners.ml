@@ -9,11 +9,18 @@ type corner =
   | Fast of float
   | Global_slow of float
 
-let corner_weights (b : Build.t) corner =
+(* Allocation-free core: the batch engine re-derives corner means per
+   scenario into pooled worker scratch, so the per-edge evaluation writes
+   into a caller-owned row.  [corner_weights] keeps its allocating API on
+   top. *)
+let corner_weights_into (b : Build.t) corner ~into =
+  let sparse = b.Build.sparse in
+  if Array.length into < Array.length sparse then
+    invalid_arg "Corners.corner_weights_into: row shorter than edge count";
   let corr = b.Build.basis.Basis.corr in
   let sg = sqrt corr.Correlation.var_global in
-  Array.map
-    (fun (s : Build.sparse_edge) ->
+  Array.iteri
+    (fun i (s : Build.sparse_edge) ->
       let full_shift k =
         (* Every variation source pushed k sigma the same way: the parameter
            itself moves k sigma in total, and the load random adds its own
@@ -23,18 +30,24 @@ let corner_weights (b : Build.t) corner =
         in
         (s.Build.nominal *. (1.0 +. param)) +. (k *. s.Build.random_sigma)
       in
-      match corner with
-      | Nominal -> s.Build.nominal
-      | Slow k -> full_shift k
-      | Fast k -> full_shift (-.k)
-      | Global_slow k ->
-          let param =
-            Array.fold_left
-              (fun acc sv -> acc +. (sv *. sg *. k))
-              0.0 s.Build.sens
-          in
-          s.Build.nominal *. (1.0 +. param))
-    b.Build.sparse
+      into.(i) <-
+        (match corner with
+        | Nominal -> s.Build.nominal
+        | Slow k -> full_shift k
+        | Fast k -> full_shift (-.k)
+        | Global_slow k ->
+            let param =
+              Array.fold_left
+                (fun acc sv -> acc +. (sv *. sg *. k))
+                0.0 s.Build.sens
+            in
+            s.Build.nominal *. (1.0 +. param)))
+    sparse
+
+let corner_weights (b : Build.t) corner =
+  let into = Array.make (Array.length b.Build.sparse) 0.0 in
+  corner_weights_into b corner ~into;
+  into
 
 let corner_delay b corner =
   Ssta_timing.Sta.design_delay b.Build.graph ~weights:(corner_weights b corner)

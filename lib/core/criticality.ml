@@ -33,22 +33,49 @@ type result = {
 }
 
 (* Backward tile size: [?tile] argument, else the CLI override
-   (hssta --crit-tile), else the CRIT_TILE environment variable, else all
-   outputs at once - the pre-tiling behaviour, every backward workspace
-   resident for the whole screen. *)
+   (hssta --crit-tile, possibly "auto"), else the CRIT_TILE environment
+   variable, else all outputs at once - the pre-tiling behaviour, every
+   backward workspace resident for the whole screen. *)
+type tile_choice = Fixed of int | Auto
+
 let tile_env =
   lazy
     (match Sys.getenv_opt "CRIT_TILE" with
     | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some n when n >= 1 -> Some n
-        | _ -> None)
+        let s = String.trim s in
+        if String.lowercase_ascii s = "auto" then Some Auto
+        else
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Some (Fixed n)
+          | _ -> None)
     | None -> None)
 
 let tile_override = ref None
-let set_tile n = tile_override := Some (max 1 n)
+let set_tile n = tile_override := Some (Fixed (max 1 n))
+let set_tile_auto () = tile_override := Some Auto
 
-let resolve_tile tile no =
+let budget_mb_env =
+  lazy
+    (match Sys.getenv_opt "CRIT_TILE_BUDGET_MB" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> 256)
+    | None -> 256)
+
+(* Auto-tile heuristic: one retained output slot costs
+   nv * (8 * stride + 18) bytes - the backward Form_buf workspace
+   (stride floats per vertex) and its reachability byte, plus the
+   per-output required-time scalar rows (mu, sigma) and the destination
+   bitmask.  The tile is the largest count of such slots that fits the
+   byte budget (CRIT_TILE_BUDGET_MB, default 256), floored at 1 so a
+   single output always proceeds regardless of budget. *)
+let auto_tile ?budget_mb ~n_vertices ~stride () =
+  let mb = match budget_mb with Some b -> max 1 b | None -> Lazy.force budget_mb_env in
+  let per_output = max 1 (n_vertices * ((8 * stride) + 18)) in
+  max 1 (mb * 1024 * 1024 / per_output)
+
+let resolve_tile tile ~nv ~stride no =
   let t =
     match tile with
     | Some n ->
@@ -56,10 +83,16 @@ let resolve_tile tile no =
           invalid_arg "Criticality.compute: tile must be at least 1";
         n
     | None -> (
+        let of_choice = function
+          | Fixed n -> n
+          | Auto -> auto_tile ~n_vertices:nv ~stride ()
+        in
         match !tile_override with
-        | Some n -> n
+        | Some c -> of_choice c
         | None -> (
-            match Lazy.force tile_env with Some n -> n | None -> max no 1))
+            match Lazy.force tile_env with
+            | Some c -> of_choice c
+            | None -> max no 1))
   in
   max 1 (min t (max no 1))
 
@@ -112,7 +145,11 @@ let compute ?(exact = false) ?domains ?tile ~delta g ~forms =
   let nv = Tgraph.n_vertices g in
   let inputs = g.Tgraph.inputs and outputs = g.Tgraph.outputs in
   let ni = Array.length inputs and no = Array.length outputs in
-  let tile_sz = resolve_tile tile no in
+  let dims =
+    if m = 0 then { Form.n_globals = 0; n_pcs = 0 } else Form.dims forms.(0)
+  in
+  let stride = dims.Form.n_globals + dims.Form.n_pcs + 2 in
+  let tile_sz = resolve_tile tile ~nv ~stride no in
   let n_tiles = Par.n_chunks ~chunk:tile_sz no in
   let floor_p = 1e-3 in
   let z_delta = Normal.quantile delta in
@@ -128,9 +165,6 @@ let compute ?(exact = false) ?domains ?tile ~delta g ~forms =
   let d_sig = Array.map sqrt d_var in
   (* Edge forms packed once into a flat buffer; every sweep and covariance
      probe below reads from it without touching the boxed originals. *)
-  let dims =
-    if m = 0 then { Form.n_globals = 0; n_pcs = 0 } else Form.dims forms.(0)
-  in
   let fbuf = Form_buf.of_forms dims forms in
   let src = g.Tgraph.src and dst = g.Tgraph.dst in
   (* Screening fan-out: inputs are cut into at most 32 fixed chunks (a
@@ -143,8 +177,15 @@ let compute ?(exact = false) ?domains ?tile ~delta g ~forms =
      destination bitmasks) are resident at once instead of all [no].  Each
      output's backward sweep still runs exactly once - tiling costs extra
      FORWARD sweeps instead, [n_tiles] per input, because every chunk
-     re-derives its inputs' arrival data per tile. *)
-  let tile_ws = Array.init tile_sz (fun _ -> Propagate.create_workspace ()) in
+     re-derives its inputs' arrival data per tile.  All tile workspaces are
+     carved from one capacity-planned slab: one bigarray allocation for the
+     whole tile's backward storage, reused tile after tile. *)
+  let tile_slab =
+    Form_buf.slab_create (tile_sz * Form_buf.floats_needed dims nv)
+  in
+  let tile_ws =
+    Array.init tile_sz (fun _ -> Propagate.create_workspace ~slab:tile_slab ())
+  in
   let req_mu = Array.make_matrix tile_sz (max nv 1) nan in
   let req_sig = Array.make_matrix tile_sz (max nv 1) nan in
   let omasks = Array.init tile_sz (fun _ -> Bytes.make (max nv 1) '\000') in
@@ -346,8 +387,15 @@ let compute ?(exact = false) ?domains ?tile ~delta g ~forms =
   in
   let pool =
     Par.pool (fun () ->
+        (* One slab per pool worker backs all its forward workspaces: a
+           worker allocates once, every chunk it screens reuses it. *)
+        let slab =
+          Form_buf.slab_create (input_chunk * Form_buf.floats_needed dims nv)
+        in
         {
-          fwd = Array.init input_chunk (fun _ -> Propagate.create_workspace ());
+          fwd =
+            Array.init input_chunk (fun _ ->
+                Propagate.create_workspace ~slab ());
           a_mu = Array.init input_chunk (fun _ -> Array.make (max nv 1) nan);
           a_sig = Array.init input_chunk (fun _ -> Array.make (max nv 1) nan);
           cone = Array.init input_chunk (fun _ -> Array.make (max m 1) 0);

@@ -49,6 +49,20 @@ val set_tile : int -> unit
     (clamped to at least 1) - the [hssta --crit-tile] hook.  An explicit
     [?tile] argument still wins. *)
 
+val set_tile_auto : unit -> unit
+(** Override the backward tile size with the {!auto_tile} heuristic - the
+    [hssta --crit-tile auto] hook.  An explicit [?tile] argument still
+    wins. *)
+
+val auto_tile : ?budget_mb:int -> n_vertices:int -> stride:int -> unit -> int
+(** The budget-driven tile heuristic: the largest number of retained
+    backward output slots whose workspaces fit in [budget_mb] megabytes
+    (default: the [CRIT_TILE_BUDGET_MB] environment variable, else 256),
+    floored at 1.  One output slot costs
+    [n_vertices * (8 * stride + 18)] bytes: the backward [Form_buf]
+    workspace ([stride] floats per vertex) and its reachability byte, the
+    two required-time scalar rows, and the destination bitmask. *)
+
 val compute :
   ?exact:bool ->
   ?domains:int ->

@@ -24,7 +24,12 @@ type workspace
     portion it reads.  After a sweep the workspace holds that sweep's
     result until the next sweep overwrites it. *)
 
-val create_workspace : unit -> workspace
+val create_workspace : ?slab:Form_buf.slab -> unit -> workspace
+(** With [~slab], the workspace's vertex buffer is carved from the slab
+    whenever it (re)grows instead of being freshly allocated — the batch
+    engine gives each pool worker one capacity-planned slab so every
+    scenario reuses the same storage.  Size the slab so steady-state sweeps
+    never regrow (each regrowth carves again, bumping the cursor). *)
 
 val ws_buf : workspace -> Form_buf.t
 (** Vertex-indexed slots of the last sweep (valid where {!ws_reached}). *)
@@ -56,6 +61,24 @@ val forward_into :
     usually be the graph's inputs (block-based SSTA) or one input (the
     exclusive arrival times of paper eq. (15)).  Bit-identical to
     {!forward}. *)
+
+val forward_cone_into :
+  workspace ->
+  Tgraph.t ->
+  forms:Form_buf.t ->
+  sources:int array ->
+  edges:int array ->
+  lo:int ->
+  hi:int ->
+  unit
+(** {!forward_into} restricted to a precomputed cone: only
+    [edges.(lo..hi-1)] are visited, in order (a CSR range into a shared
+    cone array, so callers never slice per sweep).  The range must be
+    ascending and contain every edge whose source the sweep reaches (the
+    full reachable cone of [sources]); the result is then bit-identical to
+    {!forward_into}, which skips exactly the missing edges via its
+    reached-source guard.  The batch engine builds each input's cone once
+    ({!Tgraph.reachable_from}) and shares it across all scenarios. *)
 
 val backward_to_into :
   workspace -> Tgraph.t -> forms:Form_buf.t -> int -> unit

@@ -263,6 +263,117 @@ let prop_forward_all_matches seed =
     ~sources:g.Tgraph.inputs;
   sweep_equal (Tgraph.n_vertices g) ws (H.Propagate.forward_all g ~forms)
 
+(* Slab-carved buffers must be indistinguishable from freshly allocated
+   ones: same kernel results bit for bit, at arbitrary carve offsets,
+   across a reset/reuse cycle - the storage guarantee the batch engine's
+   per-worker slabs rely on. *)
+let prop_slab_carving seed =
+  with_pairs seed (fun dims a b ->
+      (* Capacity-planned: a junk buffer first so the operands land at a
+         nonzero slab offset, then the 3-slot working buffer. *)
+      let junk = 2 + (seed mod 5) in
+      let slab =
+        Form_buf.slab_create
+          (Form_buf.floats_needed dims junk
+          + (2 * Form_buf.floats_needed dims 3))
+      in
+      let run () =
+        let _pad = Form_buf.create ~slab dims junk in
+        let buf = Form_buf.create ~slab dims 3 in
+        Form_buf.set buf 0 a;
+        Form_buf.set buf 1 b;
+        Form_buf.add_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:2;
+        check_exact "slab add_into" (Form.add a b) (Form_buf.get buf 2);
+        Form_buf.max2_into ~a:buf ~ia:0 ~b:buf ~ib:1 ~dst:buf ~idst:2;
+        check_exact "slab max2_into" (Form.max2 a b) (Form_buf.get buf 2)
+      in
+      run ();
+      (* A second carve fits the remaining capacity (2x the 3-slot need
+         was planned), so the slab must not have grown... *)
+      if Form_buf.slab_grows slab <> 0 then
+        Alcotest.fail "capacity-planned slab grew";
+      (* ...and a reset rewinds the cursor: the same carves replay on the
+         same storage with the same results. *)
+      Form_buf.slab_reset slab;
+      let used0 = Form_buf.slab_used_floats slab in
+      if used0 <> 0 then Alcotest.fail "slab_reset left a nonzero cursor";
+      run ();
+      if Form_buf.slab_grows slab <> 0 then
+        Alcotest.fail "slab grew after reset";
+      (* An undersized slab grows (counted) but stays correct: old views
+         keep their backing alive. *)
+      let tiny = Form_buf.slab_create 1 in
+      let keep = Form_buf.create ~slab:tiny dims 1 in
+      Form_buf.set keep 0 a;
+      let more = Form_buf.create ~slab:tiny dims 3 in
+      Form_buf.set more 0 b;
+      if Form_buf.slab_grows tiny = 0 then
+        Alcotest.fail "undersized slab did not count its growth";
+      check_exact "view survives slab growth" a (Form_buf.get keep 0);
+      check_exact "post-growth carve works" b (Form_buf.get more 0));
+  true
+
+(* recompose_into is the batch engine's scenario transform: mean replaced,
+   every coefficient scaled by beta, the independent term by |beta|. *)
+let prop_recompose seed =
+  with_pairs seed (fun dims a b ->
+      let buf = Form_buf.of_forms dims [| a; b |] in
+      let mean = b.Form.mean and beta = b.Form.rand -. 0.5 in
+      Form_buf.recompose_into ~mean ~beta ~a:buf ~ia:0 ~dst:buf ~idst:1;
+      let want =
+        Form.make ~mean
+          ~globals:(Array.map (fun c -> beta *. c) a.Form.globals)
+          ~pcs:(Array.map (fun c -> beta *. c) a.Form.pcs)
+          ~rand:(abs_float beta *. a.Form.rand)
+      in
+      check_exact "recompose_into" want (Form_buf.get buf 1);
+      (* Aliased: recomposing a slot onto itself. *)
+      Form_buf.recompose_into ~mean ~beta ~a:buf ~ia:0 ~dst:buf ~idst:0;
+      check_exact "recompose_into aliased" want (Form_buf.get buf 0));
+  true
+
+(* The cone-restricted sweep must be bit-identical to the full sweep
+   whenever the range covers the reachable cone of the sources - the
+   contract the batch engine's shared CSR cone index depends on. *)
+let prop_forward_cone seed =
+  let dims = { Form.n_globals = 2; n_pcs = 4 } in
+  let g, forms = random_dag seed dims in
+  let fbuf = Form_buf.of_forms dims forms in
+  let m = Tgraph.n_edges g in
+  let n = Tgraph.n_vertices g in
+  let ws = H.Propagate.create_workspace () in
+  let ws_cone = H.Propagate.create_workspace () in
+  let all_edges = Array.init m (fun e -> e) in
+  let ok = ref true in
+  Array.iter
+    (fun i ->
+      let sources = [| i |] in
+      H.Propagate.forward_into ws g ~forms:fbuf ~sources;
+      let reference =
+        Array.init n (fun v -> H.Propagate.ws_form ws v)
+      in
+      (* Exact cone of the source, embedded at an offset inside a larger
+         shared array - the CSR layout the batch engine uses. *)
+      let seen = Tgraph.reachable_from g i in
+      let cone = ref [] in
+      for e = m - 1 downto 0 do
+        if seen.(g.Tgraph.src.(e)) then cone := e :: !cone
+      done;
+      let cone = Array.of_list !cone in
+      let lo = 3 in
+      let shared = Array.make (lo + Array.length cone + 2) 0 in
+      Array.blit cone 0 shared lo (Array.length cone);
+      H.Propagate.forward_cone_into ws_cone g ~forms:fbuf ~sources
+        ~edges:shared ~lo ~hi:(lo + Array.length cone);
+      if not (sweep_equal n ws_cone reference) then ok := false;
+      (* The full edge range keeps the same reached-source guard as
+         forward_into, so it too must reproduce the reference exactly. *)
+      H.Propagate.forward_cone_into ws_cone g ~forms:fbuf ~sources
+        ~edges:all_edges ~lo:0 ~hi:m;
+      if not (sweep_equal n ws_cone reference) then ok := false)
+    g.Tgraph.inputs;
+  !ok
+
 let test prop name =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:40 ~name QCheck.(int_range 0 100_000) prop)
@@ -278,11 +389,16 @@ let suites =
         test prop_scalar_probes "scalar probes agree with Form";
         test prop_quad_stats "fused moment gather agrees with probes";
         test prop_clark_into "clark_max_into agrees with clark_max";
+        test prop_slab_carving
+          "slab-carved buffers match fresh buffers (bit-exact)";
+        test prop_recompose "recompose_into scales coefficients exactly";
       ] );
     ( "kernels.workspace",
       [
         test prop_workspace_reuse
           "reused workspace reproduces pure forward/backward exactly";
         test prop_forward_all_matches "forward_into from all inputs";
+        test prop_forward_cone
+          "cone-restricted sweep matches full sweep (bit-exact)";
       ] );
   ]

@@ -22,6 +22,7 @@ let () =
          Test_extensions.suites;
          Test_property.suites;
          Test_kernels.suites;
+         Test_batch.suites;
          Test_crit_screen.suites;
          Test_determinism.suites;
          Test_par.suites;
