@@ -87,7 +87,21 @@ let parse_metrics path =
   close_in ic;
   List.rev !metrics
 
-type klass = Timing | Ratio | Exact | Bound | Count | Cores | Par_speedup
+type klass =
+  | Timing
+  | Ratio
+  | Exact
+  | Bound
+  | Count
+  | Cores
+  | Par_speedup
+  | Floor
+      (* [_minspeedup]: a lower-bounded ratio claim - passes iff the
+         current value reaches GATE_MIN_SPEEDUP (default 5.0).  Used for
+         the serve daemon's incremental-vs-full re-timing guarantee
+         (serve_incr_p50_minspeedup); unlike [_speedup] it is enforced,
+         because both operands are measured in the same process on the
+         same request corpus, so machine noise divides out. *)
 
 (* Seconds-denominated keys additionally get a small absolute slack: phase
    breakdown spans can be sub-millisecond, where the relative tolerance is
@@ -107,6 +121,7 @@ let classify key =
         | "us" | "ns" -> (Timing, 0.0)
         | "mb" -> (Timing, 64.0)
         | "speedup" -> (Ratio, 0.0)
+        | "minspeedup" -> (Floor, 0.0)
         | "frac" -> (Bound, 0.0)
         | "cores" -> (Cores, 0.0)
         (* Visit/structure counters of the criticality screen: pinned by
@@ -127,6 +142,7 @@ let () =
   let exact_tol = env_tol "GATE_EXACT_TOL" 0.0 in
   let overhead_max = env_tol "GATE_OVERHEAD_MAX" 0.02 in
   let min_speedup = env_tol "GATE_PAR_MIN_SPEEDUP" 2.0 in
+  let floor_speedup = env_tol "GATE_MIN_SPEEDUP" 5.0 in
   let baseline = parse_metrics baseline_path in
   let current = parse_metrics current_path in
   (* The multicore-speedup gate keys off the CURRENT machine: the baseline
@@ -173,6 +189,15 @@ let () =
             incr skipped;
             Printf.printf "INFO %-36s %.2fx (informational: %.0f core(s) < 4)\n"
               key c avail_cores
+          end
+      | (Floor, _), Some _, Some (Some c) ->
+          incr checked;
+          if c >= floor_speedup then ()
+          else begin
+            incr failures;
+            Printf.printf
+              "FAIL %-36s %.2fx below GATE_MIN_SPEEDUP %.2fx\n" key c
+              floor_speedup
           end
       | (Bound, _), Some _, Some (Some c) ->
           incr checked;

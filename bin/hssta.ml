@@ -595,6 +595,121 @@ let inject_cmd =
       const run $ setup_logs $ setup_domains $ circuit_arg $ policy_arg
       $ out_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the persistent analysis daemon and its replay client *)
+
+module Serve = Ssta_serve.Serve
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path for the JSONL request/response protocol."
+  in
+  Arg.(
+    value & opt string "hssta.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let preload_arg =
+    let doc =
+      "Characterize $(docv) into the model cache before accepting \
+       connections (repeatable)."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "preload" ] ~docv:"CIRCUIT" ~doc)
+  in
+  let run () () () () socket preload =
+    let t = Serve.create () in
+    try Serve.run_daemon ~socket ~preload t
+    with Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "hssta serve: %s: %s(%s)\n%!" (Unix.error_message e) fn
+        arg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: load characterized models \
+          once, answer design-level quantile/path/what-if queries over a \
+          unix-domain socket (JSONL, one request object per line) until a \
+          shutdown request")
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_robust
+      $ socket_arg $ preload_arg)
+
+let client_cmd =
+  let replay_arg =
+    let doc = "Request-corpus file to replay, one JSON object per line." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the response stream to $(docv) (default stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let latency_arg =
+    let doc =
+      "Write one per-request latency in microseconds per line to $(docv) \
+       (sequential mode only)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "latency-out" ] ~docv:"FILE" ~doc)
+  in
+  let pipeline_arg =
+    let doc =
+      "Write the whole corpus before reading responses, exercising the \
+       daemon's request batching (per-request latencies are not recorded)."
+    in
+    Arg.(value & flag & info [ "pipeline" ] ~doc)
+  in
+  let run () () socket replay_file out latency_out pipeline =
+    let requests =
+      let ic = open_in replay_file in
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            go (if String.trim line = "" then acc else line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    in
+    let responses, lat, total =
+      Serve.replay ~pipeline ~socket ~requests ()
+    in
+    (match out with
+    | None -> List.iter print_endline responses
+    | Some path ->
+        let oc = open_out path in
+        List.iter
+          (fun r ->
+            output_string oc r;
+            output_char oc '\n')
+          responses;
+        close_out oc);
+    (match latency_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Array.iter
+          (fun s -> Printf.fprintf oc "%.1f\n" (s *. 1e6))
+          lat;
+        close_out oc);
+    Printf.eprintf "hssta client: %d requests, %d responses, %.3f s total\n%!"
+      (List.length requests) (List.length responses) total
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Replay a JSONL request corpus against a running hssta serve \
+          daemon, recording the response stream and per-request latencies")
+    Term.(
+      const run $ setup_logs $ setup_obs $ socket_arg $ replay_arg $ out_arg
+      $ latency_arg $ pipeline_arg)
+
 let () =
   let info =
     Cmd.info "hssta" ~version:"1.0.0"
@@ -605,18 +720,45 @@ let () =
       [
         list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
         batch_cmd; paths_cmd; corners_cmd; model_cmd; model_info_cmd;
-        inject_cmd;
+        inject_cmd; serve_cmd; client_cmd;
       ]
   in
-  (* With --robust strict, a detected degeneracy surfaces here as a
-     structured error: report the fault site and exit 3 (distinct from
-     usage errors and from cmdliner's internal-error 125). *)
-  exit
-    (try Cmd.eval ~catch:false group with
-     | Ssta_robust.Robust.Error c ->
-         Printf.eprintf "hssta: robustness error (strict policy):\n  %s\n%!"
-           (Ssta_robust.Robust.to_string c);
-         3
-     | e ->
-         Printf.eprintf "hssta: internal error: %s\n%!" (Printexc.to_string e);
-         125)
+  (* Cmdliner's usage errors (unknown flags, missing arguments) exit 124
+     on every subcommand; capture its multi-line report and condense it
+     to one uniform stderr line so scripts see the same shape
+     everywhere.  With --robust strict, a detected degeneracy surfaces
+     here as a structured error: report the fault site and exit 3
+     (distinct from usage errors and from cmdliner's internal-error
+     125). *)
+  let errbuf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer errbuf in
+  let code =
+    try Cmd.eval ~catch:false ~err group with
+    | Ssta_robust.Robust.Error c ->
+        Printf.eprintf "hssta: robustness error (strict policy):\n  %s\n%!"
+          (Ssta_robust.Robust.to_string c);
+        3
+    | e ->
+        Printf.eprintf "hssta: internal error: %s\n%!" (Printexc.to_string e);
+        125
+  in
+  Format.pp_print_flush err ();
+  let captured = Buffer.contents errbuf in
+  if code = Cmd.Exit.cli_error then begin
+    let lines =
+      String.split_on_char '\n' captured
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    let head = match lines with [] -> "hssta: invalid command line" | l :: _ -> l in
+    let usage =
+      List.find_opt
+        (fun l ->
+          String.length l >= 6 && String.lowercase_ascii (String.sub l 0 6) = "usage:")
+        lines
+    in
+    Printf.eprintf "%s%s\n%!" head
+      (match usage with Some u -> " [" ^ u ^ "]" | None -> "")
+  end
+  else if captured <> "" then Printf.eprintf "%s%!" captured;
+  exit code

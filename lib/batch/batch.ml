@@ -383,223 +383,127 @@ let run_one ?domains ?mode ?screen base s =
 (* Scenario-spec JSON                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal recursive-descent JSON reader for the scenario-spec files the
-   CLI accepts: arrays, flat objects, strings, numbers, true/false/null.
-   No dependency, no stream input - spec files are tiny. *)
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of float
-  | J_str of string
-  | J_arr of json list
-  | J_obj of (string * json) list
+module Json = Ssta_json.Json
+module Robust = Ssta_robust.Robust
 
-exception Parse_error of string
+(* Malformed scenario specs funnel through the graceful-degradation
+   layer: under Strict each defect raises a structured Robust.Error
+   naming the offending entry; under Repair/Warn the repair counter
+   fires and the documented default is substituted, so a spec stream
+   (CLI file or serve request) degrades instead of dying on a bare
+   exception. *)
+let c_scenario_repairs = Robust.counter "robust.scenario_repairs"
 
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal lit v =
-    let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" lit)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      let c = s.[!pos] in
-      advance ();
-      if c = '"' then Buffer.contents b
-      else if c = '\\' then begin
-        (if !pos >= n then fail "unterminated escape");
-        let e = s.[!pos] in
-        advance ();
-        (match e with
-        | '"' -> Buffer.add_char b '"'
-        | '\\' -> Buffer.add_char b '\\'
-        | '/' -> Buffer.add_char b '/'
-        | 'n' -> Buffer.add_char b '\n'
-        | 't' -> Buffer.add_char b '\t'
-        | 'r' -> Buffer.add_char b '\r'
-        | 'b' -> Buffer.add_char b '\b'
-        | 'f' -> Buffer.add_char b '\012'
-        | 'u' ->
-            (* Scenario labels are ASCII; map BMP escapes below 0x80,
-               reject the rest rather than mis-decode. *)
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail "bad \\u escape"
-            in
-            if code < 0x80 then Buffer.add_char b (Char.chr code)
-            else fail "non-ASCII \\u escape unsupported"
-        | _ -> fail "bad escape");
-        go ()
-      end
-      else begin
-        Buffer.add_char b c;
-        go ()
-      end
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while !pos < n && num_char s.[!pos] do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          J_obj []
-        end
+let spec_repair ~operation ?indices ?values detail =
+  Robust.repair c_scenario_repairs
+    (Robust.context ~subsystem:"batch" ~operation ?indices ?values detail)
+
+
+(* Default substituted by the repair path for an unusable entry (or, for
+   an unusable spec, as the whole batch). *)
+let repaired_default idx = nominal ~label:(Printf.sprintf "s%02d" idx) ()
+
+let scenario_of_json idx j =
+  let fallback = repaired_default idx in
+  match j with
+  | Json.Obj _ ->
+      (* A field that is present with the wrong type, or a malformed
+         value, is repaired to that field's default; Strict raises. *)
+      let num ~default k =
+        match Json.num_field ~default k j with
+        | Ok v -> v
+        | Error msg ->
+            spec_repair ~operation:"scenario_of_json" ~indices:[ idx ] msg;
+            default
+      in
+      let str ~default k =
+        match Json.str_field ~default k j with
+        | Ok v -> v
+        | Error msg ->
+            spec_repair ~operation:"scenario_of_json" ~indices:[ idx ] msg;
+            default
+      in
+      let label = str ~default:(Printf.sprintf "s%02d" idx) "label" in
+      let k_sigma =
+        let k = num ~default:3.0 "k" in
+        if Robust.is_finite k then k
         else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((key, v) :: acc)
-            | Some '}' ->
-                advance ();
-                J_obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
+          spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+            ~values:[ k ] "corner sigma multiplier k must be finite";
+          3.0
         end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          J_arr []
-        end
+      in
+      let corner =
+        match String.lowercase_ascii (str ~default:"nominal" "corner") with
+        | "nominal" -> Corners.Nominal
+        | "slow" -> Corners.Slow k_sigma
+        | "fast" -> Corners.Fast k_sigma
+        | "global_slow" | "global-slow" -> Corners.Global_slow k_sigma
+        | other ->
+            spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+              (Printf.sprintf
+                 "corner %S is not nominal/slow/fast/global_slow" other);
+            Corners.Nominal
+      in
+      let finite ~default ~what v =
+        if Robust.is_finite v then v
         else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elems (v :: acc)
-            | Some ']' ->
-                advance ();
-                J_arr (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elems []
+          spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+            ~values:[ v ] (what ^ " must be finite");
+          default
         end
-    | Some '"' -> J_str (parse_string ())
-    | Some 't' -> literal "true" (J_bool true)
-    | Some 'f' -> literal "false" (J_bool false)
-    | Some 'n' -> literal "null" J_null
-    | Some _ -> J_num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing characters";
-  v
+      in
+      let gx = finite ~default:0.0 ~what:"grad_x" (num ~default:0.0 "grad_x")
+      and gy =
+        finite ~default:0.0 ~what:"grad_y" (num ~default:0.0 "grad_y")
+      in
+      let grid_variant =
+        if gx = 0.0 && gy = 0.0 then Uniform else Gradient { gx; gy }
+      in
+      let delta =
+        let d = num ~default:0.05 "delta" in
+        if d > 0.0 && d < 1.0 then d
+        else begin
+          spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+            ~values:[ d ] "delta must lie in (0, 1)";
+          0.05
+        end
+      in
+      let delay_scale =
+        let v = num ~default:1.0 "delay_scale" in
+        if Robust.is_finite v && v > 0.0 then v
+        else begin
+          spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+            ~values:[ v ] "delay_scale must be finite and positive";
+          1.0
+        end
+      in
+      let sigma_scale =
+        let v = num ~default:1.0 "sigma_scale" in
+        if Robust.is_finite v && v >= 0.0 then v
+        else begin
+          spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+            ~values:[ v ] "sigma_scale must be finite and non-negative";
+          0.0
+        end
+      in
+      { label; corner; delay_scale; sigma_scale; grid_variant; delta }
+  | _ ->
+      spec_repair ~operation:"scenario_of_json" ~indices:[ idx ]
+        "scenario entries must be objects";
+      fallback
 
-let scenario_of_obj idx fields =
-  let find k = List.assoc_opt k fields in
-  let num ?default k =
-    match find k with
-    | Some (J_num f) -> f
-    | Some _ -> raise (Parse_error (Printf.sprintf "field %S must be a number" k))
-    | None -> (
-        match default with
-        | Some d -> d
-        | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
-  in
-  let str ?default k =
-    match find k with
-    | Some (J_str v) -> v
-    | Some _ -> raise (Parse_error (Printf.sprintf "field %S must be a string" k))
-    | None -> (
-        match default with
-        | Some d -> d
-        | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
-  in
-  let label = str ~default:(Printf.sprintf "s%02d" idx) "label" in
-  let k_sigma = num ~default:3.0 "k" in
-  let corner =
-    match String.lowercase_ascii (str ~default:"nominal" "corner") with
-    | "nominal" -> Corners.Nominal
-    | "slow" -> Corners.Slow k_sigma
-    | "fast" -> Corners.Fast k_sigma
-    | "global_slow" | "global-slow" -> Corners.Global_slow k_sigma
-    | other ->
-        raise
-          (Parse_error
-             (Printf.sprintf
-                "corner %S is not nominal/slow/fast/global_slow" other))
-  in
-  let gx = num ~default:0.0 "grad_x" and gy = num ~default:0.0 "grad_y" in
-  let grid_variant =
-    if gx = 0.0 && gy = 0.0 then Uniform else Gradient { gx; gy }
-  in
-  let delta = num ~default:0.05 "delta" in
-  if not (delta > 0.0 && delta < 1.0) then
-    raise (Parse_error "delta must lie in (0, 1)");
-  {
-    label;
-    corner;
-    delay_scale = num ~default:1.0 "delay_scale";
-    sigma_scale = num ~default:1.0 "sigma_scale";
-    grid_variant;
-    delta;
-  }
+let scenarios_of_json j =
+  match j with
+  | Json.Arr items -> Array.of_list (List.mapi scenario_of_json items)
+  | _ ->
+      spec_repair ~operation:"scenarios_of_json"
+        "scenario spec must be a JSON array of objects";
+      [| repaired_default 0 |]
 
 let parse_scenarios text =
-  try
-    match parse_json text with
-    | J_arr items ->
-        let parse i = function
-          | J_obj fields -> scenario_of_obj i fields
-          | _ -> raise (Parse_error "scenario entries must be objects")
-        in
-        Ok (Array.of_list (List.mapi parse items))
-    | _ -> Error "scenario spec must be a JSON array of objects"
-  with Parse_error msg -> Error msg
+  match Json.parse text with
+  | Ok j -> Ok (scenarios_of_json j)
+  | Error msg ->
+      spec_repair ~operation:"parse_scenarios" msg;
+      Ok [| repaired_default 0 |]

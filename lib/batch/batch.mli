@@ -95,8 +95,29 @@ val run_one :
   ?domains:int -> ?mode:mode -> ?screen:bool -> base -> scenario -> result
 (** A batch of one — the reference point for the bit-identity contract. *)
 
+val scenario_of_json : int -> Ssta_json.Json.t -> scenario
+(** Decode one scenario object (entry [idx] of a spec array).  Every
+    defect — non-object entry, wrong field type, unknown corner name,
+    non-finite or negative [sigma_scale], non-positive [delay_scale],
+    [delta] outside (0, 1) — is routed through
+    {!Ssta_robust.Robust.repair} under counter
+    [robust.scenario_repairs]: under [Strict] policy it raises
+    {!Ssta_robust.Robust.Error} with a structured context, under
+    [Repair]/[Warn] the offending field falls back to its documented
+    default and decoding continues. *)
+
+val scenarios_of_json : Ssta_json.Json.t -> scenario array
+(** Decode a spec array via {!scenario_of_json}; a non-array spec is a
+    repairable defect (default: one nominal scenario). *)
+
 val parse_scenarios : string -> (scenario array, string) Stdlib.result
 (** Parse a scenario-spec JSON array (see README: objects with optional
     fields [label], [corner] (["nominal"|"slow"|"fast"|"global_slow"]),
     [k], [delay_scale], [sigma_scale], [grad_x], [grad_y], [delta]).
-    Unknown fields are ignored; no external JSON dependency. *)
+    Unknown fields are ignored; no external JSON dependency.
+
+    Malformed input degrades per the {!Ssta_robust.Robust} policy (see
+    {!scenario_of_json}): under [Strict] the structured error
+    propagates as an exception; under [Repair]/[Warn] the result is
+    always [Ok] with defects replaced by defaults, so the [Error _] arm
+    survives only for future non-repairable conditions. *)

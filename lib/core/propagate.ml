@@ -8,6 +8,9 @@ module Obs = Ssta_obs.Obs
    mask after the sweep (see [account] below), so the disabled-mode cost
    is one flag load per sweep. *)
 let c_forward_sweeps = Obs.counter "propagate.forward_sweeps"
+let c_update_sweeps = Obs.counter "propagate.update_sweeps"
+let c_update_vertices = Obs.counter "propagate.update_vertices"
+let c_update_edges = Obs.counter "propagate.update_edges"
 let c_backward_sweeps = Obs.counter "propagate.backward_sweeps"
 let c_clark_max_evals = Obs.counter "propagate.clark_max_evals"
 let c_add_evals = Obs.counter "propagate.add_evals"
@@ -24,6 +27,9 @@ let check_buf g forms =
 type workspace = {
   mutable buf : Form_buf.t;
   mutable reach : Bytes.t;
+  mutable srcmask : Bytes.t;
+      (* per-vertex source-membership scratch of [forward_update_into];
+         only meaningful during a call *)
   slab : Form_buf.slab option;
 }
 
@@ -31,6 +37,7 @@ let create_workspace ?slab () =
   {
     buf = Form_buf.create { Form.n_globals = 0; n_pcs = 0 } 0;
     reach = Bytes.create 0;
+    srcmask = Bytes.create 0;
     slab;
   }
 
@@ -147,6 +154,73 @@ let forward_cone_into ws g ~forms ~sources ~edges ~lo ~hi =
   if Obs.enabled () then
     account ws g ~n_seeds:(Array.length sources) ~upstream:src
       ~sweeps:c_forward_sweeps
+
+(* Incremental re-timing: recompute only the vertices marked dirty, in
+   topological order, reading the surviving slots of the previous sweep
+   for every clean fanin.  Soundness needs the dirty mask to be closed
+   under fanout (Tgraph.fanout_closure_into): then every clean vertex has
+   only clean fanin sources, so its stored slot is exactly what a full
+   re-sweep would recompute, and every dirty vertex is rebuilt with the
+   same fanin-range fold (same kernel calls, same order) as the full
+   sweep - bit-identical by induction over the topological order.  Delay
+   edits never change reachability, but the reached bit of each dirty
+   vertex is re-derived anyway so the workspace stays self-consistent.
+   Dirty vertices with no fanin are left untouched (their state - zero
+   form for sources, unreached otherwise - cannot depend on edge
+   forms). *)
+let forward_update_into ws g ~forms ~sources ~dirty =
+  check_buf g forms;
+  let n = Tgraph.n_vertices g in
+  if Form_buf.dims ws.buf <> Form_buf.dims forms || Form_buf.length ws.buf < n
+  then
+    invalid_arg
+      "Propagate.forward_update_into: workspace holds no prior sweep of this \
+       graph";
+  if Bytes.length ws.reach < n then
+    invalid_arg
+      "Propagate.forward_update_into: workspace holds no prior sweep of this \
+       graph";
+  if Bytes.length dirty < n then
+    invalid_arg "Propagate.forward_update_into: dirty mask shorter than graph";
+  if Bytes.length ws.srcmask < n then ws.srcmask <- Bytes.make n '\000'
+  else Bytes.fill ws.srcmask 0 n '\000';
+  Array.iter (fun v -> Bytes.unsafe_set ws.srcmask v '\001') sources;
+  let buf = ws.buf in
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  let fanin_lo = g.Tgraph.fanin_lo and fanin_hi = g.Tgraph.fanin_hi in
+  let n_dirty = ref 0 and n_visited = ref 0 in
+  for i = 0 to Array.length src - 1 do
+    let v = Array.unsafe_get dst i in
+    if
+      i = Array.unsafe_get fanin_lo v && Bytes.unsafe_get dirty v <> '\000'
+    then begin
+      Stdlib.incr n_dirty;
+      if Bytes.unsafe_get ws.srcmask v <> '\000' then begin
+        Form_buf.clear_slot buf v;
+        Bytes.unsafe_set ws.reach v '\001'
+      end
+      else Bytes.unsafe_set ws.reach v '\000';
+      let hi = Array.unsafe_get fanin_hi v in
+      for e = i to hi - 1 do
+        Stdlib.incr n_visited;
+        let s = Array.unsafe_get src e in
+        if ws_reached ws s then
+          if ws_reached ws v then
+            Form_buf.add_then_max_into ~acc:buf ~iacc:v ~a:buf ~ia:s ~b:forms
+              ~ib:e
+          else begin
+            Form_buf.add_into ~a:buf ~ia:s ~b:forms ~ib:e ~dst:buf ~idst:v;
+            mark ws v
+          end
+      done
+    end
+  done;
+  if Obs.enabled () then begin
+    Obs.incr c_update_sweeps;
+    Obs.add c_update_vertices !n_dirty;
+    Obs.add c_update_edges !n_visited
+  end;
+  (!n_dirty, !n_visited)
 
 let backward_to_into ws g ~forms out =
   check_buf g forms;

@@ -80,6 +80,31 @@ val forward_cone_into :
     reached-source guard.  The batch engine builds each input's cone once
     ({!Tgraph.reachable_from}) and shares it across all scenarios. *)
 
+val forward_update_into :
+  workspace ->
+  Tgraph.t ->
+  forms:Form_buf.t ->
+  sources:int array ->
+  dirty:Bytes.t ->
+  int * int
+(** Incremental re-timing of a prior {!forward_into} (or
+    {!forward_update_into}) result held in the workspace: recompute only
+    the vertices whose byte is set in [dirty], in topological order,
+    reusing the stored arrival of every clean vertex.  Returns
+    [(vertices recomputed, fanin edges visited)].
+
+    The contract: the workspace holds a completed forward sweep of the
+    same graph from the same [sources] over edge forms that differ from
+    [forms] {e only} at edges whose sink is dirty, and [dirty] is closed
+    under fanout ({!Tgraph.fanout_closure_into} of the edited edges'
+    sinks).  Then the updated workspace is bit-identical to a full
+    {!forward_into} over [forms] - the clean slots already hold the full
+    sweep's values, and each dirty vertex is rebuilt with the identical
+    fanin-range fold.  [test/test_serve.ml] pins this against full
+    re-sweeps over random DAGs and edit sequences.  Cost is O(dirty
+    fanin edges) form operations plus an O(vertices) mask reset - the
+    [hssta serve] what-if hot path. *)
+
 val backward_to_into :
   workspace -> Tgraph.t -> forms:Form_buf.t -> int -> unit
 (** Per vertex, the canonical maximum path delay from the vertex to the

@@ -1,0 +1,860 @@
+module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
+module Tgraph = Ssta_timing.Tgraph
+module Build = Ssta_timing.Build
+module N = Ssta_circuit.Netlist
+module Propagate = Hier_ssta.Propagate
+module Path_report = Hier_ssta.Path_report
+module Yield = Hier_ssta.Yield
+module Batch = Ssta_batch.Batch
+module Json = Ssta_json.Json
+module Robust = Ssta_robust.Robust
+module Obs = Ssta_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Observability handles                                              *)
+
+let c_requests = Obs.counter "serve.requests"
+let c_errors = Obs.counter "serve.request_errors"
+let c_cache_hits = Obs.counter "serve.cache_hits"
+let c_cache_misses = Obs.counter "serve.cache_misses"
+let c_batched = Obs.counter "serve.batched_requests"
+let c_shared = Obs.counter "serve.shared_sweeps"
+let c_whatif_incr = Obs.counter "serve.whatif_incremental"
+let c_whatif_full = Obs.counter "serve.whatif_full"
+let g_queue_depth = Obs.gauge "serve.queue_depth"
+let c_protocol_repairs = Robust.counter "robust.protocol_repairs"
+
+let protocol_repair ~operation ?indices ?values detail =
+  Robust.repair c_protocol_repairs
+    (Robust.context ~subsystem:"serve" ~operation ?indices ?values detail)
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                       *)
+
+type session = {
+  design : string;
+  build : Build.t;
+  forms : Form.t array;  (** current edge forms (what-if edits applied) *)
+  fbuf : Form_buf.t;  (** the same forms, packed for the sweep kernels *)
+  ws : Propagate.workspace;  (** holds the current completed arrival sweep *)
+  dirty : Bytes.t;  (** per-vertex dirty mask scratch *)
+  mutable base : Batch.base option;  (** lazy, over the pristine forms *)
+  mutable edited : bool;  (** committed edits pending a [revert] *)
+}
+
+type t = {
+  cache : (string, Build.t) Hashtbl.t;  (** content hash -> model *)
+  mutable session : session option;
+  mutable stop : bool;
+}
+
+let create () = { cache = Hashtbl.create 7; session = None; stop = false }
+let stopped t = t.stop
+let cache_size t = Hashtbl.length t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Content-hashed model cache                                         *)
+
+(* The cache key covers exactly what characterization consumes: the
+   netlist structure (inputs, per-gate cell + fanins, outputs — NOT the
+   netlist's display name) and a tag for the characterization config.
+   Two designs with identical structure share one characterized model;
+   renaming a design never invalidates it. *)
+let config_tag = "characterize:v1:default"
+
+let digest_of_netlist nl =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b config_tag;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int nl.N.n_pi);
+  Array.iter
+    (fun (g : N.gate) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b g.N.cell.Ssta_cell.Cell.name;
+      Array.iter
+        (fun f ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int f))
+        g.N.fanins)
+    nl.N.gates;
+  Buffer.add_char b '>';
+  Array.iter
+    (fun o ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int o))
+    nl.N.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let netlist_of_name name =
+  if Filename.check_suffix name ".bench" && Sys.file_exists name then
+    try Ssta_circuit.Bench_format.load ~path:name
+    with Failure m ->
+      Robust.fail ~subsystem:"serve" ~operation:"load" ("bad .bench file: " ^ m)
+  else
+    try Ssta_circuit.Iscas.build name
+    with Invalid_argument m ->
+      Robust.fail ~subsystem:"serve" ~operation:"load"
+        ("unknown design (not bundled, not a .bench path): " ^ m)
+
+let characterize_cached t nl =
+  let key = digest_of_netlist nl in
+  match Hashtbl.find_opt t.cache key with
+  | Some b ->
+      Obs.incr c_cache_hits;
+      (b, true)
+  | None ->
+      Obs.incr c_cache_misses;
+      let b = Obs.with_span "serve.characterize" (fun () -> Build.characterize nl) in
+      Hashtbl.add t.cache key b;
+      (b, false)
+
+let fresh_session ~design (build : Build.t) =
+  let g = build.Build.graph in
+  let forms = Array.copy build.Build.forms in
+  let dims =
+    if Array.length forms > 0 then Form.dims forms.(0)
+    else { Form.n_globals = 0; n_pcs = 0 }
+  in
+  let fbuf = Form_buf.of_forms dims forms in
+  let ws = Propagate.create_workspace () in
+  Propagate.forward_into ws g ~forms:fbuf ~sources:g.Tgraph.inputs;
+  {
+    design;
+    build;
+    forms;
+    fbuf;
+    ws;
+    dirty = Bytes.create (Tgraph.n_vertices g);
+    base = None;
+    edited = false;
+  }
+
+let load_design t name =
+  let nl = netlist_of_name name in
+  let build, cached = characterize_cached t nl in
+  t.session <- Some (fresh_session ~design:name build);
+  cached
+
+let session_exn t ~operation =
+  match t.session with
+  | Some s -> s
+  | None ->
+      Robust.fail ~subsystem:"serve" ~operation
+        "no design loaded (send {\"op\":\"load\",\"design\":...} first)"
+
+let batch_base s =
+  match s.base with
+  | Some b -> b
+  | None ->
+      let b = Batch.prepare s.build in
+      s.base <- Some b;
+      b
+
+(* ------------------------------------------------------------------ *)
+(* Analysis helpers                                                   *)
+
+(* Design delay of the current arrival state: statistical max over the
+   outputs the sweep reached. *)
+let design_delay_form s =
+  let g = s.build.Build.graph in
+  Array.fold_left
+    (fun acc o ->
+      match (acc, Propagate.ws_form s.ws o) with
+      | None, f -> f
+      | acc, None -> acc
+      | Some a, Some b -> Some (Form.max2 a b))
+    None g.Tgraph.outputs
+
+let delay_fields f ~yield =
+  [
+    ("mean", Json.Num f.Form.mean);
+    ("sigma", Json.Num (Form.std f));
+    ("yield", Json.Num yield);
+    ("clock", Json.Num (Yield.clock_for_yield f ~yield));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing helpers (robust: defects repair to defaults or, in
+   strict policy, raise the structured error for this request only)    *)
+
+let req_num ~operation ~default key j =
+  match Json.num_field ~default key j with
+  | Ok v -> v
+  | Error msg ->
+      protocol_repair ~operation msg;
+      default
+
+let req_str ~operation ~default key j =
+  match Json.str_field ~default key j with
+  | Ok v -> v
+  | Error msg ->
+      protocol_repair ~operation msg;
+      default
+
+let req_bool ~operation ~default key j =
+  match Json.bool_field ~default key j with
+  | Ok v -> v
+  | Error msg ->
+      protocol_repair ~operation msg;
+      default
+
+let req_yield ~operation j =
+  let y = req_num ~operation ~default:0.99 "yield" j in
+  if y > 0.0 && y < 1.0 then y
+  else begin
+    protocol_repair ~operation ~values:[ y ] "yield must lie in (0, 1)";
+    0.99
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                         *)
+
+let op_load t ~op j =
+  let name =
+    match Json.str_field "design" j with
+    | Ok v -> v
+    | Error msg -> Robust.fail ~subsystem:"serve" ~operation:op msg
+  in
+  let cached = load_design t name in
+  let s = session_exn t ~operation:op in
+  let g = s.build.Build.graph in
+  [
+    ("design", Json.Str name);
+    ("cached", Json.Bool cached);
+    ("n_vertices", Json.Num (float_of_int (Tgraph.n_vertices g)));
+    ("n_edges", Json.Num (float_of_int (Tgraph.n_edges g)));
+    ("n_outputs", Json.Num (float_of_int (Array.length g.Tgraph.outputs)));
+  ]
+
+let scenario_result_fields (r : Batch.result) ~yield =
+  match r.Batch.delay with
+  | None ->
+      Robust.fail ~subsystem:"serve" ~operation:"quantile"
+        "no output reachable under this scenario"
+  | Some f -> ("label", Json.Str r.Batch.scenario.Batch.label) :: delay_fields f ~yield
+
+let op_quantile t j =
+  let operation = "quantile" in
+  let s = session_exn t ~operation in
+  let yield = req_yield ~operation j in
+  match Json.find "scenario" j with
+  | None | Some Json.Null -> (
+      match design_delay_form s with
+      | None ->
+          Robust.fail ~subsystem:"serve" ~operation "no output reachable"
+      | Some f -> delay_fields f ~yield)
+  | Some sj ->
+      let sc = Batch.scenario_of_json 0 sj in
+      let r = Batch.run_one (batch_base s) sc in
+      scenario_result_fields r ~yield
+
+let op_report t j =
+  let operation = "report" in
+  let s = session_exn t ~operation in
+  let yield = req_yield ~operation j in
+  let clock =
+    match Json.find "clock" j with
+    | Some (Json.Num c) -> Some c
+    | None | Some Json.Null -> None
+    | Some _ ->
+        protocol_repair ~operation "clock must be a number";
+        None
+  in
+  let g = s.build.Build.graph in
+  let outs =
+    Array.to_list g.Tgraph.outputs
+    |> List.map (fun o ->
+           let base = [ ("vertex", Json.Num (float_of_int o)) ] in
+           match Propagate.ws_form s.ws o with
+           | None -> Json.Obj (base @ [ ("reachable", Json.Bool false) ])
+           | Some f ->
+               let q = Yield.clock_for_yield f ~yield in
+               let slack =
+                 match clock with
+                 | None -> []
+                 | Some c -> [ ("slack", Json.Num (c -. q)) ]
+               in
+               Json.Obj
+                 (base
+                 @ [
+                     ("mean", Json.Num f.Form.mean);
+                     ("sigma", Json.Num (Form.std f));
+                     ("clock", Json.Num q);
+                   ]
+                 @ slack))
+  in
+  let clock_field =
+    match clock with None -> [] | Some c -> [ ("ref_clock", Json.Num c) ]
+  in
+  (("yield", Json.Num yield) :: clock_field) @ [ ("outputs", Json.Arr outs) ]
+
+let op_paths t j =
+  let operation = "paths" in
+  let s = session_exn t ~operation in
+  let g = s.build.Build.graph in
+  let k =
+    let k = int_of_float (req_num ~operation ~default:3.0 "k" j) in
+    if k >= 1 then k
+    else begin
+      protocol_repair ~operation ~indices:[ k ] "k must be >= 1";
+      3
+    end
+  in
+  let arrival =
+    Array.init (Tgraph.n_vertices g) (fun v -> Propagate.ws_form s.ws v)
+  in
+  let endpoint =
+    match Json.find "output" j with
+    | Some (Json.Num v) ->
+        let v = int_of_float v in
+        if Array.exists (fun o -> o = v) g.Tgraph.outputs then v
+        else
+          Robust.fail ~subsystem:"serve" ~operation ~indices:[ v ]
+            "output is not a primary-output vertex of the current design"
+    | None | Some Json.Null ->
+        (* Default: the worst output by mean arrival. *)
+        let best = ref (-1) and best_mu = ref neg_infinity in
+        Array.iter
+          (fun o ->
+            match arrival.(o) with
+            | Some f when f.Form.mean > !best_mu ->
+                best := o;
+                best_mu := f.Form.mean
+            | _ -> ())
+          g.Tgraph.outputs;
+        if !best < 0 then
+          Robust.fail ~subsystem:"serve" ~operation "no output reachable"
+        else !best
+    | Some _ ->
+        Robust.fail ~subsystem:"serve" ~operation
+          "output must be a vertex number"
+  in
+  let paths =
+    Path_report.top_paths g ~forms:s.forms ~arrival ~endpoint ~k
+  in
+  let path_json (p : Path_report.path) =
+    Json.Obj
+      [
+        ( "vertices",
+          Json.Arr
+            (List.map (fun v -> Json.Num (float_of_int v)) p.Path_report.vertices)
+        );
+        ( "edges",
+          Json.Arr
+            (List.map (fun e -> Json.Num (float_of_int e)) p.Path_report.edges)
+        );
+        ("mean", Json.Num p.Path_report.delay.Form.mean);
+        ("sigma", Json.Num (Form.std p.Path_report.delay));
+        ("criticality", Json.Num p.Path_report.criticality);
+      ]
+  in
+  [
+    ("output", Json.Num (float_of_int endpoint));
+    ("paths", Json.Arr (List.map path_json paths));
+  ]
+
+(* ---- what-if -------------------------------------------------------- *)
+
+type edit = { edge : int; prev : Form.t; next : Form.t }
+
+let parse_edit ~operation g forms idx j =
+  match j with
+  | Json.Obj _ ->
+      let edge =
+        match Json.num_field "edge" j with
+        | Ok v -> int_of_float v
+        | Error msg ->
+            Robust.fail ~subsystem:"serve" ~operation ~indices:[ idx ] msg
+      in
+      if edge < 0 || edge >= Tgraph.n_edges g then
+        Robust.fail ~subsystem:"serve" ~operation ~indices:[ idx; edge ]
+          "edit edge index out of range";
+      let prev : Form.t = forms.(edge) in
+      let next =
+        match (Json.find "scale" j, Json.find "add" j, Json.find "set" j) with
+        | Some (Json.Num a), None, None -> Form.scale a prev
+        | None, Some (Json.Num d), None -> Form.add_const prev d
+        | None, None, Some (Json.Num v) -> { prev with Form.mean = v }
+        | None, None, None ->
+            protocol_repair ~operation ~indices:[ idx; edge ]
+              "edit has no scale/add/set field; treating as identity";
+            prev
+        | _ ->
+            Robust.fail ~subsystem:"serve" ~operation ~indices:[ idx; edge ]
+              "edit must carry exactly one numeric scale/add/set field"
+      in
+      { edge; prev; next }
+  | _ ->
+      Robust.fail ~subsystem:"serve" ~operation ~indices:[ idx ]
+        "edits must be objects"
+
+(* Apply [edits] to the session's packed forms and re-time.  Incremental
+   mode recomputes only the fanout closure of the edited edges' sinks
+   (Tgraph.fanout_closure_into + Propagate.forward_update_into) and is
+   bit-identical to the full re-sweep; mode="full" runs the reference
+   full sweep.  Returns (vertices recomputed, fanin edges visited). *)
+let apply_edits s ~incremental edits =
+  let g = s.build.Build.graph in
+  List.iter
+    (fun e ->
+      s.forms.(e.edge) <- e.next;
+      Form_buf.set s.fbuf e.edge e.next)
+    edits;
+  if incremental then begin
+    let seeds =
+      Array.of_list (List.map (fun e -> g.Tgraph.dst.(e.edge)) edits)
+    in
+    let _marked = Tgraph.fanout_closure_into g ~seeds ~into:s.dirty in
+    Propagate.forward_update_into s.ws g ~forms:s.fbuf
+      ~sources:g.Tgraph.inputs ~dirty:s.dirty
+  end
+  else begin
+    Propagate.forward_into s.ws g ~forms:s.fbuf ~sources:g.Tgraph.inputs;
+    (Tgraph.n_vertices g, Tgraph.n_edges g)
+  end
+
+let op_whatif t j =
+  let operation = "whatif" in
+  let s = session_exn t ~operation in
+  let yield = req_yield ~operation j in
+  let commit = req_bool ~operation ~default:false "commit" j in
+  let incremental =
+    match req_str ~operation ~default:"incremental" "mode" j with
+    | "incremental" -> true
+    | "full" -> false
+    | m ->
+        protocol_repair ~operation
+          (Printf.sprintf "mode %S is not incremental/full" m);
+        true
+  in
+  let edits =
+    match Json.find "edits" j with
+    | Some (Json.Arr items) ->
+        List.mapi (parse_edit ~operation s.build.Build.graph s.forms) items
+    | _ ->
+        Robust.fail ~subsystem:"serve" ~operation
+          "whatif requires an \"edits\" array"
+  in
+  if edits = [] then
+    Robust.fail ~subsystem:"serve" ~operation "whatif edits array is empty";
+  Obs.incr (if incremental then c_whatif_incr else c_whatif_full);
+  let n_dirty, n_visited = apply_edits s ~incremental edits in
+  let reply =
+    match design_delay_form s with
+    | None -> Robust.fail ~subsystem:"serve" ~operation "no output reachable"
+    | Some f ->
+        delay_fields f ~yield
+        @ [
+            ("mode", Json.Str (if incremental then "incremental" else "full"));
+            ("edits", Json.Num (float_of_int (List.length edits)));
+            ("dirty_vertices", Json.Num (float_of_int n_dirty));
+            ("visited_edges", Json.Num (float_of_int n_visited));
+            ("committed", Json.Bool commit);
+          ]
+  in
+  if commit then s.edited <- true
+  else begin
+    (* Roll back: restoring the previous forms is just another edit with
+       the same dirty set, so the incremental update restores the sweep
+       bit-identically. *)
+    let undo = List.map (fun e -> { e with prev = e.next; next = e.prev }) edits in
+    ignore (apply_edits s ~incremental:true undo)
+  end;
+  reply
+
+let op_revert t =
+  let s = session_exn t ~operation:"revert" in
+  let g = s.build.Build.graph in
+  Array.iteri
+    (fun i f ->
+      s.forms.(i) <- f;
+      Form_buf.set s.fbuf i f)
+    s.build.Build.forms;
+  Propagate.forward_into s.ws g ~forms:s.fbuf ~sources:g.Tgraph.inputs;
+  s.edited <- false;
+  [ ("design", Json.Str s.design); ("reverted", Json.Bool true) ]
+
+let op_batch t j =
+  let operation = "batch" in
+  let s = session_exn t ~operation in
+  let yield = req_yield ~operation j in
+  let scenarios =
+    match Json.find "scenarios" j with
+    | Some sj -> Batch.scenarios_of_json sj
+    | None ->
+        Robust.fail ~subsystem:"serve" ~operation
+          "batch requires a \"scenarios\" array"
+  in
+  let results = Batch.run (batch_base s) scenarios in
+  let rows =
+    Array.to_list results
+    |> List.map (fun (r : Batch.result) ->
+           Json.Obj (scenario_result_fields r ~yield))
+  in
+  [
+    ("yield", Json.Num yield);
+    ("scenarios", Json.Num (float_of_int (Array.length scenarios)));
+    ("results", Json.Arr rows);
+  ]
+
+let op_stats t =
+  let session_fields =
+    match t.session with
+    | None -> [ ("design", Json.Null) ]
+    | Some s ->
+        [
+          ("design", Json.Str s.design);
+          ("edited", Json.Bool s.edited);
+          ( "n_edges",
+            Json.Num (float_of_int (Tgraph.n_edges s.build.Build.graph)) );
+        ]
+  in
+  session_fields
+  @ [
+      ("cache_size", Json.Num (float_of_int (Hashtbl.length t.cache)));
+      ("requests", Json.Num (float_of_int (Obs.counter_value c_requests)));
+      ("errors", Json.Num (float_of_int (Obs.counter_value c_errors)));
+      ("cache_hits", Json.Num (float_of_int (Obs.counter_value c_cache_hits)));
+      ( "cache_misses",
+        Json.Num (float_of_int (Obs.counter_value c_cache_misses)) );
+      ( "batched_requests",
+        Json.Num (float_of_int (Obs.counter_value c_batched)) );
+      ("shared_sweeps", Json.Num (float_of_int (Obs.counter_value c_shared)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+
+let error_json (c : Robust.context) =
+  Json.Obj
+    [
+      ("subsystem", Json.Str c.Robust.subsystem);
+      ("operation", Json.Str c.Robust.operation);
+      ("detail", Json.Str c.Robust.detail);
+      ( "indices",
+        Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) c.Robust.indices)
+      );
+      ("values", Json.Arr (List.map (fun v -> Json.Num v) c.Robust.values));
+    ]
+
+let respond ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
+
+let respond_error ~id c =
+  Obs.incr c_errors;
+  respond ~id [ ("ok", Json.Bool false); ("error", error_json c) ]
+
+let request_id j = match Json.find "id" j with Some v -> v | None -> Json.Null
+
+let dispatch t op j =
+  match op with
+  | "load" | "swap" -> op_load t ~op j
+  | "quantile" -> op_quantile t j
+  | "report" -> op_report t j
+  | "paths" -> op_paths t j
+  | "whatif" -> op_whatif t j
+  | "revert" -> op_revert t
+  | "batch" -> op_batch t j
+  | "stats" -> op_stats t
+  | "ping" -> [ ("pong", Json.Bool true) ]
+  | "shutdown" ->
+      t.stop <- true;
+      [ ("stopping", Json.Bool true) ]
+  | other ->
+      Robust.fail ~subsystem:"serve" ~operation:"dispatch"
+        (Printf.sprintf
+           "unknown op %S (load/swap/quantile/report/paths/whatif/revert/\
+            batch/stats/ping/shutdown)"
+           other)
+
+let handle_parsed t j =
+  let id = request_id j in
+  let op = match Json.str_field ~default:"" "op" j with Ok v -> v | Error _ -> "" in
+  try
+    if op = "" then
+      Robust.fail ~subsystem:"serve" ~operation:"dispatch"
+        "request has no \"op\" field";
+    let fields =
+      Obs.with_span ("serve.op." ^ op) (fun () -> dispatch t op j)
+    in
+    respond ~id (("ok", Json.Bool true) :: ("op", Json.Str op) :: fields)
+  with
+  | Robust.Error c -> respond_error ~id c
+  | e ->
+      respond_error ~id
+        (Robust.context ~subsystem:"serve" ~operation:(if op = "" then "dispatch" else op)
+           ("unexpected exception: " ^ Printexc.to_string e))
+
+let handle_line t line =
+  Obs.incr c_requests;
+  Obs.with_span "serve.request" (fun () ->
+      match Json.parse line with
+      | Ok j -> handle_parsed t j
+      | Error msg -> (
+          try
+            protocol_repair ~operation:"parse" msg;
+            respond_error ~id:Json.Null
+              (Robust.context ~subsystem:"serve" ~operation:"parse" msg)
+          with Robust.Error c -> respond_error ~id:Json.Null c))
+
+(* ---- pipelined batching ------------------------------------------- *)
+
+(* A request qualifies for sweep sharing when it is a quantile query with
+   an explicit scenario: those all evaluate over the pristine batch base,
+   so a maximal consecutive run of them is one Batch.run.  Identical
+   scenarios are deduplicated (scenario is a plain value record, so
+   structural equality is exact). *)
+let quantile_scenario j =
+  match Json.str_field ~default:"" "op" j with
+  | Ok "quantile" -> (
+      match Json.find "scenario" j with
+      | Some (Json.Obj _ as sj) -> Some sj
+      | _ -> None)
+  | _ -> None
+
+let handle_quantile_group t group =
+  match t.session with
+  | None -> List.map (fun (_, j) -> handle_parsed t j) group
+  | Some s -> (
+      (* Decode every scenario first; a decode failure under strict policy
+         fails only that request. *)
+      let decoded =
+        List.map
+          (fun (sj, j) ->
+            match Batch.scenario_of_json 0 sj with
+            | sc -> (j, Ok sc)
+            | exception Robust.Error c -> (j, Error c))
+          group
+      in
+      let scenarios =
+        List.filter_map
+          (function _, Ok sc -> Some sc | _, Error _ -> None)
+          decoded
+      in
+      let uniq = ref [] in
+      List.iter
+        (fun sc -> if not (List.mem sc !uniq) then uniq := sc :: !uniq)
+        scenarios;
+      let uniq = Array.of_list (List.rev !uniq) in
+      Obs.add c_batched (List.length group);
+      Obs.add c_shared (List.length scenarios - Array.length uniq);
+      match Batch.run (batch_base s) uniq with
+      | results ->
+          let result_for sc =
+            let rec find i =
+              if i >= Array.length uniq then None
+              else if uniq.(i) = sc then Some results.(i)
+              else find (i + 1)
+            in
+            find 0
+          in
+          List.map
+            (fun (j, d) ->
+              let id = request_id j in
+              match d with
+              | Error c -> respond_error ~id c
+              | Ok sc -> (
+                  Obs.incr c_requests;
+                  match result_for sc with
+                  | None ->
+                      respond_error ~id
+                        (Robust.context ~subsystem:"serve"
+                           ~operation:"quantile" "batched scenario lost")
+                  | Some r -> (
+                      try
+                        let yield = req_yield ~operation:"quantile" j in
+                        respond ~id
+                          (("ok", Json.Bool true)
+                          :: ("op", Json.Str "quantile")
+                          :: scenario_result_fields r ~yield)
+                      with Robust.Error c -> respond_error ~id c)))
+            decoded
+      | exception Robust.Error c ->
+          (* The shared run itself failed: every request in the group
+             degrades to that structured error. *)
+          List.map (fun (j, _) -> respond_error ~id:(request_id j) c) decoded)
+
+let handle_lines t lines =
+  Obs.gauge_max g_queue_depth (List.length lines);
+  (* Split into maximal runs of batchable quantile requests vs. singles,
+     preserving order. *)
+  let flush_group acc group =
+    match group with
+    | [] -> acc
+    | g -> List.rev_append (handle_quantile_group t (List.rev g)) acc
+  in
+  let acc, group =
+    List.fold_left
+      (fun (acc, group) line ->
+        match Json.parse line with
+        | Ok j -> (
+            match quantile_scenario j with
+            | Some sj -> (acc, (sj, j) :: group)
+            | None ->
+                let acc = flush_group acc group in
+                (handle_line t line :: acc, []))
+        | Error _ ->
+            let acc = flush_group acc group in
+            (handle_line t line :: acc, []))
+      ([], []) lines
+  in
+  List.rev (flush_group acc group)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: unix-domain socket, JSONL framing                          *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Read whatever is available, split into complete lines.  Lines that
+   arrive together in one read are handed to [handle_lines] as a group —
+   a pipelining client naturally gets sweep sharing, an interactive
+   client gets request/response, and because grouping never changes
+   response bytes the distinction is invisible in the stream. *)
+let serve_connection t fd =
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let extract_lines () =
+    let s = Buffer.contents pending in
+    let rec split acc start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+          Buffer.clear pending;
+          Buffer.add_substring pending s start (String.length s - start);
+          List.rev acc
+      | Some i -> split (String.sub s start (i - start) :: acc) (i + 1)
+    in
+    split [] 0
+  in
+  let eof = ref false in
+  while (not !eof) && not t.stop do
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then begin
+      eof := true;
+      (* A final unterminated line still counts as a request. *)
+      if Buffer.length pending > 0 then begin
+        let line = Buffer.contents pending in
+        Buffer.clear pending;
+        if String.trim line <> "" then
+          write_all fd (handle_line t line ^ "\n")
+      end
+    end
+    else begin
+      Buffer.add_subbytes pending chunk 0 n;
+      let lines =
+        extract_lines () |> List.filter (fun l -> String.trim l <> "")
+      in
+      match lines with
+      | [] -> ()
+      | lines ->
+          let responses = handle_lines t lines in
+          write_all fd (String.concat "\n" responses ^ "\n")
+    end
+  done
+
+let run_daemon ?(socket = "hssta.sock") ?(preload = []) t =
+  List.iter
+    (fun name ->
+      let nl = netlist_of_name name in
+      ignore (characterize_cached t nl))
+    preload;
+  if Sys.file_exists socket then Sys.remove socket;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket);
+      Unix.listen sock 8;
+      while not t.stop do
+        let fd, _ = Unix.accept sock in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            try serve_connection t fd
+            with Unix.Unix_error _ -> (* client went away mid-stream *) ())
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Replay client                                                      *)
+
+let connect_retry socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+  in
+  go ()
+
+type reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+let rec read_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None -> (
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 -> if s = "" then None else (Buffer.clear r.buf; Some s)
+      | n ->
+          Buffer.add_subbytes r.buf r.chunk 0 n;
+          read_line r)
+
+let replay ?(pipeline = false) ~socket ~requests () =
+  let fd = connect_retry socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let r = reader fd in
+      let t0 = Unix.gettimeofday () in
+      if pipeline then begin
+        write_all fd (String.concat "\n" requests ^ "\n");
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let responses = ref [] in
+        let rec drain () =
+          match read_line r with
+          | Some line ->
+              responses := line :: !responses;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        (List.rev !responses, [||], Unix.gettimeofday () -. t0)
+      end
+      else begin
+        let lat = Array.make (List.length requests) 0.0 in
+        let responses =
+          List.mapi
+            (fun i req ->
+              let s = Unix.gettimeofday () in
+              write_all fd (req ^ "\n");
+              let resp =
+                match read_line r with
+                | Some line -> line
+                | None ->
+                    Robust.fail ~subsystem:"serve" ~operation:"replay"
+                      ~indices:[ i ]
+                      "daemon closed the connection mid-replay"
+              in
+              lat.(i) <- Unix.gettimeofday () -. s;
+              resp)
+            requests
+        in
+        (responses, lat, Unix.gettimeofday () -. t0)
+      end)

@@ -1,0 +1,110 @@
+(** [hssta serve]: a persistent analysis daemon over the characterized
+    design state.
+
+    The paper's flow characterizes a module once and analyzes it many
+    times; this module makes that literal across {e process} boundaries:
+    a daemon loads the characterized models once — PCA basis, topological
+    edge order, packed edge-form slabs, cone index — and then answers a
+    stream of analysis requests over a unix-domain socket, one JSON
+    object per line in, one per line out (JSONL).
+
+    {1 Protocol}
+
+    Requests are single-line JSON objects with an ["op"] field and an
+    optional ["id"] echoed verbatim into the response:
+
+    - [{"op":"load","design":D}] — characterize design [D] (a bundled
+      ISCAS85 name or a [.bench] path) and make it current.  Models are
+      cached under a content hash of the netlist structure plus the
+      characterization config, so re-loading (or swapping back to) a
+      previously seen design skips characterization entirely.
+    - [{"op":"swap","design":D}] — module swap: same machinery as [load]
+      (cache-aware), spelled separately so request streams read as the
+      ECO flow they encode.
+    - [{"op":"quantile","yield":Y,"scenario":S?}] — design-delay mean,
+      sigma, and the clock achieving yield [Y] (default 0.99).  With a
+      scenario object (same schema as {!Ssta_batch.Batch.parse_scenarios}
+      entries) the query is evaluated through the batch engine over the
+      {e pristine} design; without, it reads the current (possibly
+      what-if-edited) arrival state.
+    - [{"op":"report","clock":C?,"yield":Y?}] — per-output arrival mean,
+      sigma and yield-clock; with [clock], per-output slack against it.
+    - [{"op":"paths","output":V?,"k":K?}] — top-[K] statistically
+      critical paths into output [V] (default: the worst output).
+    - [{"op":"whatif","edits":E,"mode":M?,"commit":B?}] — ECO-style
+      edge-delay edit.  [E] is an array of
+      [{"edge":e,"scale":a|"add":d|"set":v}] objects; [M] is
+      ["incremental"] (default: dirty-cone re-propagation via
+      {!Hier_ssta.Propagate.forward_update_into}) or ["full"] (a full
+      re-sweep — the reference the incremental path is bit-identical
+      to).  Uncommitted edits ([B] false, the default) are rolled back
+      after the response, leaving the session state untouched.
+    - [{"op":"revert"}] — drop committed edits, restore pristine forms.
+    - [{"op":"batch","scenarios":A}] — evaluate a scenario array through
+      {!Ssta_batch.Batch.run} over the shared base.
+    - [{"op":"stats"}], [{"op":"ping"}], [{"op":"shutdown"}].
+
+    Responses are [{"id":…,"ok":true,…}] or
+    [{"id":…,"ok":false,"error":{"subsystem":…,"operation":…,"detail":…,
+    "indices":[…],"values":[…]}}] — the {!Ssta_robust.Robust.context} of
+    the failure.  A malformed or faulty request degrades per the robust
+    policy ([Strict]: the structured error becomes that request's error
+    response; [Repair]: defective fields fall back to defaults where the
+    operation defines them) — it never terminates the daemon.
+
+    {1 Determinism}
+
+    Every response is serialized with round-trip float precision
+    ({!Ssta_json.Json.to_string}), and every analysis underneath is
+    bit-identical across domain counts, so a replayed request corpus
+    produces a byte-identical response stream at any [PAR_DOMAINS] — the
+    CI serve-smoke job pins streams at 1 vs 4 domains with [cmp]. *)
+
+type t
+(** Engine state: the model cache plus the current session (design,
+    current edge forms, resident arrival sweep, lazy batch base). *)
+
+val create : unit -> t
+
+val stopped : t -> bool
+(** Whether a [shutdown] request has been processed. *)
+
+val cache_size : t -> int
+(** Characterized models currently resident (distinct content hashes). *)
+
+val handle_line : t -> string -> string
+(** Process one request line, returning the response line (no trailing
+    newline).  Catches {!Ssta_robust.Robust.Error} and unexpected
+    exceptions into error responses — the caller's loop never dies. *)
+
+val handle_lines : t -> string list -> string list
+(** Process a pipelined group of request lines, in order.  Maximal runs
+    of consecutive [quantile]-with-scenario requests are recomposed into
+    one {!Ssta_batch.Batch.run} (deduplicating identical scenarios), so
+    compatible queries share a single forward sweep; because the batch
+    engine is bit-identical to independent runs, the responses are
+    byte-identical to [List.map (handle_line t)] — grouping only trades
+    wall clock.  [test/test_serve.ml] pins that equivalence. *)
+
+val run_daemon : ?socket:string -> ?preload:string list -> t -> unit
+(** Bind a unix-domain socket at [socket] (default ["hssta.sock"];
+    a stale socket file is replaced), optionally preload designs into
+    the model cache, and serve connections until a [shutdown] request.
+    One connection is served at a time; within a connection, request
+    lines that arrive together are handed to {!handle_lines} as one
+    group (gauge [serve.queue_depth] records the deepest group).  The
+    socket file is removed on exit. *)
+
+val replay :
+  ?pipeline:bool ->
+  socket:string ->
+  requests:string list ->
+  unit ->
+  string list * float array * float
+(** Client side: connect to [socket] (retrying while the daemon boots)
+    and replay [requests].  Sequential mode (default) writes one request
+    and waits for its response — the returned array holds one latency in
+    seconds per request.  [~pipeline:true] writes the whole corpus, then
+    half-closes and drains — per-request latencies are not defined
+    (the array is empty) but batching on the daemon side is exercised.
+    Returns (responses, latencies, total wall seconds). *)

@@ -201,6 +201,35 @@ let dst_cone_into t ~reach ~into =
   cone_check t ~reach ~into "dst_cone_into";
   endpoint_cone_into ~reach ~into t.dst
 
+let fanout_closure_into t ~seeds ~into =
+  if Bytes.length into < t.n_vertices then
+    invalid_arg "Tgraph.fanout_closure_into: mask shorter than vertex count";
+  Bytes.fill into 0 t.n_vertices '\000';
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= t.n_vertices then
+        invalid_arg "Tgraph.fanout_closure_into: seed out of range";
+      Bytes.unsafe_set into v '\001')
+    seeds;
+  (* One ascending pass closes the set because edges are topologically
+     ordered by sink: an edge's source is finalized (as a sink, or a
+     seed) before the edge is visited. *)
+  let count = ref 0 in
+  for v = 0 to t.n_vertices - 1 do
+    if Bytes.unsafe_get into v <> '\000' then incr count
+  done;
+  Array.iteri
+    (fun i s ->
+      if
+        Bytes.unsafe_get into s <> '\000'
+        && Bytes.unsafe_get into (Array.unsafe_get t.dst i) = '\000'
+      then begin
+        Bytes.unsafe_set into (Array.unsafe_get t.dst i) '\001';
+        incr count
+      end)
+    t.src;
+  !count
+
 let reachable_from t v0 =
   let seen = Array.make t.n_vertices false in
   seen.(v0) <- true;

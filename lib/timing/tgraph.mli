@@ -65,6 +65,16 @@ val src_cone_into : t -> reach:Bytes.t -> into:int array -> int
 val dst_cone_into : t -> reach:Bytes.t -> into:int array -> int
 (** As {!src_cone_into} for the destination endpoint (backward cones). *)
 
+val fanout_closure_into : t -> seeds:int array -> into:Bytes.t -> int
+(** [fanout_closure_into t ~seeds ~into] fills the per-vertex byte mask
+    [into] (length >= [n_vertices]; cleared first) with the forward
+    closure of the seed vertices — every vertex reachable from a seed by
+    forward edges, seeds included — and returns the marked count.  One
+    ascending edge pass, so it costs O(edges) integer work with no form
+    operations: this is the dirty set of an ECO-style edge-delay edit
+    (seed = the edited edge's sink), handed to
+    [Propagate.forward_update_into] for incremental re-timing. *)
+
 val reachable_from : t -> int -> bool array
 (** Vertices reachable from a vertex by forward edges (including itself). *)
 

@@ -12,6 +12,7 @@ module Basis = Ssta_variation.Basis
 module Tgraph = Ssta_timing.Tgraph
 module Par = Ssta_par.Par
 module Obs = Ssta_obs.Obs
+module Robust = Ssta_robust.Robust
 module H = Hier_ssta
 
 let exactly_equal a b =
@@ -294,20 +295,85 @@ let test_parse_scenarios_ok () =
         "hyphen corner alias" true
         (s.(2).Batch.corner = H.Corners.Global_slow 3.0)
 
-let test_parse_scenarios_errors () =
-  let expect_error label text =
-    match Batch.parse_scenarios text with
-    | Error _ -> ()
-    | Ok _ -> Alcotest.failf "%s: expected a parse error" label
-  in
-  expect_error "not an array" {|{"corner": "slow"}|};
-  expect_error "entry not an object" {|[1, 2]|};
-  expect_error "unknown corner" {|[{"corner": "typical"}]|};
-  expect_error "delta out of range" {|[{"delta": 1.5}]|};
-  expect_error "non-numeric field" {|[{"delay_scale": "fast"}]|};
-  expect_error "trailing garbage" {|[] trailing|};
-  expect_error "unterminated string" {|[{"label": "oops}]|};
-  expect_error "empty input" ""
+(* Malformed specs are robustness defects, not bare errors: under Strict
+   each raises a structured Robust.Error naming the batch subsystem;
+   under Repair each defective field falls back to its documented
+   default (counted under robust.scenario_repairs) and parsing
+   succeeds. *)
+let with_policy policy f =
+  let prev = Robust.policy () in
+  Robust.set_policy policy;
+  Fun.protect ~finally:(fun () -> Robust.set_policy prev) f
+
+let bad_specs =
+  [
+    ("not an array", {|{"corner": "slow"}|});
+    ("entry not an object", {|[1, 2]|});
+    ("unknown corner", {|[{"corner": "typical"}]|});
+    ("delta out of range", {|[{"delta": 1.5}]|});
+    ("non-numeric delay_scale", {|[{"delay_scale": "fast"}]|});
+    ("negative sigma_scale", {|[{"sigma_scale": -0.5}]|});
+    ("trailing garbage", {|[] trailing|});
+    ("unterminated string", {|[{"label": "oops}]|});
+    ("empty input", "");
+  ]
+
+let test_parse_scenarios_strict () =
+  with_policy Robust.Strict (fun () ->
+      List.iter
+        (fun (label, text) ->
+          match Batch.parse_scenarios text with
+          | exception Robust.Error c ->
+              Alcotest.(check string)
+                (label ^ ": error names the batch subsystem")
+                "batch" c.Robust.subsystem
+          | Ok _ -> Alcotest.failf "%s: expected a strict error" label
+          | Error e ->
+              Alcotest.failf "%s: expected Robust.Error, got Error %s" label e)
+        bad_specs)
+
+let test_parse_scenarios_repair () =
+  with_policy Robust.Repair (fun () ->
+      let parsed label text =
+        match Batch.parse_scenarios text with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "%s: repair should succeed, got %s" label e
+        | exception Robust.Error c ->
+            Alcotest.failf "%s: repair should not raise: %s" label
+              (Robust.to_string c)
+      in
+      (* Every defective spec parses; spot-check the documented defaults. *)
+      List.iter (fun (label, text) -> ignore (parsed label text)) bad_specs;
+      let whole = parsed "not an array" {|{"corner": "slow"}|} in
+      Alcotest.(check int) "non-array spec -> one nominal" 1 (Array.length whole);
+      Alcotest.(check bool)
+        "non-array default is the nominal scenario" true
+        (whole.(0) = Batch.nominal ~label:"s00" ());
+      let entries = parsed "entries not objects" {|[1, 2]|} in
+      Alcotest.(check int) "both entries kept" 2 (Array.length entries);
+      Alcotest.(check string) "indexed label" "s01" entries.(1).Batch.label;
+      let corner = (parsed "unknown corner" {|[{"corner": "typical"}]|}).(0) in
+      Alcotest.(check bool)
+        "unknown corner -> Nominal" true
+        (corner.Batch.corner = H.Corners.Nominal);
+      let delta = (parsed "delta out of range" {|[{"delta": 1.5}]|}).(0) in
+      Alcotest.(check (float 0.0)) "bad delta -> 0.05" 0.05 delta.Batch.delta;
+      let ds = (parsed "bad delay_scale" {|[{"delay_scale": "fast"}]|}).(0) in
+      Alcotest.(check (float 0.0))
+        "non-numeric delay_scale -> 1.0" 1.0 ds.Batch.delay_scale;
+      let ss = (parsed "negative sigma_scale" {|[{"sigma_scale": -0.5}]|}).(0) in
+      Alcotest.(check (float 0.0))
+        "negative sigma_scale -> 0.0" 0.0 ss.Batch.sigma_scale)
+
+let counter_value name =
+  match List.assoc_opt name (Robust.counters ()) with Some v -> v | None -> 0
+
+let test_parse_scenarios_repairs_counted () =
+  with_policy Robust.Repair (fun () ->
+      let before = counter_value "robust.scenario_repairs" in
+      ignore (Batch.parse_scenarios {|[{"corner": "typical"}]|});
+      let after = counter_value "robust.scenario_repairs" in
+      Alcotest.(check bool) "repair counted" true (after > before))
 
 let test_parsed_scenarios_run () =
   (* End-to-end: a parsed spec runs and matches the equivalent
@@ -369,8 +435,12 @@ let suites =
       [
         Alcotest.test_case "scenario JSON happy path" `Quick
           test_parse_scenarios_ok;
-        Alcotest.test_case "scenario JSON rejects malformed specs" `Quick
-          test_parse_scenarios_errors;
+        Alcotest.test_case "malformed specs raise structured errors (strict)"
+          `Quick test_parse_scenarios_strict;
+        Alcotest.test_case "malformed specs repair to defaults (repair)"
+          `Quick test_parse_scenarios_repair;
+        Alcotest.test_case "repairs are counted" `Quick
+          test_parse_scenarios_repairs_counted;
         Alcotest.test_case "parsed spec runs bit-identically" `Quick
           test_parsed_scenarios_run;
       ] );

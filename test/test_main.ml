@@ -23,6 +23,7 @@ let () =
          Test_property.suites;
          Test_kernels.suites;
          Test_batch.suites;
+         Test_serve.suites;
          Test_crit_screen.suites;
          Test_determinism.suites;
          Test_par.suites;

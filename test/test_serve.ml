@@ -1,0 +1,379 @@
+(* Tests for the persistent analysis daemon (lib/serve).
+
+   The central pin: what-if edits answered by incremental re-propagation
+   (Tgraph.fanout_closure_into + Propagate.forward_update_into) are
+   bit-identical to a full re-sweep — over random DAGs and random edit
+   sequences, at 1/2/4 worker domains — and the engine's response stream
+   is byte-identical however requests are grouped and however many
+   domains run underneath. *)
+
+module Form = Ssta_canonical.Form
+module Form_buf = Ssta_canonical.Form_buf
+module Tgraph = Ssta_timing.Tgraph
+module Par = Ssta_par.Par
+module Robust = Ssta_robust.Robust
+module Json = Ssta_json.Json
+module Serve = Ssta_serve.Serve
+module H = Hier_ssta
+module Rng = Ssta_gauss.Rng
+
+let with_policy policy f =
+  let prev = Robust.policy () in
+  Robust.set_policy policy;
+  Fun.protect ~finally:(fun () -> Robust.set_policy prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-propagation == full re-sweep (QCheck)               *)
+(* ------------------------------------------------------------------ *)
+
+let exactly_equal (a : Form.t) (b : Form.t) =
+  a.Form.mean = b.Form.mean
+  && a.Form.rand = b.Form.rand
+  && a.Form.globals = b.Form.globals
+  && a.Form.pcs = b.Form.pcs
+
+let sweep_equal n ws reference =
+  Array.for_all2
+    (fun got want ->
+      match (got, want) with
+      | None, None -> true
+      | Some a, Some b -> exactly_equal a b
+      | _ -> false)
+    (Array.init n (fun v -> H.Propagate.ws_form ws v))
+    reference
+
+(* One random edit step: pick 1..3 random edges, transform each like the
+   serve what-if op does (scale/add/set). *)
+let random_edits rng g (forms : Form.t array) =
+  let m = Tgraph.n_edges g in
+  let k = 1 + Rng.int rng 3 in
+  List.init k (fun _ ->
+      let e = Rng.int rng m in
+      let f = forms.(e) in
+      let next =
+        match Rng.int rng 3 with
+        | 0 -> Form.scale (0.5 +. (2.0 *. Rng.uniform rng)) f
+        | 1 -> Form.add_const f ((10.0 *. Rng.uniform rng) -. 5.0)
+        | _ -> { f with Form.mean = 50.0 *. Rng.uniform rng }
+      in
+      (e, next))
+
+let prop_incremental_equals_full n_domains seed =
+  Par.with_domains n_domains (fun () ->
+      let dims = { Form.n_globals = 2; n_pcs = 3 } in
+      let g, forms = Test_kernels.random_dag seed dims in
+      let forms = Array.copy forms in
+      let n = Tgraph.n_vertices g in
+      let fbuf = Form_buf.of_forms dims forms in
+      let ws = H.Propagate.create_workspace () in
+      H.Propagate.forward_into ws g ~forms:fbuf ~sources:g.Tgraph.inputs;
+      let dirty = Bytes.create n in
+      let rng = Rng.create ~seed:(seed lxor 0x5e21e) in
+      let steps = 1 + Rng.int rng 6 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let edits = random_edits rng g forms in
+        List.iter
+          (fun (e, next) ->
+            forms.(e) <- next;
+            Form_buf.set fbuf e next)
+          edits;
+        let seeds =
+          Array.of_list (List.map (fun (e, _) -> g.Tgraph.dst.(e)) edits)
+        in
+        ignore (Tgraph.fanout_closure_into g ~seeds ~into:dirty);
+        let n_dirty, _ =
+          H.Propagate.forward_update_into ws g ~forms:fbuf
+            ~sources:g.Tgraph.inputs ~dirty
+        in
+        if n_dirty <= 0 then ok := false;
+        (* Reference: an independent full sweep over the current forms. *)
+        let reference =
+          H.Propagate.forward g ~forms ~sources:g.Tgraph.inputs
+        in
+        if not (sweep_equal n ws reference) then ok := false
+      done;
+      !ok)
+
+let qcheck_incremental n_domains =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "incremental re-timing == full re-sweep (domains=%d)"
+         n_domains)
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (prop_incremental_equals_full n_domains)
+
+(* ------------------------------------------------------------------ *)
+(* Engine protocol                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let req fields = Json.to_string (Json.Obj fields)
+let parse_resp s = Json.parse_exn s
+
+let check_ok label resp =
+  let j = parse_resp resp in
+  match Json.bool_field "ok" j with
+  | Ok true -> j
+  | _ -> Alcotest.failf "%s: expected ok response, got %s" label resp
+
+let check_err label resp =
+  let j = parse_resp resp in
+  match Json.bool_field "ok" j with
+  | Ok false -> j
+  | _ -> Alcotest.failf "%s: expected error response, got %s" label resp
+
+let num label field j =
+  match Json.num_field field j with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" label m
+
+let load_small t =
+  ignore
+    (check_ok "load" (Serve.handle_line t (req [ ("op", Json.Str "load"); ("design", Json.Str "c432") ])))
+
+let test_load_cache () =
+  let t = Serve.create () in
+  let j =
+    check_ok "load"
+      (Serve.handle_line t
+         (req [ ("op", Json.Str "load"); ("design", Json.Str "c432") ]))
+  in
+  Alcotest.(check bool)
+    "first load characterizes" false
+    (match Json.bool_field "cached" j with Ok b -> b | Error m -> Alcotest.fail m);
+  let j2 =
+    check_ok "swap"
+      (Serve.handle_line t
+         (req [ ("op", Json.Str "swap"); ("design", Json.Str "c432") ]))
+  in
+  Alcotest.(check bool)
+    "swap back hits the content-hash cache" true
+    (match Json.bool_field "cached" j2 with Ok b -> b | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "one model resident" 1 (Serve.cache_size t)
+
+let test_whatif_incremental_vs_full () =
+  let t = Serve.create () in
+  load_small t;
+  let edits =
+    Json.Arr
+      [
+        Json.Obj [ ("edge", Json.Num 1.0); ("scale", Json.Num 1.7) ];
+        Json.Obj [ ("edge", Json.Num 4.0); ("add", Json.Num 12.5) ];
+      ]
+  in
+  let whatif mode =
+    check_ok ("whatif " ^ mode)
+      (Serve.handle_line t
+         (req
+            [
+              ("op", Json.Str "whatif");
+              ("edits", edits);
+              ("mode", Json.Str mode);
+            ]))
+  in
+  let a = whatif "incremental" and b = whatif "full" in
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.0))
+        (f ^ " bit-identical across modes")
+        (num "full" f b) (num "incr" f a))
+    [ "mean"; "sigma"; "clock" ];
+  (* The incremental path visited a strict subset of the graph. *)
+  Alcotest.(check bool)
+    "incremental visits fewer vertices" true
+    (num "incr" "dirty_vertices" a < num "full" "dirty_vertices" b)
+
+let test_whatif_rollback_and_commit () =
+  let t = Serve.create () in
+  load_small t;
+  let quantile () =
+    Serve.handle_line t (req [ ("op", Json.Str "quantile") ])
+  in
+  let before = quantile () in
+  let edits =
+    Json.Arr [ Json.Obj [ ("edge", Json.Num 0.0); ("scale", Json.Num 3.0) ] ]
+  in
+  ignore
+    (check_ok "transient whatif"
+       (Serve.handle_line t
+          (req [ ("op", Json.Str "whatif"); ("edits", edits) ])));
+  Alcotest.(check string)
+    "uncommitted edit leaves the session byte-identical" before (quantile ());
+  let committed =
+    check_ok "committed whatif"
+      (Serve.handle_line t
+         (req
+            [
+              ("op", Json.Str "whatif");
+              ("edits", edits);
+              ("commit", Json.Bool true);
+            ]))
+  in
+  let after_commit = quantile () in
+  Alcotest.(check bool)
+    "committed edit changes the session" true (after_commit <> before);
+  Alcotest.(check (float 0.0))
+    "session quantile equals the committed what-if response"
+    (num "commit" "mean" committed)
+    (num "session" "mean" (check_ok "quantile" after_commit));
+  ignore (check_ok "revert" (Serve.handle_line t (req [ ("op", Json.Str "revert") ])));
+  Alcotest.(check string) "revert restores pristine" before (quantile ())
+
+let test_errors_do_not_kill_engine () =
+  let t = Serve.create () in
+  (* No design loaded yet: structured error, not an exception. *)
+  let j =
+    check_err "quantile w/o load"
+      (Serve.handle_line t (req [ ("op", Json.Str "quantile") ]))
+  in
+  (match Json.find "error" j with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "error responses carry a structured context");
+  ignore (check_err "malformed json" (Serve.handle_line t "{\"op\": oops"));
+  ignore (check_err "unknown op" (Serve.handle_line t (req [ ("op", Json.Str "warp") ])));
+  with_policy Robust.Strict (fun () ->
+      ignore
+        (check_err "strict malformed json"
+           (Serve.handle_line t "{\"op\": oops")));
+  (* The engine still works afterwards. *)
+  load_small t;
+  ignore (check_ok "ping" (Serve.handle_line t (req [ ("op", Json.Str "ping") ])))
+
+let test_whatif_bad_edits () =
+  let t = Serve.create () in
+  load_small t;
+  let whatif edits =
+    Serve.handle_line t
+      (req [ ("op", Json.Str "whatif"); ("edits", edits) ])
+  in
+  ignore
+    (check_err "edge out of range"
+       (whatif
+          (Json.Arr
+             [ Json.Obj [ ("edge", Json.Num 9999.0); ("scale", Json.Num 2.0) ] ])));
+  ignore
+    (check_err "conflicting fields"
+       (whatif
+          (Json.Arr
+             [
+               Json.Obj
+                 [
+                   ("edge", Json.Num 0.0);
+                   ("scale", Json.Num 2.0);
+                   ("add", Json.Num 1.0);
+                 ];
+             ])));
+  ignore (check_err "empty edits" (whatif (Json.Arr [])));
+  ignore
+    (check_ok "engine alive after bad edits"
+       (Serve.handle_line t (req [ ("op", Json.Str "quantile") ])))
+
+(* ------------------------------------------------------------------ *)
+(* Grouped (pipelined) handling == sequential handling                 *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_quantile ?(id = 0) corner scale =
+  req
+    [
+      ("id", Json.Num (float_of_int id));
+      ("op", Json.Str "quantile");
+      ( "scenario",
+        Json.Obj
+          [ ("corner", Json.Str corner); ("delay_scale", Json.Num scale) ] );
+    ]
+
+let grouping_corpus =
+  [
+    req [ ("id", Json.Num 1.0); ("op", Json.Str "load"); ("design", Json.Str "c432") ];
+    scenario_quantile ~id:2 "slow" 1.0;
+    scenario_quantile ~id:3 "fast" 1.0;
+    (* id 4 duplicates id 2's scenario: deduplicated into one shared sweep *)
+    scenario_quantile ~id:4 "slow" 1.0;
+    scenario_quantile ~id:5 "nominal" 1.05;
+    req [ ("id", Json.Num 6.0); ("op", Json.Str "quantile") ];
+    scenario_quantile ~id:7 "global_slow" 1.0;
+    req [ ("id", Json.Num 8.0); ("op", Json.Str "stats") ];
+  ]
+
+(* stats output includes live counters, which legitimately differ between
+   grouped and sequential processing; compare all other lines. *)
+let comparable resp =
+  match Json.parse resp with
+  | Ok j -> (match Json.str_field "op" j with Ok "stats" -> false | _ -> true)
+  | Error _ -> true
+
+let run_corpus grouped =
+  let t = Serve.create () in
+  let responses =
+    if grouped then Serve.handle_lines t grouping_corpus
+    else List.map (Serve.handle_line t) grouping_corpus
+  in
+  List.filter comparable responses
+
+let test_grouping_equals_sequential () =
+  Alcotest.(check (list string))
+    "pipelined grouping is byte-identical to sequential handling"
+    (run_corpus false) (run_corpus true)
+
+let test_responses_identical_across_domains () =
+  let at n = Par.with_domains n (fun () -> run_corpus true) in
+  Alcotest.(check (list string))
+    "response stream byte-identical at 1 vs 4 domains" (at 1) (at 4)
+
+(* ------------------------------------------------------------------ *)
+(* Batch op under the robust policies                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_op_policies () =
+  let bad_batch t =
+    Serve.handle_line t
+      (req
+         [
+           ("op", Json.Str "batch");
+           ( "scenarios",
+             Json.Arr
+               [
+                 Json.Obj [ ("corner", Json.Str "typical") ];
+                 Json.Obj [ ("sigma_scale", Json.Num (-2.0)) ];
+               ] );
+         ])
+  in
+  with_policy Robust.Repair (fun () ->
+      let t = Serve.create () in
+      load_small t;
+      let j = check_ok "repaired batch" (bad_batch t) in
+      Alcotest.(check (float 0.0))
+        "both defective scenarios repaired and evaluated" 2.0
+        (num "batch" "scenarios" j));
+  with_policy Robust.Strict (fun () ->
+      let t = Serve.create () in
+      load_small t;
+      ignore (check_err "strict batch rejects defective scenario" (bad_batch t)))
+
+let suites =
+  [
+    ( "serve.incremental",
+      [
+        QCheck_alcotest.to_alcotest (qcheck_incremental 1);
+        QCheck_alcotest.to_alcotest (qcheck_incremental 2);
+        QCheck_alcotest.to_alcotest (qcheck_incremental 4);
+      ] );
+    ( "serve.engine",
+      [
+        Alcotest.test_case "content-hash model cache" `Quick test_load_cache;
+        Alcotest.test_case "whatif incremental == full" `Quick
+          test_whatif_incremental_vs_full;
+        Alcotest.test_case "whatif rollback/commit/revert" `Quick
+          test_whatif_rollback_and_commit;
+        Alcotest.test_case "errors degrade, daemon survives" `Quick
+          test_errors_do_not_kill_engine;
+        Alcotest.test_case "bad what-if edits" `Quick test_whatif_bad_edits;
+        Alcotest.test_case "grouping == sequential" `Quick
+          test_grouping_equals_sequential;
+        Alcotest.test_case "byte-identical across domains" `Quick
+          test_responses_identical_across_domains;
+        Alcotest.test_case "batch op strict/repair" `Quick
+          test_batch_op_policies;
+      ] );
+  ]
