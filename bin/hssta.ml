@@ -596,6 +596,196 @@ let inject_cmd =
       $ out_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* frontend: external designs (structural Verilog + .lib + SDC)        *)
+
+module FDesign = Ssta_frontend.Design
+module FVerilog = Ssta_frontend.Verilog
+module FLiberty = Ssta_frontend.Liberty
+module FSdc = Ssta_frontend.Sdc
+
+let verilog_arg =
+  let doc = "Structural Verilog netlist file." in
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "verilog" ] ~docv:"FILE" ~doc)
+
+let liberty_arg =
+  let doc = "Liberty-like cell library file." in
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "l"; "liberty" ] ~docv:"FILE" ~doc)
+
+let sdc_opt_arg =
+  let doc = "SDC constraints file (optional)." in
+  Arg.(value & opt (some file) None & info [ "s"; "sdc" ] ~docv:"FILE" ~doc)
+
+let read_cmd =
+  let model_arg =
+    let doc =
+      "Also extract a statistical timing model of the parsed design and \
+       write it to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "model" ] ~docv:"FILE" ~doc)
+  in
+  let run () () () () v l s model_out =
+    let d = FDesign.load_files ~verilog:v ~liberty:l ?sdc:s () in
+    let low = FDesign.lower d in
+    Format.printf "%a@." N.pp_stats low.FDesign.netlist;
+    let sdc = d.FDesign.sdc in
+    Printf.printf
+      "constraints: %d clock(s), %d input delay(s), %d output delay(s), %d \
+       false path(s)\n"
+      (List.length sdc.FSdc.clocks)
+      (List.length sdc.FSdc.input_delays)
+      (List.length sdc.FSdc.output_delays)
+      (List.length sdc.FSdc.false_paths);
+    match model_out with
+    | None -> ()
+    | Some path ->
+        let b = Build.characterize low.FDesign.netlist in
+        let model = H.Extract.extract b in
+        H.Model_io.save model ~path;
+        Printf.printf "model written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "read"
+       ~doc:
+         "Parse an external design (structural Verilog + Liberty-like \
+          library + optional SDC), lower it onto the native netlist \
+          representation and print its statistics")
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_robust
+      $ verilog_arg $ liberty_arg $ sdc_opt_arg $ model_arg)
+
+let report_checks_cmd =
+  let k_arg =
+    let doc = "Statistically critical paths reported per endpoint." in
+    Arg.(value & opt int 3 & info [ "k"; "paths" ] ~docv:"K" ~doc)
+  in
+  let period_arg =
+    let doc = "Override the clock period (default: the SDC clock)." in
+    Arg.(
+      value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
+  in
+  let run () () () () v l s k period =
+    let d = FDesign.load_files ~verilog:v ~liberty:l ?sdc:s () in
+    let low = FDesign.lower d in
+    let b = Build.characterize low.FDesign.netlist in
+    let checks = FDesign.report_checks ~k ?period low ~build:b in
+    FDesign.pp_checks low Format.std_formatter checks
+  in
+  Cmd.v
+    (Cmd.info "report-checks"
+       ~doc:
+         "Per-endpoint statistical slack report of an external design: \
+          arrival distribution with SDC input delays folded in and false \
+          paths excluded, required time from the SDC clock, slack and the \
+          top-k critical paths")
+    Term.(
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_robust
+      $ verilog_arg $ liberty_arg $ sdc_opt_arg $ k_arg $ period_arg)
+
+let emit_cmd =
+  let dir_arg =
+    let doc = "Output directory for $(i,name).v / .lib / .sdc." in
+    Arg.(
+      required & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let run () () name dir =
+    match build_circuit name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let b = Build.characterize nl in
+        let nominal =
+          Ssta_timing.Sta.design_delay b.Build.graph
+            ~weights:(Build.nominal_weights b)
+        in
+        let period = Float.round (1.25 *. nominal) in
+        let io_delay = Float.round (0.05 *. nominal) in
+        let net i = Printf.sprintf "n%d" i in
+        let inputs = List.init (N.n_pis nl) net in
+        let outputs = Array.to_list (Array.map net nl.N.outputs) in
+        let sdc =
+          {
+            FSdc.clocks = [ { FSdc.clk_name = "clk"; period } ];
+            input_delays =
+              [ { FSdc.ports = inputs; delay = io_delay; dclock = Some "clk" } ];
+            output_delays =
+              [ { FSdc.ports = outputs; delay = io_delay; dclock = Some "clk" } ];
+            false_paths =
+              [
+                {
+                  FSdc.from_ports = [ List.hd inputs ];
+                  to_ports = [ List.hd outputs ];
+                };
+              ];
+          }
+        in
+        let d = FDesign.of_netlist ~sdc nl in
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        let write ext text =
+          let path = Filename.concat dir (nl.N.name ^ ext) in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc text);
+          Printf.printf "wrote %s\n" path
+        in
+        write ".v" (FVerilog.to_string d.FDesign.modul);
+        write ".lib" (FLiberty.to_string d.FDesign.lib);
+        write ".sdc" (FSdc.to_string d.FDesign.sdc)
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Export a bundled circuit as an external design trio (structural \
+          Verilog, Liberty-like library, SDC) that `hssta read` lowers \
+          back bit-identically")
+    Term.(const run $ setup_logs $ setup_domains $ circuit_arg $ dir_arg)
+
+let fuzz_frontend_cmd =
+  let module Fuzz = Ssta_robust_inject.Fuzz in
+  let circuit_arg =
+    let doc = "Bundled circuit the base documents are rendered from." in
+    Arg.(value & opt string "c432" & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    let doc =
+      "Mutated cases per (format, mutation class, policy) cell; the \
+       corpus totals 6x this per format."
+    in
+    Arg.(value & opt int 175 & info [ "n"; "cases" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write per-case verdicts as JSONL to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run () () circuit n seed out =
+    let ctx = Fuzz.make_ctx circuit in
+    let verdicts = Fuzz.run_corpus ctx ~seed ~cases_per_class:n in
+    print_string (Fuzz.summary verdicts);
+    (match out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Fuzz.jsonl_of_verdicts verdicts));
+        Printf.printf "verdicts written to %s\n" path);
+    if not (Fuzz.all_pass verdicts) then exit 3
+  in
+  Cmd.v
+    (Cmd.info "fuzz-frontend"
+       ~doc:
+         "Run the deterministic mutation-fuzz corpus against the three \
+          frontend parsers (byte truncation, token mutation, line shuffle \
+          under strict and repair policies); any escaped non-structured \
+          exception fails")
+    Term.(
+      const run $ setup_logs $ setup_domains $ circuit_arg $ n_arg
+      $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve / client: the persistent analysis daemon and its replay client *)
 
 module Serve = Ssta_serve.Serve
@@ -720,7 +910,8 @@ let () =
       [
         list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
         batch_cmd; paths_cmd; corners_cmd; model_cmd; model_info_cmd;
-        inject_cmd; serve_cmd; client_cmd;
+        inject_cmd; read_cmd; report_checks_cmd; emit_cmd;
+        fuzz_frontend_cmd; serve_cmd; client_cmd;
       ]
   in
   (* Cmdliner's usage errors (unknown flags, missing arguments) exit 124

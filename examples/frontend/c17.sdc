@@ -1,0 +1,7 @@
+# Constraints for the c17 example: one clock, uniform IO delays and a
+# false path from n1 to n22 (excluded exactly by the statistical
+# report, not post-filtered).
+create_clock -name clk -period 250
+set_input_delay -clock clk 10 [get_ports {n1 n2 n3 n6 n7}]
+set_output_delay -clock clk 10 [get_ports {n22 n23}]
+set_false_path -from n1 -to n22

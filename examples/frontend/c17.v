@@ -1,0 +1,18 @@
+// c17 — the classic ISCAS85 toy netlist, hand-translated to the
+// structural subset the hssta frontend reads.  Mixes named and
+// positional connections on purpose (both are exercised by the tests).
+module c17 (n1, n2, n3, n6, n7, n22, n23);
+  input n1, n2, n3;
+  input n6, n7;
+  output n22, n23;
+  wire n10, n11, n16, n19;
+
+  nand2 g10 (.y(n10), .a(n1), .b(n3));
+  nand2 g11 (.a(n3), .b(n6), .y(n11)); /* pin order is free-form */
+  nand2 g16 (n16, n2, n11);
+  nand2 g19 (n19, n11, n7);
+  nand2 g22 (.y(n22), .a(n10), .b(n16));
+  nand2 g23 (.y(n23),
+             .a(n16),
+             .b(n19));
+endmodule

@@ -1,0 +1,5 @@
+# timing constraints (hssta frontend)
+create_clock -name clk -period 827
+set_input_delay -clock clk 33 [get_ports {n0 n1 n2 n3 n4 n5 n6 n7 n8 n9 n10 n11 n12 n13 n14 n15 n16 n17 n18 n19 n20 n21 n22 n23 n24 n25 n26 n27 n28 n29 n30 n31 n32 n33 n34 n35}]
+set_output_delay -clock clk 33 [get_ports {n139 n147 n155 n166 n177 n188 n190}]
+set_false_path -from [get_ports {n0}] -to [get_ports {n139}]

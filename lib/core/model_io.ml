@@ -84,22 +84,52 @@ let to_string (m : Timing_model.t) =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type parser_state = { lines : string array; mutable pos : int }
+type parser_state = {
+  lines : string array;
+  mutable pos : int;  (** index of the next unread line *)
+  mutable cur : string;  (** text of the line last read (column lookup) *)
+}
 
 let nan_sanitized = Robust.counter "robust.nan_sanitized"
 
-(* All parse failures carry the 1-based line position as structured
-   context; nothing below may let a raw [Failure]/[Invalid_argument]/
-   [Scanf] exception escape (the fuzz suite pins this). *)
-let fail_at st msg =
+(* All parse failures carry a structured line/column position
+   ({!Robust.pos}); nothing below may let a raw [Failure]/
+   [Invalid_argument]/[Scanf] exception escape (the fuzz suite pins
+   this).  The column is best-effort: the first occurrence of the
+   offending token on the current line (1 when unknown), which is exact
+   here because the format never repeats a malformed token before its
+   first offense matters. *)
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 || nl > hl then None
+  else
+    let rec at i =
+      if i + nl > hl then None
+      else if String.sub hay i nl = needle then Some i
+      else at (i + 1)
+    in
+    at 0
+
+let position ?tok st =
+  let line = if st.pos = 0 then 1 else st.pos in
+  let col =
+    match tok with
+    | Some t when t <> "" -> (
+        match find_sub st.cur t with Some i -> i + 1 | None -> 1)
+    | _ -> 1
+  in
+  { Robust.line; col }
+
+let fail_at ?tok st msg =
+  let pos = position ?tok st in
   Robust.fail ~subsystem:"model_io" ~operation:"parse"
-    ~indices:[ st.pos + 1 ]
-    (Printf.sprintf "line %d: %s" (st.pos + 1) msg)
+    ~indices:[ pos.Robust.line ] ~pos msg
 
 let next_line st =
   if st.pos >= Array.length st.lines then fail_at st "unexpected end of file";
   let l = st.lines.(st.pos) in
   st.pos <- st.pos + 1;
+  st.cur <- l;
   l
 
 let tokens_of st line =
@@ -111,31 +141,33 @@ let expect st key =
   let line = next_line st in
   match tokens_of st line with
   | k :: rest when k = key -> rest
-  | k :: _ -> fail_at st (Printf.sprintf "expected '%s', found '%s'" key k)
+  | k :: _ ->
+      fail_at ~tok:k st (Printf.sprintf "expected '%s', found '%s'" key k)
   | [] -> fail_at st (Printf.sprintf "expected '%s' on empty line" key)
 
 let int_of st s =
-  try int_of_string s with _ -> fail_at st ("not an integer: " ^ s)
+  try int_of_string s with _ -> fail_at ~tok:s st ("not an integer: " ^ s)
 
 let nat_of st s =
   let n = int_of st s in
-  if n < 0 then fail_at st ("negative count: " ^ s);
+  if n < 0 then fail_at ~tok:s st ("negative count: " ^ s);
   n
 
 (* Validated boundary: serialized floats must be finite.  A "nan"/"inf"
    token (file corruption - the writer only emits finite %.17g values)
-   fails with line context under Strict and parses as 0.0, counted in
-   robust.nan_sanitized, under Repair/Warn. *)
+   fails with line/column context under Strict and parses as 0.0, counted
+   in robust.nan_sanitized, under Repair/Warn. *)
 let float_of st s =
   match float_of_string_opt s with
-  | None -> fail_at st ("not a float: " ^ s)
+  | None -> fail_at ~tok:s st ("not a float: " ^ s)
   | Some v ->
       if Robust.is_finite v then v
       else begin
+        let pos = position ~tok:s st in
         Robust.repair nan_sanitized
           (Robust.context ~subsystem:"model_io" ~operation:"parse"
-             ~indices:[ st.pos ] ~values:[ v ]
-             (Printf.sprintf "line %d: non-finite value: %s" st.pos s));
+             ~indices:[ pos.Robust.line ] ~values:[ v ] ~pos
+             ("non-finite value: " ^ s));
         0.0
       end
 
@@ -271,7 +303,7 @@ let parse st =
 
 let of_string text =
   let st =
-    { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 }
+    { lines = Array.of_list (String.split_on_char '\n' text); pos = 0; cur = "" }
   in
   (* Catch-all: token mutations can trip validation deep inside the model
      constructors (Tile.make, Correlation.make, Pca.of_parts, Form.make,

@@ -1,0 +1,77 @@
+(** An external design: parsed Verilog module + cell library + constraints,
+    and its lowering onto the generator-native netlist representation.
+
+    {!lower} is deterministic and declaration-stable: instances are
+    emitted in Kahn topological order with ties broken by declaration
+    index, so re-reading a file printed by {!Verilog.of_netlist} (whose
+    instance order is already topological) reproduces the original
+    {!Ssta_circuit.Netlist.t} bit-identically — the golden tests pin the
+    full model extraction of parsed vs generator-built designs against
+    each other.
+
+    {!report_checks} is the [report_checks]-style endpoint summary:
+    per primary output, the statistical arrival (with SDC input delays
+    folded in and false paths excluded exactly by source-restricted
+    re-propagation), the required time from the SDC clock, the slack
+    distribution and the top-k statistically critical paths. *)
+
+module Robust = Ssta_robust.Robust
+module Form = Ssta_canonical.Form
+
+type t = { modul : Verilog.t; lib : Liberty.t; sdc : Sdc.t }
+
+type lowered = {
+  design : t;
+  netlist : Ssta_circuit.Netlist.t;
+  net_names : string array;
+      (** per netlist node id: input port name or driven net name *)
+}
+
+val parse : verilog:string -> liberty:string -> ?sdc:string -> unit -> t
+(** Parse the three sources (SDC optional).  Raises
+    {!Ssta_robust.Robust.Error} with the failing format's subsystem. *)
+
+val load_files : verilog:string -> liberty:string -> ?sdc:string -> unit -> t
+(** {!parse} over file contents; unreadable files raise a structured
+    error (subsystem ["frontend.design"]). *)
+
+val lower : t -> lowered
+(** Raises {!Ssta_robust.Robust.Error} (subsystem ["frontend.design"])
+    on unknown cells, arity/pin mismatches, duplicate or missing drivers,
+    undeclared ports and combinational loops — each anchored at the
+    offending instance's source position.  Undeclared (implicit) nets are
+    a policy-gated repair. *)
+
+val of_netlist : ?sdc:Sdc.t -> ?lib_name:string -> Ssta_circuit.Netlist.t -> t
+(** The inverse direction: render a generator-built netlist as a design
+    (Verilog module + library of the cells it uses).  [lower (of_netlist
+    nl)] rebuilds [nl] exactly. *)
+
+(** {1 Endpoint checks} *)
+
+type endpoint_check = {
+  port : string;
+  vertex : int;
+  arrival : Form.t option;
+      (** statistical arrival at the endpoint after input delays and
+          false-path exclusion; [None] if every path is false *)
+  required : float;  (** clock period minus the port's output delay *)
+  slack_mean : float;
+  slack_std : float;
+  p_met : float;  (** probability the endpoint meets [required] *)
+  paths : Hier_ssta.Path_report.path list;
+}
+
+type checks = {
+  clock : string;
+  period : float;
+  endpoints : endpoint_check list;  (** output-port declaration order *)
+}
+
+val report_checks :
+  ?k:int -> ?period:float -> lowered -> build:Ssta_timing.Build.t -> checks
+(** [k] (default 3) paths per endpoint.  The period comes from [?period],
+    else the SDC's first clock, else 1.25x the nominal critical delay.
+    SDC constraints naming unknown ports are policy-gated repairs. *)
+
+val pp_checks : lowered -> Format.formatter -> checks -> unit

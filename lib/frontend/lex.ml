@@ -1,0 +1,232 @@
+module Robust = Ssta_robust.Robust
+
+type token =
+  | Ident of string
+  | Num of float * string
+  | Quoted of string
+  | Sym of char
+  | Newline
+  | Eof
+
+type spanned = { tok : token; tpos : Robust.pos }
+
+type t = {
+  src : string;
+  subsystem : string;
+  line_comment : string option;
+  block_comments : bool;
+  newline_tokens : bool;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the first character of [line] *)
+  mutable ahead : spanned option;
+}
+
+let make ~subsystem ?line_comment ?(block_comments = false)
+    ?(newline_tokens = false) src =
+  {
+    src;
+    subsystem;
+    line_comment;
+    block_comments;
+    newline_tokens;
+    off = 0;
+    line = 1;
+    bol = 0;
+    ahead = None;
+  }
+
+let pos lx = { Robust.line = lx.line; col = lx.off - lx.bol + 1 }
+
+let fail_at lx ~pos msg =
+  Robust.fail ~subsystem:lx.subsystem ~operation:"parse"
+    ~indices:[ pos.Robust.line ] ~pos msg
+
+let fail lx msg = fail_at lx ~pos:(pos lx) msg
+
+let len lx = String.length lx.src
+let at_eof lx = lx.off >= len lx
+let cur lx = lx.src.[lx.off]
+
+let advance lx =
+  (if cur lx = '\n' then begin
+     lx.line <- lx.line + 1;
+     lx.bol <- lx.off + 1
+   end);
+  lx.off <- lx.off + 1
+
+let starts_with lx s =
+  let n = String.length s in
+  lx.off + n <= len lx && String.sub lx.src lx.off n = s
+
+(* Whitespace, comments and (when newlines are not tokens) line breaks.
+   Backslash-newline is always a continuation. *)
+let rec skip_blanks lx =
+  if at_eof lx then ()
+  else
+    let c = cur lx in
+    if c = '\n' then
+      if lx.newline_tokens then ()
+      else begin
+        advance lx;
+        skip_blanks lx
+      end
+    else if c = ' ' || c = '\t' || c = '\r' then begin
+      advance lx;
+      skip_blanks lx
+    end
+    else if
+      c = '\\'
+      && lx.off + 1 < len lx
+      && (lx.src.[lx.off + 1] = '\n'
+         || (lx.src.[lx.off + 1] = '\r'
+            && lx.off + 2 < len lx
+            && lx.src.[lx.off + 2] = '\n'))
+    then begin
+      advance lx;
+      (* backslash *)
+      if cur lx = '\r' then advance lx;
+      advance lx;
+      (* newline: continuation, never a Newline token *)
+      skip_blanks lx
+    end
+    else
+      match lx.line_comment with
+      | Some lead when starts_with lx lead ->
+          while (not (at_eof lx)) && cur lx <> '\n' do
+            advance lx
+          done;
+          skip_blanks lx
+      | _ ->
+          if lx.block_comments && starts_with lx "/*" then begin
+            let open_pos = pos lx in
+            advance lx;
+            advance lx;
+            let rec close () =
+              if at_eof lx then
+                fail_at lx ~pos:open_pos "unterminated block comment"
+              else if starts_with lx "*/" then begin
+                advance lx;
+                advance lx
+              end
+              else begin
+                advance lx;
+                close ()
+              end
+            in
+            close ();
+            skip_blanks lx
+          end
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '$' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let scan_while lx pred =
+  let start = lx.off in
+  while (not (at_eof lx)) && pred (cur lx) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.off - start)
+
+let scan_number lx ~neg tpos =
+  let intpart = scan_while lx is_digit in
+  let frac =
+    if (not (at_eof lx)) && cur lx = '.' then begin
+      advance lx;
+      "." ^ scan_while lx is_digit
+    end
+    else ""
+  in
+  let expo =
+    if (not (at_eof lx)) && (cur lx = 'e' || cur lx = 'E') then begin
+      advance lx;
+      let sign =
+        if (not (at_eof lx)) && (cur lx = '+' || cur lx = '-') then begin
+          let s = String.make 1 (cur lx) in
+          advance lx;
+          s
+        end
+        else ""
+      in
+      "e" ^ sign ^ scan_while lx is_digit
+    end
+    else ""
+  in
+  let raw = (if neg then "-" else "") ^ intpart ^ frac ^ expo in
+  match float_of_string_opt raw with
+  | Some v -> { tok = Num (v, raw); tpos }
+  | None -> fail_at lx ~pos:tpos ("malformed number: " ^ raw)
+
+let scan_token lx =
+  skip_blanks lx;
+  let tpos = pos lx in
+  if at_eof lx then { tok = Eof; tpos }
+  else
+    let c = cur lx in
+    if c = '\n' then begin
+      advance lx;
+      { tok = Newline; tpos }
+    end
+    else if is_ident_start c then
+      { tok = Ident (scan_while lx is_ident_char); tpos }
+    else if is_digit c then scan_number lx ~neg:false tpos
+    else if c = '.' && lx.off + 1 < len lx && is_digit lx.src.[lx.off + 1]
+    then scan_number lx ~neg:false tpos
+    else if
+      c = '-'
+      && lx.off + 1 < len lx
+      && (is_digit lx.src.[lx.off + 1] || lx.src.[lx.off + 1] = '.')
+    then begin
+      advance lx;
+      scan_number lx ~neg:true tpos
+    end
+    else if c = '-' && lx.off + 1 < len lx && is_ident_start lx.src.[lx.off + 1]
+    then begin
+      (* SDC-style flag: "-period" is one identifier-like token. *)
+      advance lx;
+      { tok = Ident ("-" ^ scan_while lx is_ident_char); tpos }
+    end
+    else if c = '"' then begin
+      advance lx;
+      let start = lx.off in
+      while (not (at_eof lx)) && cur lx <> '"' && cur lx <> '\n' do
+        advance lx
+      done;
+      if at_eof lx || cur lx = '\n' then
+        fail_at lx ~pos:tpos "unterminated string literal";
+      let s = String.sub lx.src start (lx.off - start) in
+      advance lx;
+      { tok = Quoted s; tpos }
+    end
+    else begin
+      advance lx;
+      { tok = Sym c; tpos }
+    end
+
+let peek lx =
+  match lx.ahead with
+  | Some s -> s
+  | None ->
+      let s = scan_token lx in
+      lx.ahead <- Some s;
+      s
+
+let next lx =
+  match lx.ahead with
+  | Some s ->
+      lx.ahead <- None;
+      s
+  | None -> scan_token lx
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Num (_, raw) -> Printf.sprintf "number '%s'" raw
+  | Quoted s -> Printf.sprintf "string %S" s
+  | Sym c -> Printf.sprintf "'%c'" c
+  | Newline -> "end of line"
+  | Eof -> "end of file"

@@ -1,0 +1,55 @@
+(** Shared lexing cursor of the external-design frontend.
+
+    All three hand-rolled parsers (structural Verilog, Liberty-like [.lib],
+    SDC) tokenize through this module so that source positions
+    ({!Ssta_robust.Robust.pos}), comment handling and failure reporting are
+    uniform.  The cursor is configured per format: which line-comment
+    leader applies, whether C-style block comments are recognized, and
+    whether newlines are significant (SDC is a line-oriented command
+    language; Verilog and Liberty are free-form).
+
+    Every failure goes through {!fail}/{!fail_at}, which raise
+    {!Ssta_robust.Robust.Error} with the format's subsystem, the
+    ["parse"] operation and the offending line/column — no raw exception
+    ever escapes a frontend parser (the fuzz corpus pins this). *)
+
+module Robust = Ssta_robust.Robust
+
+type token =
+  | Ident of string
+      (** Identifier-like lexeme; SDC flags lex as idents with their
+          leading dash (["-period"]). *)
+  | Num of float * string  (** numeric literal: value and raw lexeme *)
+  | Quoted of string  (** double-quoted string, quotes stripped *)
+  | Sym of char  (** any other printable punctuation *)
+  | Newline  (** only when [newline_tokens] is set *)
+  | Eof
+
+type spanned = { tok : token; tpos : Robust.pos }
+
+type t
+
+val make :
+  subsystem:string ->
+  ?line_comment:string ->
+  ?block_comments:bool ->
+  ?newline_tokens:bool ->
+  string ->
+  t
+(** [line_comment] is the leader (e.g. ["//"] or ["#"]); [block_comments]
+    enables [/* ... */]; [newline_tokens] makes end-of-line a token
+    (backslash-newline continuations are swallowed). *)
+
+val pos : t -> Robust.pos
+(** Position of the next unconsumed character. *)
+
+val fail : t -> string -> 'a
+val fail_at : t -> pos:Robust.pos -> string -> 'a
+
+val peek : t -> spanned
+(** Next token without consuming it. *)
+
+val next : t -> spanned
+
+val describe : token -> string
+(** Human-readable token description for error messages. *)

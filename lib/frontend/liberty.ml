@@ -1,0 +1,492 @@
+module Robust = Ssta_robust.Robust
+module Cell = Ssta_cell.Cell
+
+type lcell = {
+  cname : string;
+  pins : string array;
+  out_pin : string;
+  cell : Cell.t;
+}
+
+type t = { lname : string; params : string array; cells : lcell list }
+
+let subsystem = "frontend.liberty"
+let repairs = Robust.counter "robust.frontend_repairs"
+let max_depth = 64
+
+let lexer text =
+  Lex.make ~subsystem ~line_comment:"//" ~block_comments:true text
+
+let expect_ident lx what =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Ident s; _ } -> s
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected %s, found %s" what (Lex.describe tok))
+
+let expect_sym lx c =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Sym s; _ } when s = c -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected '%c', found %s" c (Lex.describe tok))
+
+(* A complex-attribute argument: bare word, number or quoted string.  The
+   raw lexeme is kept so numeric arguments can be re-parsed as floats. *)
+let parse_args lx =
+  match Lex.peek lx with
+  | { Lex.tok = Lex.Sym ')'; _ } ->
+      ignore (Lex.next lx);
+      []
+  | _ ->
+      let arg () =
+        match Lex.next lx with
+        | { Lex.tok = Lex.Ident s; tpos } -> (s, tpos)
+        | { Lex.tok = Lex.Quoted s; tpos } -> (s, tpos)
+        | { Lex.tok = Lex.Num (_, raw); tpos } -> (raw, tpos)
+        | { Lex.tok; tpos } ->
+            Lex.fail_at lx ~pos:tpos
+              (Printf.sprintf "expected an argument, found %s"
+                 (Lex.describe tok))
+      in
+      let rec rest acc =
+        match Lex.next lx with
+        | { Lex.tok = Lex.Sym ','; _ } -> rest (arg () :: acc)
+        | { Lex.tok = Lex.Sym ')'; _ } -> List.rev acc
+        | { Lex.tok; tpos } ->
+            Lex.fail_at lx ~pos:tpos
+              (Printf.sprintf "expected ',' or ')', found %s"
+                 (Lex.describe tok))
+      in
+      rest [ arg () ]
+
+(* Simple-attribute value after ':'.  Numbers keep their float value;
+   words and strings come back as [None]. *)
+let parse_value lx =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Num (v, _); tpos } -> (Some v, tpos)
+  | { Lex.tok = Lex.Ident s; tpos } | { Lex.tok = Lex.Quoted s; tpos } ->
+      (float_of_string_opt s, tpos)
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected an attribute value, found %s"
+           (Lex.describe tok))
+
+let rec skip_group lx depth =
+  if depth > max_depth then Lex.fail lx "group nesting too deep";
+  match Lex.next lx with
+  | { Lex.tok = Lex.Sym '}'; _ } -> ()
+  | { Lex.tok = Lex.Sym '{'; _ } ->
+      skip_group lx (depth + 1);
+      skip_group lx depth
+  | { Lex.tok = Lex.Eof; tpos } -> Lex.fail_at lx ~pos:tpos "unterminated group"
+  | _ -> skip_group lx depth
+
+(* After an unrecognized head identifier: swallow one statement, which is
+   either [: value ;] or [( args ) ;] or [( args ) { ... }]. *)
+let skip_statement lx depth =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Sym ':'; _ } ->
+      ignore (parse_value lx);
+      expect_sym lx ';'
+  | { Lex.tok = Lex.Sym '('; _ } -> (
+      ignore (parse_args lx);
+      match Lex.peek lx with
+      | { Lex.tok = Lex.Sym '{'; _ } ->
+          ignore (Lex.next lx);
+          skip_group lx (depth + 1)
+      | _ -> expect_sym lx ';')
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected ':' or '(', found %s" (Lex.describe tok))
+
+let num_of lx (raw, tpos) =
+  match float_of_string_opt raw with
+  | Some v when Robust.is_finite v -> v
+  | Some v ->
+      Robust.repair repairs
+        (Robust.context ~subsystem ~operation:"parse"
+           ~indices:[ tpos.Robust.line ] ~values:[ v ] ~pos:tpos
+           "non-finite value repaired to 0");
+      0.0
+  | None ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected a number, found '%s'" raw)
+
+let finite_or_zero ~what v tpos =
+  if Robust.is_finite v then v
+  else begin
+    Robust.repair repairs
+      (Robust.context ~subsystem ~operation:"parse"
+         ~indices:[ tpos.Robust.line ] ~values:[ v ] ~pos:tpos
+         (what ^ ": non-finite value repaired to 0"));
+    0.0
+  end
+
+type timing = {
+  mutable d0 : float option;
+  mutable sens : float list option;
+  mutable load_sens : float option;
+  mutable tpos : Robust.pos;
+}
+
+let parse_timing lx depth tpos0 =
+  let t = { d0 = None; sens = None; load_sens = None; tpos = tpos0 } in
+  let rec body () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Sym '}'; _ } -> ()
+    | { Lex.tok = Lex.Ident "nominal_delay"; _ } ->
+        expect_sym lx ':';
+        let v, vpos = parse_value lx in
+        (match v with
+        | Some v -> t.d0 <- Some (finite_or_zero ~what:"nominal_delay" v vpos)
+        | None -> Lex.fail_at lx ~pos:vpos "nominal_delay must be a number");
+        expect_sym lx ';';
+        body ()
+    | { Lex.tok = Lex.Ident "load_sensitivity"; _ } ->
+        expect_sym lx ':';
+        let v, vpos = parse_value lx in
+        (match v with
+        | Some v ->
+            t.load_sens <-
+              Some (finite_or_zero ~what:"load_sensitivity" v vpos)
+        | None -> Lex.fail_at lx ~pos:vpos "load_sensitivity must be a number");
+        expect_sym lx ';';
+        body ()
+    | { Lex.tok = Lex.Ident "sensitivity"; _ } ->
+        expect_sym lx '(';
+        let args = parse_args lx in
+        expect_sym lx ';';
+        t.sens <- Some (List.map (num_of lx) args);
+        body ()
+    | { Lex.tok = Lex.Ident "related_pin"; _ } ->
+        expect_sym lx ':';
+        ignore (parse_value lx);
+        expect_sym lx ';';
+        body ()
+    | { Lex.tok = Lex.Ident _; _ } ->
+        skip_statement lx depth;
+        body ()
+    | { Lex.tok = Lex.Eof; tpos } ->
+        Lex.fail_at lx ~pos:tpos "unterminated timing group"
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in timing group" (Lex.describe tok))
+  in
+  body ();
+  t
+
+type pin = {
+  pname : string;
+  mutable dir : string option;
+  mutable timing : timing option;
+  ppos : Robust.pos;
+}
+
+let parse_pin lx depth pname ppos =
+  let p = { pname; dir = None; timing = None; ppos } in
+  let rec body () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Sym '}'; _ } -> ()
+    | { Lex.tok = Lex.Ident "direction"; _ } ->
+        expect_sym lx ':';
+        (match Lex.next lx with
+        | { Lex.tok = Lex.Ident (("input" | "output") as d); _ } ->
+            p.dir <- Some d
+        | { Lex.tok; tpos } ->
+            Lex.fail_at lx ~pos:tpos
+              (Printf.sprintf "direction must be input or output, found %s"
+                 (Lex.describe tok)));
+        expect_sym lx ';';
+        body ()
+    | { Lex.tok = Lex.Ident "timing"; tpos } ->
+        expect_sym lx '(';
+        expect_sym lx ')';
+        expect_sym lx '{';
+        (match p.timing with
+        | Some _ ->
+            Lex.fail_at lx ~pos:tpos
+              (Printf.sprintf "pin '%s' has more than one timing group" pname)
+        | None -> p.timing <- Some (parse_timing lx (depth + 1) tpos));
+        body ()
+    | { Lex.tok = Lex.Ident _; _ } ->
+        skip_statement lx depth;
+        body ()
+    | { Lex.tok = Lex.Eof; tpos } ->
+        Lex.fail_at lx ~pos:tpos "unterminated pin group"
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in pin group" (Lex.describe tok))
+  in
+  body ();
+  p
+
+(* Reconcile parsed pins + timing into a Cell.t under the repair policy. *)
+let finish_cell lx cname cpos pins ~n_params =
+  let inputs =
+    List.filter (fun p -> p.dir = Some "input") pins |> List.map (fun p -> p.pname)
+  in
+  let outputs = List.filter (fun p -> p.dir = Some "output") pins in
+  (match List.find_opt (fun p -> p.dir = None) pins with
+  | Some p ->
+      Lex.fail_at lx ~pos:p.ppos
+        (Printf.sprintf "pin '%s' of cell '%s' has no direction" p.pname cname)
+  | None -> ());
+  if inputs = [] then
+    Lex.fail_at lx ~pos:cpos (Printf.sprintf "cell '%s' has no input pins" cname);
+  let out =
+    match outputs with
+    | [ o ] -> o
+    | [] ->
+        Lex.fail_at lx ~pos:cpos
+          (Printf.sprintf "cell '%s' has no output pin" cname)
+    | o :: _ ->
+        Lex.fail_at lx ~pos:o.ppos
+          (Printf.sprintf "cell '%s' has more than one output pin" cname)
+  in
+  let t =
+    match out.timing with
+    | Some t -> t
+    | None ->
+        Lex.fail_at lx ~pos:out.ppos
+          (Printf.sprintf "output pin '%s' of cell '%s' has no timing group"
+             out.pname cname)
+  in
+  let d0 =
+    match t.d0 with
+    | Some d -> d
+    | None ->
+        Lex.fail_at lx ~pos:t.tpos
+          (Printf.sprintf "cell '%s' timing has no nominal_delay" cname)
+  in
+  if d0 <= 0.0 then
+    Lex.fail_at lx ~pos:t.tpos
+      (Printf.sprintf "cell '%s' has non-positive nominal_delay %g" cname d0);
+  let raw_sens = match t.sens with Some s -> Array.of_list s | None -> [||] in
+  let sens =
+    if Array.length raw_sens <> n_params then begin
+      Robust.repair repairs
+        (Robust.context ~subsystem ~operation:"parse"
+           ~indices:[ t.tpos.Robust.line; Array.length raw_sens; n_params ]
+           ~pos:t.tpos
+           (Printf.sprintf
+              "cell '%s': %d sensitivities for %d parameters (padded/truncated)"
+              cname (Array.length raw_sens) n_params));
+      Array.init n_params (fun i ->
+          if i < Array.length raw_sens then raw_sens.(i) else 0.0)
+    end
+    else raw_sens
+  in
+  let sens =
+    Array.map
+      (fun s ->
+        if s < 0.0 then begin
+          Robust.repair repairs
+            (Robust.context ~subsystem ~operation:"parse"
+               ~indices:[ t.tpos.Robust.line ] ~values:[ s ] ~pos:t.tpos
+               (Printf.sprintf
+                  "cell '%s': negative sensitivity clamped to 0" cname));
+          0.0
+        end
+        else s)
+      sens
+  in
+  let load_sens =
+    match t.load_sens with
+    | Some l when l >= 0.0 -> l
+    | Some l ->
+        Robust.repair repairs
+          (Robust.context ~subsystem ~operation:"parse"
+             ~indices:[ t.tpos.Robust.line ] ~values:[ l ] ~pos:t.tpos
+             (Printf.sprintf
+                "cell '%s': negative load_sensitivity clamped to 0" cname));
+        0.0
+    | None ->
+        Robust.repair repairs
+          (Robust.context ~subsystem ~operation:"parse"
+             ~indices:[ t.tpos.Robust.line ] ~pos:t.tpos
+             (Printf.sprintf "cell '%s': missing load_sensitivity (0 assumed)"
+                cname));
+        0.0
+  in
+  {
+    cname;
+    pins = Array.of_list inputs;
+    out_pin = out.pname;
+    cell =
+      Cell.make ~name:cname ~n_inputs:(List.length inputs) ~d0 ~sens
+        ~load_sens;
+  }
+
+let parse_cell lx depth cname cpos =
+  let pins = ref [] in
+  let rec body () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Sym '}'; _ } -> ()
+    | { Lex.tok = Lex.Ident "pin"; tpos } ->
+        expect_sym lx '(';
+        let pname = expect_ident lx "a pin name" in
+        expect_sym lx ')';
+        expect_sym lx '{';
+        pins := parse_pin lx (depth + 1) pname tpos :: !pins;
+        body ()
+    | { Lex.tok = Lex.Ident _; _ } ->
+        skip_statement lx depth;
+        body ()
+    | { Lex.tok = Lex.Eof; tpos } ->
+        Lex.fail_at lx ~pos:tpos "unterminated cell group"
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in cell group" (Lex.describe tok))
+  in
+  body ();
+  (cname, cpos, List.rev !pins)
+
+let default_params () =
+  Array.map
+    (fun p -> p.Ssta_variation.Param.name)
+    Ssta_variation.Param.defaults
+
+let parse text =
+  let lx = lexer text in
+  (match Lex.next lx with
+  | { Lex.tok = Lex.Ident "library"; _ } -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected 'library', found %s" (Lex.describe tok)));
+  expect_sym lx '(';
+  let lname = expect_ident lx "a library name" in
+  expect_sym lx ')';
+  expect_sym lx '{';
+  let params = ref None in
+  let raw_cells = ref [] in
+  let rec body () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Sym '}'; _ } -> ()
+    | { Lex.tok = Lex.Ident "cell"; tpos } ->
+        expect_sym lx '(';
+        let cname = expect_ident lx "a cell name" in
+        expect_sym lx ')';
+        expect_sym lx '{';
+        raw_cells := parse_cell lx 1 cname tpos :: !raw_cells;
+        body ()
+    | { Lex.tok = Lex.Ident "sensitivity_params"; _ } ->
+        expect_sym lx '(';
+        let args = parse_args lx in
+        expect_sym lx ';';
+        params := Some (Array.of_list (List.map fst args));
+        body ()
+    | { Lex.tok = Lex.Ident _; _ } ->
+        skip_statement lx 1;
+        body ()
+    | { Lex.tok = Lex.Eof; tpos } ->
+        Lex.fail_at lx ~pos:tpos "unterminated library group"
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in library group" (Lex.describe tok))
+  in
+  body ();
+  (match Lex.next lx with
+  | { Lex.tok = Lex.Eof; _ } -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "trailing %s after library group" (Lex.describe tok)));
+  let params =
+    match !params with
+    | Some p -> p
+    | None ->
+        Robust.repair repairs
+          (Robust.context ~subsystem ~operation:"parse"
+             ~pos:{ Robust.line = 1; col = 1 }
+             "missing sensitivity_params (process defaults assumed)");
+        default_params ()
+  in
+  let n_params = Array.length params in
+  let seen = Hashtbl.create 16 in
+  let cells =
+    List.rev_map
+      (fun (cname, cpos, pins) ->
+        if Hashtbl.mem seen cname then
+          Lex.fail_at lx ~pos:cpos
+            (Printf.sprintf "duplicate cell '%s'" cname);
+        Hashtbl.add seen cname ();
+        finish_cell lx cname cpos pins ~n_params)
+      !raw_cells
+  in
+  if cells = [] then
+    Robust.fail ~subsystem ~operation:"parse"
+      ~pos:{ Robust.line = 1; col = 1 }
+      "library defines no cells";
+  { lname; params; cells }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let fg v = Printf.sprintf "%.17g" v
+
+let to_string l =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "/* %s — statistical cell library (hssta frontend) */\n"
+       l.lname);
+  Buffer.add_string b (Printf.sprintf "library (%s) {\n" l.lname);
+  Buffer.add_string b "  delay_unit : \"1ps\";\n";
+  Buffer.add_string b
+    (Printf.sprintf "  sensitivity_params (%s);\n"
+       (String.concat ", "
+          (Array.to_list (Array.map (Printf.sprintf "%S") l.params))));
+  List.iter
+    (fun c ->
+      Buffer.add_string b (Printf.sprintf "  cell (%s) {\n" c.cname);
+      Array.iter
+        (fun p ->
+          Buffer.add_string b
+            (Printf.sprintf "    pin (%s) { direction : input; }\n" p))
+        c.pins;
+      Buffer.add_string b (Printf.sprintf "    pin (%s) {\n" c.out_pin);
+      Buffer.add_string b "      direction : output;\n";
+      Buffer.add_string b "      timing () {\n";
+      Buffer.add_string b
+        (Printf.sprintf "        related_pin : \"%s\";\n"
+           (String.concat " " (Array.to_list c.pins)));
+      Buffer.add_string b
+        (Printf.sprintf "        nominal_delay : %s;\n" (fg c.cell.Cell.d0));
+      Buffer.add_string b
+        (Printf.sprintf "        sensitivity (%s);\n"
+           (String.concat ", "
+              (Array.to_list (Array.map fg c.cell.Cell.sens))));
+      Buffer.add_string b
+        (Printf.sprintf "        load_sensitivity : %s;\n"
+           (fg c.cell.Cell.load_sens));
+      Buffer.add_string b "      }\n";
+      Buffer.add_string b "    }\n";
+      Buffer.add_string b "  }\n")
+    l.cells;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let equal_cell a b =
+  a.cname = b.cname && a.pins = b.pins && a.out_pin = b.out_pin
+  && a.cell = b.cell
+
+let equal a b =
+  a.lname = b.lname && a.params = b.params
+  && List.length a.cells = List.length b.cells
+  && List.for_all2 equal_cell a.cells b.cells
+
+let find l name = List.find_opt (fun c -> c.cname = name) l.cells
+
+let of_cells ~name ~params cells =
+  {
+    lname = name;
+    params;
+    cells =
+      Array.to_list cells
+      |> List.map (fun (c : Cell.t) ->
+             {
+               cname = c.Cell.name;
+               pins = Array.init c.Cell.n_inputs Verilog.pin_name;
+               out_pin = Verilog.out_pin;
+               cell = c;
+             });
+  }

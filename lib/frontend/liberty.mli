@@ -1,0 +1,49 @@
+(** Liberty-like [.lib] cell-library reader/writer.
+
+    The grammar is the Liberty lexical skeleton — nested
+    [group (args) { attr : value; ... }] — restricted to the statistical
+    delay model of {!Ssta_cell.Cell}: per-cell input/output pins, and one
+    [timing () { }] group on the output pin carrying the nominal
+    pin-to-output delay, the per-process-parameter relative sensitivities
+    and the load sensitivity.  Unknown groups and attributes are skipped
+    (real libraries carry hundreds), so the subset reads like a projection
+    of a production library.
+
+    Repairable defects (policy-gated through {!Ssta_robust.Robust},
+    counter [robust.frontend_repairs]): non-finite numbers (to 0),
+    sensitivity arity mismatches (pad/truncate), negative sensitivities
+    (clamp to 0), and a missing [load_sensitivity] (to 0).  Structural
+    defects — syntax errors, a cell without pins or timing, a non-positive
+    nominal delay — are hard errors with line/column position. *)
+
+module Robust = Ssta_robust.Robust
+
+type lcell = {
+  cname : string;
+  pins : string array;  (** input pin names, declaration order *)
+  out_pin : string;
+  cell : Ssta_cell.Cell.t;
+}
+
+type t = {
+  lname : string;
+  params : string array;  (** sensitivity parameter names, in order *)
+  cells : lcell list;
+}
+
+val parse : string -> t
+(** Raises {!Ssta_robust.Robust.Error} (subsystem ["frontend.liberty"]). *)
+
+val to_string : t -> string
+(** Canonical form; floats print with round-trip precision, so
+    write/read round-trips are exact. *)
+
+val equal : t -> t -> bool
+
+val find : t -> string -> lcell option
+
+val of_cells :
+  name:string -> params:string array -> Ssta_cell.Cell.t array -> t
+(** Pin names [a..] / [y], one timing arc group per cell — the exporter
+    used for the committed example libraries (default
+    {!Ssta_cell.Library.default} cells round-trip bit-identically). *)

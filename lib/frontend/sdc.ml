@@ -1,0 +1,261 @@
+module Robust = Ssta_robust.Robust
+
+type clock = { clk_name : string; period : float }
+type io_delay = { ports : string list; delay : float; dclock : string option }
+type false_path = { from_ports : string list; to_ports : string list }
+
+type t = {
+  clocks : clock list;
+  input_delays : io_delay list;
+  output_delays : io_delay list;
+  false_paths : false_path list;
+}
+
+let empty =
+  { clocks = []; input_delays = []; output_delays = []; false_paths = [] }
+
+let subsystem = "frontend.sdc"
+let skipped = Robust.counter "robust.frontend_sdc_skipped"
+
+let lexer text =
+  Lex.make ~subsystem ~line_comment:"#" ~newline_tokens:true text
+
+(* Everything up to end of line / file belongs to the current command. *)
+let rec skip_to_eol lx =
+  match Lex.peek lx with
+  | { Lex.tok = Lex.Newline; _ } | { Lex.tok = Lex.Eof; _ } -> ()
+  | _ ->
+      ignore (Lex.next lx);
+      skip_to_eol lx
+
+let end_command lx cmd =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Newline; _ } | { Lex.tok = Lex.Eof; _ } -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "trailing %s after %s" (Lex.describe tok) cmd)
+
+let number lx what =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Num (v, _); tpos } ->
+      if Robust.is_finite v then v
+      else Lex.fail_at lx ~pos:tpos (what ^ " must be finite")
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected %s, found %s" what (Lex.describe tok))
+
+let ident lx what =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Ident s; _ } | { Lex.tok = Lex.Quoted s; _ } -> s
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected %s, found %s" what (Lex.describe tok))
+
+(* [get_ports {a b}] | [get_ports a] | bare-name *)
+let port_spec lx =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Ident s; _ } when String.length s > 0 && s.[0] <> '-' ->
+      [ s ]
+  | { Lex.tok = Lex.Quoted s; _ } -> [ s ]
+  | { Lex.tok = Lex.Sym '['; tpos } -> (
+      (match Lex.next lx with
+      | { Lex.tok = Lex.Ident "get_ports"; _ } -> ()
+      | { Lex.tok; tpos } ->
+          Lex.fail_at lx ~pos:tpos
+            (Printf.sprintf "expected get_ports, found %s" (Lex.describe tok)));
+      match Lex.next lx with
+      | { Lex.tok = Lex.Sym '{'; _ } ->
+          let rec names acc =
+            match Lex.next lx with
+            | { Lex.tok = Lex.Sym '}'; _ } -> List.rev acc
+            | { Lex.tok = Lex.Ident s; _ } | { Lex.tok = Lex.Quoted s; _ } ->
+                names (s :: acc)
+            | { Lex.tok; tpos } ->
+                Lex.fail_at lx ~pos:tpos
+                  (Printf.sprintf "expected a port name or '}', found %s"
+                     (Lex.describe tok))
+          in
+          let ns = names [] in
+          (if ns = [] then
+             Lex.fail_at lx ~pos:tpos "empty port list in get_ports");
+          (match Lex.next lx with
+          | { Lex.tok = Lex.Sym ']'; _ } -> ()
+          | { Lex.tok; tpos } ->
+              Lex.fail_at lx ~pos:tpos
+                (Printf.sprintf "expected ']', found %s" (Lex.describe tok)));
+          ns
+      | { Lex.tok = Lex.Ident s; _ } | { Lex.tok = Lex.Quoted s; _ } ->
+          (match Lex.next lx with
+          | { Lex.tok = Lex.Sym ']'; _ } -> ()
+          | { Lex.tok; tpos } ->
+              Lex.fail_at lx ~pos:tpos
+                (Printf.sprintf "expected ']', found %s" (Lex.describe tok)));
+          [ s ]
+      | { Lex.tok; tpos } ->
+          Lex.fail_at lx ~pos:tpos
+            (Printf.sprintf "expected a port name or '{', found %s"
+               (Lex.describe tok)))
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected a port specification, found %s"
+           (Lex.describe tok))
+
+let parse_create_clock lx =
+  let period = ref None and name = ref None in
+  let rec args () =
+    match Lex.peek lx with
+    | { Lex.tok = Lex.Ident "-period"; _ } ->
+        ignore (Lex.next lx);
+        period := Some (number lx "a clock period");
+        args ()
+    | { Lex.tok = Lex.Ident "-name"; _ } ->
+        ignore (Lex.next lx);
+        name := Some (ident lx "a clock name");
+        args ()
+    | { Lex.tok = Lex.Newline; _ } | { Lex.tok = Lex.Eof; _ } -> ()
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in create_clock" (Lex.describe tok))
+  in
+  args ();
+  end_command lx "create_clock";
+  match !period with
+  | None -> Lex.fail lx "create_clock requires -period"
+  | Some p when p <= 0.0 ->
+      Lex.fail lx (Printf.sprintf "non-positive clock period %g" p)
+  | Some p ->
+      {
+        clk_name = (match !name with Some n -> n | None -> "clk");
+        period = p;
+      }
+
+let parse_io_delay lx cmd =
+  let clock = ref None and delay = ref None and ports = ref None in
+  let rec args () =
+    match Lex.peek lx with
+    | { Lex.tok = Lex.Ident "-clock"; _ } ->
+        ignore (Lex.next lx);
+        clock := Some (ident lx "a clock name");
+        args ()
+    | { Lex.tok = Lex.Num _; _ } when !delay = None ->
+        delay := Some (number lx "a delay");
+        args ()
+    | { Lex.tok = Lex.Newline; _ } | { Lex.tok = Lex.Eof; _ } -> ()
+    | _ when !ports = None ->
+        ports := Some (port_spec lx);
+        args ()
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in %s" (Lex.describe tok) cmd)
+  in
+  args ();
+  end_command lx cmd;
+  match (!delay, !ports) with
+  | None, _ -> Lex.fail lx (cmd ^ " requires a delay value")
+  | _, None -> Lex.fail lx (cmd ^ " requires a port specification")
+  | Some d, Some p -> { ports = p; delay = d; dclock = !clock }
+
+let parse_false_path lx =
+  let from_ports = ref [] and to_ports = ref [] in
+  let rec args () =
+    match Lex.peek lx with
+    | { Lex.tok = Lex.Ident "-from"; _ } ->
+        ignore (Lex.next lx);
+        from_ports := !from_ports @ port_spec lx;
+        args ()
+    | { Lex.tok = Lex.Ident "-to"; _ } ->
+        ignore (Lex.next lx);
+        to_ports := !to_ports @ port_spec lx;
+        args ()
+    | { Lex.tok = Lex.Newline; _ } | { Lex.tok = Lex.Eof; _ } -> ()
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "unexpected %s in set_false_path" (Lex.describe tok))
+  in
+  args ();
+  end_command lx "set_false_path";
+  if !from_ports = [] && !to_ports = [] then
+    Lex.fail lx "set_false_path requires -from and/or -to";
+  { from_ports = !from_ports; to_ports = !to_ports }
+
+let parse text =
+  let lx = lexer text in
+  let clocks = ref []
+  and input_delays = ref []
+  and output_delays = ref []
+  and false_paths = ref [] in
+  let rec commands () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Eof; _ } -> ()
+    | { Lex.tok = Lex.Newline; _ } -> commands ()
+    | { Lex.tok = Lex.Ident "create_clock"; _ } ->
+        clocks := parse_create_clock lx :: !clocks;
+        commands ()
+    | { Lex.tok = Lex.Ident "set_input_delay"; _ } ->
+        input_delays := parse_io_delay lx "set_input_delay" :: !input_delays;
+        commands ()
+    | { Lex.tok = Lex.Ident "set_output_delay"; _ } ->
+        output_delays := parse_io_delay lx "set_output_delay" :: !output_delays;
+        commands ()
+    | { Lex.tok = Lex.Ident "set_false_path"; _ } ->
+        false_paths := parse_false_path lx :: !false_paths;
+        commands ()
+    | { Lex.tok = Lex.Ident cmd; tpos } ->
+        Robust.repair skipped
+          (Robust.context ~subsystem ~operation:"parse"
+             ~indices:[ tpos.Robust.line ] ~pos:tpos
+             (Printf.sprintf "unsupported SDC command '%s' skipped" cmd));
+        skip_to_eol lx;
+        commands ()
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "expected an SDC command, found %s"
+             (Lex.describe tok))
+  in
+  commands ();
+  {
+    clocks = List.rev !clocks;
+    input_delays = List.rev !input_delays;
+    output_delays = List.rev !output_delays;
+    false_paths = List.rev !false_paths;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let fg v = Printf.sprintf "%.17g" v
+let ports_spec ps = Printf.sprintf "[get_ports {%s}]" (String.concat " " ps)
+
+let to_string s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# timing constraints (hssta frontend)\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "create_clock -name %s -period %s\n" c.clk_name
+           (fg c.period)))
+    s.clocks;
+  let io cmd d =
+    let clk =
+      match d.dclock with Some c -> Printf.sprintf " -clock %s" c | None -> ""
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%s%s %s %s\n" cmd clk (fg d.delay) (ports_spec d.ports))
+  in
+  List.iter (io "set_input_delay") s.input_delays;
+  List.iter (io "set_output_delay") s.output_delays;
+  List.iter
+    (fun f ->
+      let part flag = function
+        | [] -> ""
+        | ps -> Printf.sprintf " %s %s" flag (ports_spec ps)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "set_false_path%s%s\n"
+           (part "-from" f.from_ports)
+           (part "-to" f.to_ports)))
+    s.false_paths;
+  Buffer.contents b
+
+let equal (a : t) (b : t) = a = b
+let clock_period s = match s.clocks with [] -> None | c :: _ -> Some c.period

@@ -1,0 +1,40 @@
+(** SDC (Synopsys Design Constraints) subset.
+
+    Line-oriented Tcl-flavored commands; supported: [create_clock]
+    ([-period], [-name]), [set_input_delay] / [set_output_delay]
+    ([[-clock id]] [delay] [ports]), [set_false_path] ([-from] / [-to]
+    port specs).  Port specs accept [\[get_ports {a b}\]],
+    [\[get_ports a\]] or a bare name.  [#] comments, backslash-newline
+    continuations.
+
+    Unknown commands are policy-gated (skipped and counted under Repair /
+    Warn, structured error under Strict); malformed arguments of a known
+    command are always hard errors with position.  The printer emits one
+    canonical command per line, which reparses to an equal value (the
+    parse/print/parse fixpoint property). *)
+
+module Robust = Ssta_robust.Robust
+
+type clock = { clk_name : string; period : float }
+
+type io_delay = { ports : string list; delay : float; dclock : string option }
+
+type false_path = { from_ports : string list; to_ports : string list }
+
+type t = {
+  clocks : clock list;
+  input_delays : io_delay list;
+  output_delays : io_delay list;
+  false_paths : false_path list;
+}
+
+val empty : t
+
+val parse : string -> t
+(** Raises {!Ssta_robust.Robust.Error} (subsystem ["frontend.sdc"]). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val clock_period : t -> float option
+(** Period of the first clock, if any. *)

@@ -1,0 +1,232 @@
+module Robust = Ssta_robust.Robust
+module N = Ssta_circuit.Netlist
+
+type conns = Named of (string * string) list | Positional of string list
+
+type instance = {
+  cell : string;
+  inst : string;
+  conns : conns;
+  ipos : Robust.pos;
+}
+
+type t = {
+  name : string;
+  ports : string list;
+  inputs : string list;
+  outputs : string list;
+  wires : string list;
+  instances : instance list;
+}
+
+let subsystem = "frontend.verilog"
+
+let lexer text =
+  Lex.make ~subsystem ~line_comment:"//" ~block_comments:true text
+
+let expect_ident lx what =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Ident s; _ } -> s
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected %s, found %s" what (Lex.describe tok))
+
+let expect_sym lx c =
+  match Lex.next lx with
+  | { Lex.tok = Lex.Sym s; _ } when s = c -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected '%c', found %s" c (Lex.describe tok))
+
+(* ident {',' ident} — terminated by the closing symbol (consumed by the
+   caller).  Empty lists are allowed for port headers only. *)
+let rec ident_list lx acc =
+  let id = expect_ident lx "a net name" in
+  match Lex.peek lx with
+  | { Lex.tok = Lex.Sym ','; _ } ->
+      ignore (Lex.next lx);
+      ident_list lx (id :: acc)
+  | _ -> List.rev (id :: acc)
+
+let parse_ports lx =
+  expect_sym lx '(';
+  match Lex.peek lx with
+  | { Lex.tok = Lex.Sym ')'; _ } ->
+      ignore (Lex.next lx);
+      []
+  | _ ->
+      let ports = ident_list lx [] in
+      expect_sym lx ')';
+      ports
+
+(* .pin(net) {, .pin(net)} | net {, net} *)
+let parse_conns lx =
+  match Lex.peek lx with
+  | { Lex.tok = Lex.Sym ')'; tpos } ->
+      Lex.fail_at lx ~pos:tpos "instance has no connections"
+  | { Lex.tok = Lex.Sym '.'; _ } ->
+      let rec named acc =
+        expect_sym lx '.';
+        let pin = expect_ident lx "a pin name" in
+        expect_sym lx '(';
+        let net = expect_ident lx "a net name" in
+        expect_sym lx ')';
+        match Lex.peek lx with
+        | { Lex.tok = Lex.Sym ','; _ } ->
+            ignore (Lex.next lx);
+            named ((pin, net) :: acc)
+        | _ -> List.rev ((pin, net) :: acc)
+      in
+      Named (named [])
+  | _ -> Positional (ident_list lx [])
+
+let parse text =
+  let lx = lexer text in
+  (match Lex.next lx with
+  | { Lex.tok = Lex.Ident "module"; _ } -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "expected 'module', found %s" (Lex.describe tok)));
+  let name = expect_ident lx "a module name" in
+  let ports = parse_ports lx in
+  expect_sym lx ';';
+  let inputs = ref [] and outputs = ref [] and wires = ref [] in
+  let instances = ref [] in
+  let rec items () =
+    match Lex.next lx with
+    | { Lex.tok = Lex.Ident "endmodule"; _ } -> ()
+    | { Lex.tok = Lex.Ident (("input" | "output" | "wire") as kind); _ } ->
+        let names = ident_list lx [] in
+        expect_sym lx ';';
+        let dst =
+          match kind with
+          | "input" -> inputs
+          | "output" -> outputs
+          | _ -> wires
+        in
+        dst := List.rev_append names !dst;
+        items ()
+    | { Lex.tok = Lex.Ident cell; tpos } ->
+        let inst = expect_ident lx "an instance name" in
+        expect_sym lx '(';
+        let conns = parse_conns lx in
+        expect_sym lx ')';
+        expect_sym lx ';';
+        instances := { cell; inst; conns; ipos = tpos } :: !instances;
+        items ()
+    | { Lex.tok = Lex.Eof; tpos } ->
+        Lex.fail_at lx ~pos:tpos "missing 'endmodule'"
+    | { Lex.tok; tpos } ->
+        Lex.fail_at lx ~pos:tpos
+          (Printf.sprintf "expected a declaration or instance, found %s"
+             (Lex.describe tok))
+  in
+  items ();
+  (match Lex.next lx with
+  | { Lex.tok = Lex.Eof; _ } -> ()
+  | { Lex.tok; tpos } ->
+      Lex.fail_at lx ~pos:tpos
+        (Printf.sprintf "trailing %s after endmodule" (Lex.describe tok)));
+  {
+    name;
+    ports;
+    inputs = List.rev !inputs;
+    outputs = List.rev !outputs;
+    wires = List.rev !wires;
+    instances = List.rev !instances;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let to_string m =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "// %s — structural netlist (hssta frontend)\n" m.name);
+  Buffer.add_string b
+    (Printf.sprintf "module %s (%s);\n" m.name (String.concat ", " m.ports));
+  List.iter (fun n -> Buffer.add_string b (Printf.sprintf "  input %s;\n" n))
+    m.inputs;
+  List.iter (fun n -> Buffer.add_string b (Printf.sprintf "  output %s;\n" n))
+    m.outputs;
+  List.iter (fun n -> Buffer.add_string b (Printf.sprintf "  wire %s;\n" n))
+    m.wires;
+  List.iter
+    (fun i ->
+      let conns =
+        match i.conns with
+        | Named pins ->
+            String.concat ", "
+              (List.map (fun (p, n) -> Printf.sprintf ".%s(%s)" p n) pins)
+        | Positional nets -> String.concat ", " nets
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %s %s (%s);\n" i.cell i.inst conns))
+    m.instances;
+  Buffer.add_string b "endmodule\n";
+  Buffer.contents b
+
+let equal_instance a b =
+  a.cell = b.cell && a.inst = b.inst && a.conns = b.conns
+
+let equal a b =
+  a.name = b.name && a.ports = b.ports && a.inputs = b.inputs
+  && a.outputs = b.outputs && a.wires = b.wires
+  && List.length a.instances = List.length b.instances
+  && List.for_all2 equal_instance a.instances b.instances
+
+(* ------------------------------------------------------------------ *)
+(* Netlist export                                                      *)
+
+let pin_name i =
+  if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "a%d" i
+
+let out_pin = "y"
+
+let of_netlist nl =
+  let net i = Printf.sprintf "n%d" i in
+  let n_pi = N.n_pis nl in
+  let outputs = Array.to_list nl.N.outputs in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      if o < n_pi then
+        Robust.fail ~subsystem ~operation:"of_netlist" ~indices:[ o ]
+          "cannot export a netlist whose output is a primary input";
+      if Hashtbl.mem seen o then
+        Robust.fail ~subsystem ~operation:"of_netlist" ~indices:[ o ]
+          "cannot export a netlist with a repeated output";
+      Hashtbl.add seen o ())
+    outputs;
+  let inputs = List.init n_pi net in
+  let output_names = List.map net outputs in
+  let wires =
+    Array.to_list nl.N.gates
+    |> List.mapi (fun g _ -> n_pi + g)
+    |> List.filter (fun id -> not (Hashtbl.mem seen id))
+    |> List.map net
+  in
+  let instances =
+    Array.to_list nl.N.gates
+    |> List.mapi (fun g (gate : N.gate) ->
+           let pins =
+             (out_pin, net (n_pi + g))
+             :: Array.to_list
+                  (Array.mapi (fun i f -> (pin_name i, net f)) gate.N.fanins)
+           in
+           {
+             cell = gate.N.cell.Ssta_cell.Cell.name;
+             inst = Printf.sprintf "g%d" g;
+             conns = Named pins;
+             ipos = { Robust.line = 0; col = 0 };
+           })
+  in
+  {
+    name = nl.N.name;
+    ports = inputs @ output_names;
+    inputs;
+    outputs = output_names;
+    wires;
+    instances;
+  }

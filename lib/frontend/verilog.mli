@@ -1,0 +1,56 @@
+(** Structural gate-level Verilog: the module/port/instance subset.
+
+    Supported: one [module] with a port list, [input]/[output]/[wire]
+    declarations (scalar nets only), and cell instances with named
+    ([.pin(net)]) or positional connections.  [//] and [/* */] comments.
+    Not supported (structured parse error): behavioral constructs, vectors,
+    assigns, parameters, multiple modules.
+
+    The printer emits a canonical form that {!parse} maps back to the same
+    AST (the QCheck round-trip property), and {!of_netlist} renders any
+    generator-built {!Ssta_circuit.Netlist.t} so bundled circuits can be
+    exported and re-read bit-identically. *)
+
+module Robust = Ssta_robust.Robust
+
+type conns =
+  | Named of (string * string) list  (** (pin, net) in source order *)
+  | Positional of string list
+      (** output net first, then inputs in cell pin order *)
+
+type instance = {
+  cell : string;
+  inst : string;
+  conns : conns;
+  ipos : Robust.pos;  (** source position (lowering errors point here) *)
+}
+
+type t = {
+  name : string;
+  ports : string list;  (** header order *)
+  inputs : string list;  (** declaration order = primary-input order *)
+  outputs : string list;  (** declaration order = primary-output order *)
+  wires : string list;
+  instances : instance list;  (** declaration order *)
+}
+
+val parse : string -> t
+(** Raises {!Ssta_robust.Robust.Error} (subsystem ["frontend.verilog"])
+    with line/column position on any malformed input. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Structural equality, ignoring source positions. *)
+
+val of_netlist : Ssta_circuit.Netlist.t -> t
+(** Net [n<id>] per node, instance [g<idx>] per gate, pins [a..] / [y].
+    Raises a structured error if an output is a primary input or is
+    repeated (not expressible as a port list). *)
+
+val pin_name : int -> string
+(** Canonical input-pin name of pin [i]: [a], [b], ... then [a26], ... —
+    shared with the {!Liberty} exporter so exported pairs agree. *)
+
+val out_pin : string
+(** Canonical output-pin name ([y]). *)

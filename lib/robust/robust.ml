@@ -2,18 +2,21 @@ module Obs = Ssta_obs.Obs
 
 type policy = Strict | Repair | Warn
 
+type pos = { line : int; col : int }
+
 type context = {
   subsystem : string;
   operation : string;
   indices : int list;
   values : float list;
+  pos : pos option;
   detail : string;
 }
 
 exception Error of context
 
-let context ~subsystem ~operation ?(indices = []) ?(values = []) detail =
-  { subsystem; operation; indices; values; detail }
+let context ~subsystem ~operation ?(indices = []) ?(values = []) ?pos detail =
+  { subsystem; operation; indices; values; pos; detail }
 
 let to_string c =
   let b = Buffer.create 96 in
@@ -23,6 +26,10 @@ let to_string c =
   Buffer.add_string b c.operation;
   Buffer.add_string b ": ";
   Buffer.add_string b c.detail;
+  (match c.pos with
+  | Some p ->
+      Buffer.add_string b (Printf.sprintf " at line %d, col %d" p.line p.col)
+  | None -> ());
   if c.indices <> [] then begin
     Buffer.add_string b " [at";
     List.iter (fun i -> Buffer.add_string b (Printf.sprintf " %d" i)) c.indices;
@@ -37,8 +44,8 @@ let to_string c =
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)
 
-let fail ~subsystem ~operation ?indices ?values detail =
-  raise (Error (context ~subsystem ~operation ?indices ?values detail))
+let fail ~subsystem ~operation ?indices ?values ?pos detail =
+  raise (Error (context ~subsystem ~operation ?indices ?values ?pos detail))
 
 let () =
   Printexc.register_printer (function

@@ -17,11 +17,18 @@
 
 type policy = Strict | Repair | Warn
 
+type pos = { line : int; col : int }
+(** A 1-based source position inside a parsed file.  Every file-format
+    parser of the repository (the timing-model reader, the Verilog /
+    Liberty / SDC frontend) reports its errors through this one type so
+    locations render uniformly. *)
+
 type context = {
   subsystem : string;  (** e.g. ["linalg.cholesky"] *)
   operation : string;  (** e.g. ["factor"] *)
   indices : int list;  (** offending positions: pivot, edge, line, ... *)
   values : float list;  (** offending values, parallel to the message *)
+  pos : pos option;  (** source location for file-format errors *)
   detail : string;  (** human-readable description of the degeneracy *)
 }
 
@@ -32,6 +39,7 @@ val context :
   operation:string ->
   ?indices:int list ->
   ?values:float list ->
+  ?pos:pos ->
   string ->
   context
 
@@ -40,6 +48,7 @@ val fail :
   operation:string ->
   ?indices:int list ->
   ?values:float list ->
+  ?pos:pos ->
   string ->
   'a
 (** Raise {!Error} unconditionally (for defects that have no repair). *)

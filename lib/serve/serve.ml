@@ -10,6 +10,8 @@ module Batch = Ssta_batch.Batch
 module Json = Ssta_json.Json
 module Robust = Ssta_robust.Robust
 module Obs = Ssta_obs.Obs
+module FDesign = Ssta_frontend.Design
+module FSdc = Ssta_frontend.Sdc
 
 (* ------------------------------------------------------------------ *)
 (* Observability handles                                              *)
@@ -41,6 +43,9 @@ type session = {
   dirty : Bytes.t;  (** per-vertex dirty mask scratch *)
   mutable base : Batch.base option;  (** lazy, over the pristine forms *)
   mutable edited : bool;  (** committed edits pending a [revert] *)
+  sdc : FSdc.t option;
+      (** constraints of a [load_files] design; the report op defaults
+          its reference clock to the SDC period *)
 }
 
 type t = {
@@ -58,10 +63,12 @@ let cache_size t = Hashtbl.length t.cache
 
 (* The cache key covers exactly what characterization consumes: the
    netlist structure (inputs, per-gate cell + fanins, outputs — NOT the
-   netlist's display name) and a tag for the characterization config.
-   Two designs with identical structure share one characterized model;
-   renaming a design never invalidates it. *)
-let config_tag = "characterize:v1:default"
+   netlist's display name), the cell delay parameters (an external .lib
+   may redefine a bundled cell name with different numbers) and a tag
+   for the characterization config.  Two designs with identical
+   structure share one characterized model; renaming a design never
+   invalidates it. *)
+let config_tag = "characterize:v2:default"
 
 let digest_of_netlist nl =
   let b = Buffer.create 4096 in
@@ -70,8 +77,15 @@ let digest_of_netlist nl =
   Buffer.add_string b (string_of_int nl.N.n_pi);
   Array.iter
     (fun (g : N.gate) ->
+      let c = g.N.cell in
       Buffer.add_char b '|';
-      Buffer.add_string b g.N.cell.Ssta_cell.Cell.name;
+      Buffer.add_string b c.Ssta_cell.Cell.name;
+      Buffer.add_char b '@';
+      Buffer.add_string b (Printf.sprintf "%h" c.Ssta_cell.Cell.d0);
+      Array.iter
+        (fun s -> Buffer.add_string b (Printf.sprintf ";%h" s))
+        c.Ssta_cell.Cell.sens;
+      Buffer.add_string b (Printf.sprintf ";%h" c.Ssta_cell.Cell.load_sens);
       Array.iter
         (fun f ->
           Buffer.add_char b ',';
@@ -109,7 +123,7 @@ let characterize_cached t nl =
       Hashtbl.add t.cache key b;
       (b, false)
 
-let fresh_session ~design (build : Build.t) =
+let fresh_session ?sdc ~design (build : Build.t) =
   let g = build.Build.graph in
   let forms = Array.copy build.Build.forms in
   let dims =
@@ -128,6 +142,7 @@ let fresh_session ~design (build : Build.t) =
     dirty = Bytes.create (Tgraph.n_vertices g);
     base = None;
     edited = false;
+    sdc;
   }
 
 let load_design t name =
@@ -227,6 +242,48 @@ let op_load t ~op j =
     ("n_outputs", Json.Num (float_of_int (Array.length g.Tgraph.outputs)));
   ]
 
+(* External-design load: parse + lower the Verilog/.lib/SDC trio, then
+   enter the same cached-characterization path as bundled designs (the
+   digest covers structure and cell numbers, so a re-read of the same
+   files is a cache hit). *)
+let op_load_files t j =
+  let operation = "load_files" in
+  let file key =
+    match Json.str_field key j with
+    | Ok v -> v
+    | Error msg -> Robust.fail ~subsystem:"serve" ~operation msg
+  in
+  let verilog = file "verilog" and liberty = file "liberty" in
+  let sdc_path =
+    match Json.find "sdc" j with
+    | Some (Json.Str p) -> Some p
+    | None | Some Json.Null -> None
+    | Some _ ->
+        protocol_repair ~operation "sdc must be a path string; ignored";
+        None
+  in
+  let d = FDesign.load_files ~verilog ~liberty ?sdc:sdc_path () in
+  let low = FDesign.lower d in
+  let nl = low.FDesign.netlist in
+  let build, cached = characterize_cached t nl in
+  let sdc = d.FDesign.sdc in
+  t.session <- Some (fresh_session ~sdc ~design:nl.N.name build);
+  let g = build.Build.graph in
+  [
+    ("design", Json.Str nl.N.name);
+    ("cached", Json.Bool cached);
+    ("n_vertices", Json.Num (float_of_int (Tgraph.n_vertices g)));
+    ("n_edges", Json.Num (float_of_int (Tgraph.n_edges g)));
+    ("n_outputs", Json.Num (float_of_int (Array.length g.Tgraph.outputs)));
+    ("clocks", Json.Num (float_of_int (List.length sdc.FSdc.clocks)));
+    ( "false_paths",
+      Json.Num (float_of_int (List.length sdc.FSdc.false_paths)) );
+  ]
+  @
+  match FSdc.clock_period sdc with
+  | Some p -> [ ("period", Json.Num p) ]
+  | None -> []
+
 let scenario_result_fields (r : Batch.result) ~yield =
   match r.Batch.delay with
   | None ->
@@ -256,7 +313,10 @@ let op_report t j =
   let clock =
     match Json.find "clock" j with
     | Some (Json.Num c) -> Some c
-    | None | Some Json.Null -> None
+    | None | Some Json.Null ->
+        (* A load_files session carries constraints: default the slack
+           reference to the SDC clock period. *)
+        Option.bind s.sdc FSdc.clock_period
     | Some _ ->
         protocol_repair ~operation "clock must be a number";
         None
@@ -528,7 +588,7 @@ let op_stats t =
 
 let error_json (c : Robust.context) =
   Json.Obj
-    [
+    ([
       ("subsystem", Json.Str c.Robust.subsystem);
       ("operation", Json.Str c.Robust.operation);
       ("detail", Json.Str c.Robust.detail);
@@ -537,6 +597,14 @@ let error_json (c : Robust.context) =
       );
       ("values", Json.Arr (List.map (fun v -> Json.Num v) c.Robust.values));
     ]
+    @
+    match c.Robust.pos with
+    | None -> []
+    | Some p ->
+        [
+          ("line", Json.Num (float_of_int p.Robust.line));
+          ("col", Json.Num (float_of_int p.Robust.col));
+        ])
 
 let respond ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
 
@@ -549,6 +617,7 @@ let request_id j = match Json.find "id" j with Some v -> v | None -> Json.Null
 let dispatch t op j =
   match op with
   | "load" | "swap" -> op_load t ~op j
+  | "load_files" -> op_load_files t j
   | "quantile" -> op_quantile t j
   | "report" -> op_report t j
   | "paths" -> op_paths t j
@@ -563,8 +632,8 @@ let dispatch t op j =
   | other ->
       Robust.fail ~subsystem:"serve" ~operation:"dispatch"
         (Printf.sprintf
-           "unknown op %S (load/swap/quantile/report/paths/whatif/revert/\
-            batch/stats/ping/shutdown)"
+           "unknown op %S (load/swap/load_files/quantile/report/paths/\
+            whatif/revert/batch/stats/ping/shutdown)"
            other)
 
 let handle_parsed t j =

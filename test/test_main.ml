@@ -28,5 +28,6 @@ let () =
          Test_determinism.suites;
          Test_par.suites;
          Test_robust.suites;
+         Test_frontend.suites;
          Test_integration.suites;
        ])
