@@ -25,6 +25,12 @@
    - [_cores]: the machine's available core count - recorded so a human
      (and the [_d4_speedup] gate below) can interpret the parallel
      numbers; never compared, the environment is allowed to change;
+   - [_informational]: an environment-dependent measurement published for
+     humans and trajectory tooling, labelled as such in the key itself
+     (mirroring [_cores]) - reported, never gated.  Used for the batch
+     domain-sweep ratios, which on a single-core container are honestly
+     < 1x (domains only add contention there) and must not be read as
+     regressions;
    - [_d4_speedup]: the lib/par multicore claim - when the CURRENT run
      reports [par_available_cores >= 4] the value must reach
      GATE_PAR_MIN_SPEEDUP (default 2.0); on smaller machines the key is
@@ -94,6 +100,7 @@ type klass =
   | Bound
   | Count
   | Cores
+  | Info
   | Par_speedup
   | Floor
       (* [_minspeedup]: a lower-bounded ratio claim - passes iff the
@@ -124,6 +131,7 @@ let classify key =
         | "minspeedup" -> (Floor, 0.0)
         | "frac" -> (Bound, 0.0)
         | "cores" -> (Cores, 0.0)
+        | "informational" -> (Info, 0.0)
         (* Visit/structure counters of the criticality screen: pinned by
            the determinism argument (chunk layout a function of port counts
            only), so they are compared exactly even under GATE_EXACT_TOL -
@@ -170,6 +178,12 @@ let () =
           incr skipped;
           Printf.printf
             "INFO %-36s baseline %.0f, current %.0f (environment, never \
+             gated)\n"
+            key b c
+      | (Info, _), Some b, Some (Some c) ->
+          incr skipped;
+          Printf.printf
+            "INFO %-36s baseline %.3g, current %.3g (informational, never \
              gated)\n"
             key b c
       | (Par_speedup, _), Some _, Some (Some c) ->

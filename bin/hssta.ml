@@ -806,7 +806,7 @@ let serve_cmd =
     Arg.(
       value & opt_all string [] & info [ "preload" ] ~docv:"CIRCUIT" ~doc)
   in
-  let run () () () () socket preload =
+  let run () () () () () socket preload =
     let t = Serve.create () in
     try Serve.run_daemon ~socket ~preload t
     with Unix.Unix_error (e, fn, arg) ->
@@ -822,8 +822,8 @@ let serve_cmd =
           unix-domain socket (JSONL, one request object per line) until a \
           shutdown request")
     Term.(
-      const run $ setup_logs $ setup_domains $ setup_obs $ setup_robust
-      $ socket_arg $ preload_arg)
+      const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
+      $ setup_robust $ socket_arg $ preload_arg)
 
 let client_cmd =
   let replay_arg =

@@ -74,6 +74,12 @@ let slab_alloc s need =
   A1.fill view 0.0;
   view
 
+(* Raw float rows carved from the same cursor as buffer carves: the
+   criticality screen keeps its retained per-output scalar rows and
+   covariance tables on the very slab that backs the tile's backward
+   workspaces, so one capacity plan covers all of a tile's storage. *)
+let slab_floats s n = slab_alloc s (max 1 n)
+
 let create ?slab dims n =
   let stride = dims.Form.n_globals + dims.Form.n_pcs + 2 in
   let need = max 1 (n * stride) in
@@ -298,6 +304,210 @@ let quad_stats_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
   into.(quad_rand_e) <- re;
   into.(quad_rand_r) <- rr;
   into.(quad_rand_m) <- rm
+
+(* Split pairwise gathers for the blocked criticality evaluation: most of
+   [quad_stats_into]'s twelve outputs are invariant along one axis of the
+   (output, input, edge) visit nest, so the blocked screen hoists them into
+   per-tile rows and tables and only computes the four truly per-visit
+   covariances - Cov(A,R), Cov(E,M), Cov(A,M) and Cov(R,M) - inside the
+   eval, fused below.  Every kernel writes into caller scratch (no boxed
+   float returns) and keeps the segmented accumulation of [covariance], so
+   each value is bit-identical to the probe it replaces. *)
+
+let cov4_ar = 0
+let cov4_em = 1
+let cov4_am = 2
+let cov4_rm = 3
+let cov4_size = 4
+
+(* Why four dots and not fewer: the kernels above are latency-bound, not
+   flop-bound - bit-exactness pins each dot to one serial accumulation
+   chain, so a lone dot stalls on FP-add latency every element, and
+   [quad_stats_into]'s eight interleaved chains hide that latency almost
+   completely (eight dots cost barely twice one).  Splitting the eval into
+   several narrow passes therefore re-pays the chain stall per pass and
+   loses.  Cov(A,M) rides along unconditionally because the cone walk
+   changes source every edge (fanin CSR groups edges by sink), so a
+   source-keyed memo would never hit; Cov(R,M) rides along because its
+   chain multiplies two values the A,R and E,M chains already load - a
+   sink-keyed memo saved zero loads and re-paid the lone-dot stall on
+   every fanin-2 sink change. *)
+let cov4_into ~a ~ia ~e ~ie ~r ~ir ~m ~im ~into =
+  check_dims a r "cov4_into";
+  check_dims e m "cov4_into";
+  check_dims a e "cov4_into";
+  if Array.length into < cov4_size then
+    invalid_arg "Form_buf.cov4_into: scratch array shorter than 4";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let da = a.data and de = e.data and dr = r.data and dm = m.data in
+  let oa = ia * a.stride
+  and oe = ie * e.stride
+  and or_ = ir * r.stride
+  and om = im * m.stride in
+  let s_ar = ref 0.0 and s_em = ref 0.0 in
+  let s_am = ref 0.0 and s_rm = ref 0.0 in
+  for k = 1 to ng do
+    let va = A1.unsafe_get da (oa + k)
+    and ve = A1.unsafe_get de (oe + k)
+    and vr = A1.unsafe_get dr (or_ + k)
+    and vm = A1.unsafe_get dm (om + k) in
+    s_ar := !s_ar +. (va *. vr);
+    s_em := !s_em +. (ve *. vm);
+    s_am := !s_am +. (va *. vm);
+    s_rm := !s_rm +. (vr *. vm)
+  done;
+  let g_ar = !s_ar and g_em = !s_em and g_am = !s_am and g_rm = !s_rm in
+  s_ar := 0.0;
+  s_em := 0.0;
+  s_am := 0.0;
+  s_rm := 0.0;
+  for k = 1 + ng to ng + np do
+    let va = A1.unsafe_get da (oa + k)
+    and ve = A1.unsafe_get de (oe + k)
+    and vr = A1.unsafe_get dr (or_ + k)
+    and vm = A1.unsafe_get dm (om + k) in
+    s_ar := !s_ar +. (va *. vr);
+    s_em := !s_em +. (ve *. vm);
+    s_am := !s_am +. (va *. vm);
+    s_rm := !s_rm +. (vr *. vm)
+  done;
+  into.(cov4_ar) <- g_ar +. !s_ar;
+  into.(cov4_em) <- g_em +. !s_em;
+  into.(cov4_am) <- g_am +. !s_am;
+  into.(cov4_rm) <- g_rm +. !s_rm
+
+let cov4_lanes = 2
+
+(* Two independent evals' covariances in one pass: the per-element floor
+   of [cov4_into] is the FP-add latency of its four serial chains (every
+   chain must advance once per element), so interleaving two lanes' eight
+   chains fills those latency slots - and stops there, because eight float
+   accumulators (plus the seven loaded values per element) still fit the
+   register file; a four-lane variant's sixteen accumulators spill, and
+   the spill traffic costs more than the extra latency hiding buys.  Each
+   lane's accumulation order is exactly [cov4_into]'s - segmented, serial
+   in [k] - so lane [j]'s results are bit-identical to a lone call on
+   ([srcs.(j)], [edges.(j)], [dsts.(j)]); the criticality screen's
+   batching is thereby invisible in the results.  The lanes share the [m]
+   slot ([im]). *)
+let cov4_batch2_into ~a ~e ~r ~m ~im ~srcs ~dsts ~edges ~into =
+  check_dims a r "cov4_batch2_into";
+  check_dims e m "cov4_batch2_into";
+  check_dims a e "cov4_batch2_into";
+  if Array.length into < cov4_lanes * cov4_size then
+    invalid_arg "Form_buf.cov4_batch2_into: scratch array shorter than 8";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let da = a.data and de = e.data and dr = r.data and dm = m.data in
+  let oa0 = Array.unsafe_get srcs 0 * a.stride
+  and oa1 = Array.unsafe_get srcs 1 * a.stride in
+  let oe0 = Array.unsafe_get edges 0 * e.stride
+  and oe1 = Array.unsafe_get edges 1 * e.stride in
+  let or0 = Array.unsafe_get dsts 0 * r.stride
+  and or1 = Array.unsafe_get dsts 1 * r.stride in
+  let om = im * m.stride in
+  let ar0 = ref 0.0 and em0 = ref 0.0 in
+  let am0 = ref 0.0 and rm0 = ref 0.0 in
+  let ar1 = ref 0.0 and em1 = ref 0.0 in
+  let am1 = ref 0.0 and rm1 = ref 0.0 in
+  for k = 1 to ng do
+    let vm = A1.unsafe_get dm (om + k) in
+    let va0 = A1.unsafe_get da (oa0 + k)
+    and ve0 = A1.unsafe_get de (oe0 + k)
+    and vr0 = A1.unsafe_get dr (or0 + k) in
+    ar0 := !ar0 +. (va0 *. vr0);
+    em0 := !em0 +. (ve0 *. vm);
+    am0 := !am0 +. (va0 *. vm);
+    rm0 := !rm0 +. (vr0 *. vm);
+    let va1 = A1.unsafe_get da (oa1 + k)
+    and ve1 = A1.unsafe_get de (oe1 + k)
+    and vr1 = A1.unsafe_get dr (or1 + k) in
+    ar1 := !ar1 +. (va1 *. vr1);
+    em1 := !em1 +. (ve1 *. vm);
+    am1 := !am1 +. (va1 *. vm);
+    rm1 := !rm1 +. (vr1 *. vm)
+  done;
+  let g_ar0 = !ar0 and g_em0 = !em0 and g_am0 = !am0 and g_rm0 = !rm0 in
+  let g_ar1 = !ar1 and g_em1 = !em1 and g_am1 = !am1 and g_rm1 = !rm1 in
+  ar0 := 0.0;
+  em0 := 0.0;
+  am0 := 0.0;
+  rm0 := 0.0;
+  ar1 := 0.0;
+  em1 := 0.0;
+  am1 := 0.0;
+  rm1 := 0.0;
+  for k = 1 + ng to ng + np do
+    let vm = A1.unsafe_get dm (om + k) in
+    let va0 = A1.unsafe_get da (oa0 + k)
+    and ve0 = A1.unsafe_get de (oe0 + k)
+    and vr0 = A1.unsafe_get dr (or0 + k) in
+    ar0 := !ar0 +. (va0 *. vr0);
+    em0 := !em0 +. (ve0 *. vm);
+    am0 := !am0 +. (va0 *. vm);
+    rm0 := !rm0 +. (vr0 *. vm);
+    let va1 = A1.unsafe_get da (oa1 + k)
+    and ve1 = A1.unsafe_get de (oe1 + k)
+    and vr1 = A1.unsafe_get dr (or1 + k) in
+    ar1 := !ar1 +. (va1 *. vr1);
+    em1 := !em1 +. (ve1 *. vm);
+    am1 := !am1 +. (va1 *. vm);
+    rm1 := !rm1 +. (vr1 *. vm)
+  done;
+  into.(cov4_ar) <- g_ar0 +. !ar0;
+  into.(cov4_em) <- g_em0 +. !em0;
+  into.(cov4_am) <- g_am0 +. !am0;
+  into.(cov4_rm) <- g_rm0 +. !rm0;
+  into.(cov4_size + cov4_ar) <- g_ar1 +. !ar1;
+  into.(cov4_size + cov4_em) <- g_em1 +. !em1;
+  into.(cov4_size + cov4_am) <- g_am1 +. !am1;
+  into.(cov4_size + cov4_rm) <- g_rm1 +. !rm1
+
+let cov_into ~a ~ia ~b ~ib ~into ~at =
+  check_dims a b "cov_into";
+  let ng = a.dims.Form.n_globals and np = a.dims.Form.n_pcs in
+  let oa = ia * a.stride and ob = ib * b.stride in
+  let g = dot_range a.data (oa + 1) b.data (ob + 1) ng in
+  let p = dot_range a.data (oa + 1 + ng) b.data (ob + 1 + ng) np in
+  into.(at) <- g +. p
+
+(* Edge-covariance tables: Cov(delay of edge e, vertex form at an endpoint
+   of e), filled in bulk so the screen's inner loop reads one float where
+   it used to run a strided dot product.  [cov_src_cone_into] fills the
+   source-side table over an active cone list; [cov_dst_into] fills the
+   sink-side table over all edges whose sink is marked reached.  Both index
+   [into] by edge, so compaction of the cone lists never has to move the
+   table entries. *)
+
+let cov_src_cone_into ~verts ~forms ~src ~cone ~len ~into =
+  check_dims verts forms "cov_src_cone_into";
+  if len > Array.length cone then
+    invalid_arg "Form_buf.cov_src_cone_into: len exceeds cone list";
+  let ng = verts.dims.Form.n_globals and np = verts.dims.Form.n_pcs in
+  let dv = verts.data and df = forms.data in
+  for x = 0 to len - 1 do
+    let e = Array.unsafe_get cone x in
+    let ov = Array.unsafe_get src e * verts.stride
+    and oe = e * forms.stride in
+    let g = dot_range dv (ov + 1) df (oe + 1) ng in
+    let p = dot_range dv (ov + 1 + ng) df (oe + 1 + ng) np in
+    A1.unsafe_set into e (g +. p)
+  done
+
+let cov_dst_into ~forms ~verts ~dst ~mask ~into =
+  check_dims verts forms "cov_dst_into";
+  if A1.dim into < forms.n then
+    invalid_arg "Form_buf.cov_dst_into: table shorter than edge count";
+  let ng = verts.dims.Form.n_globals and np = verts.dims.Form.n_pcs in
+  let dv = verts.data and df = forms.data in
+  for e = 0 to forms.n - 1 do
+    let d = Array.unsafe_get dst e in
+    if Bytes.unsafe_get mask d <> '\000' then begin
+      let ov = d * verts.stride and oe = e * forms.stride in
+      let g = dot_range df (oe + 1) dv (ov + 1) ng in
+      let p = dot_range df (oe + 1 + ng) dv (ov + 1 + ng) np in
+      A1.unsafe_set into e (g +. p)
+    end
+  done
 
 let scale_into ~alpha ~a ~ia ~dst ~idst =
   check_dims a dst "scale_into";

@@ -23,6 +23,11 @@
 
 type t
 
+type data = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The unboxed float64 storage every buffer (and raw slab row) is a view
+    of; exposed concretely so callers' [unsafe_get]/[unsafe_set] compile to
+    direct float loads and stores. *)
+
 (** {1 Slab allocation}
 
     A {!slab} is a bump allocator over one contiguous float64 chunk.
@@ -57,6 +62,12 @@ val slab_peak_bytes : slab -> int
 val slab_grows : slab -> int
 (** Number of times a carve overflowed and replaced the chunk (0 when the
     slab was sized correctly up front). *)
+
+val slab_floats : slab -> int -> data
+(** Carve a raw zero-filled row of [n] floats (at least 1) from the slab's
+    cursor — the criticality screen keeps its retained scalar rows and
+    covariance tables on the same capacity-planned slab as the tile's
+    backward workspaces.  Same growth/reset semantics as {!create}. *)
 
 val create : ?slab:slab -> Form.dims -> int -> t
 (** [create dims n] is a buffer of [n] zero forms of dimension [dims],
@@ -165,3 +176,96 @@ val quad_stats_into :
   into:float array ->
   unit
 (** All four buffers must share one [dims] (they may alias). *)
+
+(** {1 Split pairwise gathers}
+
+    The blocked criticality screen hoists the visit-invariant outputs of
+    {!quad_stats_into} out of the eval: variances and random coefficients
+    become per-tile scalar rows, Cov(A,E) a per-input cone table and
+    Cov(E,R) a per-output edge table, leaving Cov(A,R), Cov(E,M),
+    Cov(A,M) and Cov(R,M) per visit, fused below.  Every value is
+    bit-identical to the corresponding {!covariance} probe (same segmented
+    accumulation); all kernels write into caller scratch and allocate
+    nothing. *)
+
+val cov4_ar : int
+val cov4_em : int
+val cov4_am : int
+val cov4_rm : int
+
+val cov4_size : int
+(** Minimum scratch-array length for {!cov4_into} (= 4). *)
+
+val cov4_into :
+  a:t ->
+  ia:int ->
+  e:t ->
+  ie:int ->
+  r:t ->
+  ir:int ->
+  m:t ->
+  im:int ->
+  into:float array ->
+  unit
+(** The four per-visit covariances of the exact tightness evaluation:
+    [into.(cov4_ar) = Cov(a.(ia), r.(ir))],
+    [into.(cov4_em) = Cov(e.(ie), m.(im))],
+    [into.(cov4_am) = Cov(a.(ia), m.(im))] and
+    [into.(cov4_rm) = Cov(r.(ir), m.(im))], fused into one strided pass
+    whose four accumulation chains pipeline each other (a lone bit-exact
+    dot is FP-add-latency bound, and the R,M chain multiplies two values
+    the other chains already load).  All four buffers must share one
+    [dims]. *)
+
+val cov4_lanes : int
+(** Lane count of {!cov4_batch2_into} (= 2). *)
+
+val cov4_batch2_into :
+  a:t ->
+  e:t ->
+  r:t ->
+  m:t ->
+  im:int ->
+  srcs:int array ->
+  dsts:int array ->
+  edges:int array ->
+  into:float array ->
+  unit
+(** {!cov4_into} for two independent evaluations at once, sharing the [m]
+    slot: lane [j] (indices [srcs.(j)], [edges.(j)], [dsts.(j)], all
+    arrays of length >= {!cov4_lanes}) writes
+    [into.(j * cov4_size + cov4_{ar,em,am,rm})], each value bit-identical
+    to a lone {!cov4_into} on that lane.  A serial bit-exact chain
+    advances once per element and stalls on FP-add latency; eight
+    interleaved chains fill those slots while still fitting the register
+    file (wider batches spill accumulators and lose), which is where the
+    criticality screen's eval throughput comes from.  [into] must be at
+    least [cov4_lanes * cov4_size] long. *)
+
+val cov_into : a:t -> ia:int -> b:t -> ib:int -> into:float array -> at:int -> unit
+(** [covariance a ia b ib] written to [into.(at)] instead of returned —
+    the memoized Cov(A,M)/Cov(R,M) slots of the eval fast path, kept
+    allocation-free (a cross-module float return would box). *)
+
+val cov_src_cone_into :
+  verts:t ->
+  forms:t ->
+  src:int array ->
+  cone:int array ->
+  len:int ->
+  into:data ->
+  unit
+(** For each edge [e = cone.(x)], [x < len]:
+    [into.{e} <- covariance verts src.(e) forms e] — the per-input
+    Cov(arrival at source, edge delay) table, filled once per forward
+    sweep over the input's active cone.  [into] is indexed by edge (length
+    >= the edge count), so later cone compactions never move entries. *)
+
+val cov_dst_into :
+  forms:t -> verts:t -> dst:int array -> mask:Bytes.t -> into:data -> unit
+(** For each edge [e] with [mask.(dst.(e)) <> 0]:
+    [into.{e} <- covariance forms e verts dst.(e)] — the per-output
+    Cov(edge delay, required time at sink) table, filled once per backward
+    sweep over the output's reach mask.  Entries of unmasked sinks are left
+    untouched (the screen never reads them: its own visit guard is the same
+    mask). *)

@@ -106,20 +106,40 @@ let make spec =
   done;
   B.finish b ~outputs
 
-(* ~1M-gate preset: 16 x 16 blocks x 4096 gates = 1,048,576 block gates
-   (plus ~250 merge gates), 32 PIs / 32 POs so the criticality screen's
-   per-chunk state stays bounded.  Pair with a cells_per_tile around
-   65536 when characterizing, so the correlation grid stays ~4x4 and the
-   PCA dimension stays propagation-friendly at this scale. *)
-let million ?(seed = 42) () =
+(* Size-parameterized preset family: blocks of 4096 gates arranged on the
+   squarest grid covering the requested count, 32 PIs / 32 POs so the
+   criticality screen's per-chunk state stays bounded at every size.
+   [of_gates 1_000_000] is a 16 x 16 grid = 1,048,576 block gates (plus
+   ~250 merge gates) - the million-gate design of the EXPERIMENTS.md
+   extraction run - and [of_gates 100_000] is the 5 x 5 = 102,400-gate
+   grid the CI-scale [extract_large] smoke bench uses.  Pair with a
+   cells_per_tile around 65536 when characterizing, so the correlation
+   grid stays small and the PCA dimension stays propagation-friendly. *)
+let preset_block_gates = 4096
+
+let of_gates ?(seed = 42) n =
+  if n <= 0 then invalid_arg "Large.of_gates: gate count must be positive";
+  let nb = (n + preset_block_gates - 1) / preset_block_gates in
+  let bx =
+    let r = int_of_float (ceil (sqrt (float_of_int nb))) in
+    max 1 r
+  in
+  let by = (nb + bx - 1) / bx in
+  let name =
+    if n mod 1_000_000 = 0 then Printf.sprintf "grid%dm" (n / 1_000_000)
+    else if n mod 1_000 = 0 then Printf.sprintf "grid%dk" (n / 1_000)
+    else Printf.sprintf "grid%d" n
+  in
   make
     {
-      name = "grid1m";
+      name;
       n_pi = 32;
       n_po = 32;
-      blocks_x = 16;
-      blocks_y = 16;
-      gates_per_block = 4096;
+      blocks_x = bx;
+      blocks_y = by;
+      gates_per_block = preset_block_gates;
       block_po = 8;
       seed;
     }
+
+let million ?(seed = 42) () = of_gates ~seed 1_000_000

@@ -19,8 +19,16 @@ val make : spec -> Netlist.t
 (** Total gate count is [blocks_x * blocks_y * gates_per_block] plus the
     or2 merge tree over the unconsumed edge-block outputs. *)
 
+val of_gates : ?seed:int -> int -> Netlist.t
+(** A preset design of {e at least} the requested gate count: 4096-gate
+    blocks on the squarest grid covering it, 32 PIs / 32 POs at every
+    size.  [of_gates 1_000_000] is the million-gate extraction design
+    (16 x 16 blocks, "grid1m"); [of_gates 100_000] is the 102,400-gate
+    5 x 5 grid ("grid100k") the [extract_large] CI smoke bench scales the
+    same pipeline down to.  Characterize with a large [cells_per_tile]
+    (e.g. 65536) so the correlation grid — and with it the PCA
+    dimension — stays bounded as the design grows. *)
+
 val million : ?seed:int -> unit -> Netlist.t
-(** The ~1M-gate preset (16 x 16 blocks of 4096 gates, 32 PIs/POs) used
-    by the [batch_large] bench; characterize it with a large
-    [cells_per_tile] (e.g. 65536) so the correlation grid — and with it
-    the PCA dimension — stays bounded at this scale. *)
+(** [of_gates 1_000_000] — the ~1M-gate preset of the [batch_large]
+    bench. *)

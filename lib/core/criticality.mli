@@ -44,29 +44,54 @@ type result = {
           skipped outright and counted nowhere *)
 }
 
+(** {1 Tile selection}
+
+    The backward tile size resolves with the precedence: an explicit
+    [?tile] argument, else the {!set_tile}/{!set_tile_auto} override (the
+    [hssta --crit-tile] hook), else the [CRIT_TILE] environment variable
+    (an integer, or ["auto"]), else the {!auto_tile} heuristic.  Auto is
+    the default: tiled slab storage is the standard extraction
+    architecture, and the budget knob is [CRIT_TILE_BUDGET_MB].  Passing a
+    fixed tile >= the output count reproduces the old untiled behaviour. *)
+
+type tile_choice = Fixed of int | Auto
+
+val tile_choice_of_string : string -> tile_choice option
+(** The pure parser behind both [CRIT_TILE] and [--crit-tile]: ["auto"]
+    (any case, surrounding whitespace ignored) is [Auto], a positive
+    integer is [Fixed], anything else is [None] (rejected by the CLI,
+    ignored by the env path). *)
+
+val budget_mb_of_string : string -> int option
+(** The pure parser behind [CRIT_TILE_BUDGET_MB]: a positive integer in
+    megabytes, [None] (fall back to the 256 MB default) otherwise. *)
+
 val set_tile : int -> unit
 (** Override the backward tile size for subsequent {!compute} calls
-    (clamped to at least 1) - the [hssta --crit-tile] hook.  An explicit
-    [?tile] argument still wins. *)
+    (clamped to at least 1).  An explicit [?tile] argument still wins. *)
 
 val set_tile_auto : unit -> unit
-(** Override the backward tile size with the {!auto_tile} heuristic - the
-    [hssta --crit-tile auto] hook.  An explicit [?tile] argument still
-    wins. *)
+(** Reset the override to the {!auto_tile} heuristic (the default when no
+    override or [CRIT_TILE] setting is present).  An explicit [?tile]
+    argument still wins. *)
 
-val auto_tile : ?budget_mb:int -> n_vertices:int -> stride:int -> unit -> int
+val auto_tile :
+  ?budget_mb:int -> n_vertices:int -> n_edges:int -> stride:int -> unit -> int
 (** The budget-driven tile heuristic: the largest number of retained
-    backward output slots whose workspaces fit in [budget_mb] megabytes
-    (default: the [CRIT_TILE_BUDGET_MB] environment variable, else 256),
-    floored at 1.  One output slot costs
-    [n_vertices * (8 * stride + 18)] bytes: the backward [Form_buf]
-    workspace ([stride] floats per vertex) and its reachability byte, the
-    two required-time scalar rows, and the destination bitmask. *)
+    backward output slots that fit in [budget_mb] megabytes (default: the
+    [CRIT_TILE_BUDGET_MB] environment variable, else 256), floored at 1.
+    One output slot costs
+    [n_vertices * (8 * stride + 34) + 8 * n_edges] bytes: the backward
+    [Form_buf] workspace ([stride] floats per vertex) and its reachability
+    byte, the four required-time scalar rows (mean, sigma, variance,
+    random coefficient), the destination bitmask, and the per-output
+    Cov(edge delay, required) table (one float per edge). *)
 
 val compute :
   ?exact:bool ->
   ?domains:int ->
   ?tile:int ->
+  ?engine:[ `Blocked | `Reference ] ->
   delta:float ->
   Tgraph.t ->
   forms:Form.t array ->
@@ -82,14 +107,22 @@ val compute :
     so [keep], [cm], and both counters are bit-identical for every domain
     count (including the never-spawning sequential path at 1).
 
-    [tile] bounds how many retained backward [Form_buf] workspaces are
+    [tile] bounds how many retained backward output slots (workspace +
+    scalar rows + covariance table, all on one capacity-planned slab) are
     resident at once: outputs are processed in ascending tiles of this
-    size, capping backward storage at [tile * |V| * stride] floats at the
-    cost of one extra forward sweep per input per additional tile (every
-    chunk re-derives its inputs' arrival data per tile; backward sweeps
-    still run once per output).  Raises [Invalid_argument] if < 1.  When
-    omitted the override of {!set_tile}, then the [CRIT_TILE] environment
-    variable, then all outputs at once (the untiled behaviour) apply.
+    size at the cost of one extra forward sweep per input per additional
+    tile (every chunk re-derives its inputs' arrival data per tile;
+    backward sweeps still run once per output).  Raises [Invalid_argument]
+    if < 1.  When omitted, the precedence above applies (auto by default).
     [keep], [cm], [exact_evals] and [screened_pairs] are bit-identical at
     every tile size: a chunk's flattened visit order over (output, input,
-    cone edge) does not depend on where the tile boundaries fall. *)
+    cone edge) does not depend on where the tile boundaries fall.
+
+    [engine] (default [`Blocked]) selects the evaluation machinery, never
+    the results: [`Blocked] runs the tiled multi-output backward blocks
+    and the precomputed-covariance eval fast path; [`Reference] runs the
+    per-output backward sweeps and the fused single-pass
+    {!Ssta_canonical.Form_buf.quad_stats_into} eval.  Both fill the same
+    scratch layout with bit-identical values and share the decision tail,
+    so every result field and counter matches exactly - the equivalence
+    tests and the bench speedup floor compare the two. *)

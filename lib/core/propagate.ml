@@ -12,6 +12,7 @@ let c_update_sweeps = Obs.counter "propagate.update_sweeps"
 let c_update_vertices = Obs.counter "propagate.update_vertices"
 let c_update_edges = Obs.counter "propagate.update_edges"
 let c_backward_sweeps = Obs.counter "propagate.backward_sweeps"
+let c_backward_blocks = Obs.counter "propagate.backward_blocks"
 let c_clark_max_evals = Obs.counter "propagate.clark_max_evals"
 let c_add_evals = Obs.counter "propagate.add_evals"
 let g_ws_floats = Obs.gauge "propagate.ws_floats_hw"
@@ -67,6 +68,14 @@ let prepare ws ~dims ~n =
   else Bytes.fill ws.reach 0 (Bytes.length ws.reach) '\000'
 
 let mark ws v = Bytes.unsafe_set ws.reach v '\001'
+
+(* Pre-size a workspace outside any parallel region.  Slab-backed
+   workspaces carve their buffer on first [prepare]; when that first sweep
+   runs inside a parallel region, concurrent carves would race on the
+   slab's cursor.  Callers that share one slab across workspaces swept in
+   parallel (the criticality tile) must reserve each workspace
+   sequentially first, after which in-region prepares never regrow. *)
+let reserve ws ~dims ~n = prepare ws ~dims ~n
 
 (* Post-sweep op accounting, run only when observability is enabled so
    the kernel loops carry no per-edge instrumentation.  The edge list is
@@ -244,6 +253,56 @@ let backward_to_into ws g ~forms out =
   if Obs.enabled () then
     account ws g ~n_seeds:1 ~upstream:dst ~sweeps:c_backward_sweeps
 
+(* Blocked multi-output backward propagation: one pass over the reversed
+   topological edge order advances a whole block of output sweeps at once,
+   so the edge table (src/dst loads) is traversed once per block instead
+   of once per output.  Workspace [k] of [wss.(lo..hi-1)] receives exactly
+   the kernel-call sequence of [backward_to_into wss.(k) g ~forms
+   outs.(k)]: the workspaces are disjoint and the per-edge inner loop
+   visits them in a fixed order, so each output's accumulation order — and
+   therefore every result bit — is unchanged (test_crit_screen.ml pins
+   this over random DAGs).  Accounting stays per output sweep
+   ([backward_sweeps] still counts outputs); [backward_blocks] counts the
+   amortized passes. *)
+let backward_block_into wss g ~forms ~outs ~lo ~hi =
+  check_buf g forms;
+  if
+    lo < 0 || lo > hi
+    || hi > Array.length wss
+    || hi > Array.length outs
+  then invalid_arg "Propagate.backward_block_into: bad block range";
+  let dims = Form_buf.dims forms and nv = Tgraph.n_vertices g in
+  for k = lo to hi - 1 do
+    let ws = wss.(k) in
+    prepare ws ~dims ~n:nv;
+    Form_buf.clear_slot ws.buf outs.(k);
+    mark ws outs.(k)
+  done;
+  let src = g.Tgraph.src and dst = g.Tgraph.dst in
+  for i = Array.length src - 1 downto 0 do
+    let d = Array.unsafe_get dst i in
+    let s = Array.unsafe_get src i in
+    for k = lo to hi - 1 do
+      let ws = Array.unsafe_get wss k in
+      if ws_reached ws d then begin
+        let buf = ws.buf in
+        if ws_reached ws s then
+          Form_buf.add_then_max_into ~acc:buf ~iacc:s ~a:buf ~ia:d ~b:forms
+            ~ib:i
+        else begin
+          Form_buf.add_into ~a:buf ~ia:d ~b:forms ~ib:i ~dst:buf ~idst:s;
+          mark ws s
+        end
+      end
+    done
+  done;
+  if Obs.enabled () then begin
+    for k = lo to hi - 1 do
+      account wss.(k) g ~n_seeds:1 ~upstream:dst ~sweeps:c_backward_sweeps
+    done;
+    if hi > lo then Obs.incr c_backward_blocks
+  end
+
 let scalar_summaries_into ws ~n ~mu ~sigma =
   for v = 0 to n - 1 do
     if ws_reached ws v then begin
@@ -253,6 +312,41 @@ let scalar_summaries_into ws ~n ~mu ~sigma =
     else begin
       mu.(v) <- nan;
       sigma.(v) <- nan
+    end
+  done
+
+(* As [scalar_summaries_into], but four statistics into one interleaved
+   unboxed slab row: the blocked criticality screen retains mean, std,
+   variance and the random coefficient per vertex so its eval fast path
+   reads rows instead of probing the form buffer, and interleaving them at
+   [stat_stride] puts all four in the cache line the visit's first load
+   already fetched (the screen's vertex accesses are scattered, so four
+   parallel rows cost four misses where one interleaved row costs one).
+   [sigma = sqrt var] exactly as [Form_buf.std], so the row values are
+   bit-identical to the probes. *)
+let stat_mu = 0
+let stat_sigma = 1
+let stat_var = 2
+let stat_rand = 3
+let stat_stride = 4
+
+let scalar_stats_into ws ~n ~into =
+  let module A1 = Bigarray.Array1 in
+  let buf = ws.buf in
+  for v = 0 to n - 1 do
+    let o = stat_stride * v in
+    if ws_reached ws v then begin
+      let variance = Form_buf.variance buf v in
+      A1.unsafe_set into (o + stat_mu) (Form_buf.mean buf v);
+      A1.unsafe_set into (o + stat_sigma) (sqrt variance);
+      A1.unsafe_set into (o + stat_var) variance;
+      A1.unsafe_set into (o + stat_rand) (Form_buf.rand_coeff buf v)
+    end
+    else begin
+      A1.unsafe_set into (o + stat_mu) nan;
+      A1.unsafe_set into (o + stat_sigma) nan;
+      A1.unsafe_set into (o + stat_var) nan;
+      A1.unsafe_set into (o + stat_rand) nan
     end
   done
 

@@ -111,10 +111,54 @@ val backward_to_into :
     given output, left in the workspace.  Bit-identical to
     {!backward_to}. *)
 
+val backward_block_into :
+  workspace array ->
+  Tgraph.t ->
+  forms:Form_buf.t ->
+  outs:int array ->
+  lo:int ->
+  hi:int ->
+  unit
+(** Blocked multi-output backward propagation: for each [k] in [lo, hi),
+    workspace [wss.(k)] ends up bit-identical to
+    [backward_to_into wss.(k) g ~forms outs.(k)], but all sweeps of the
+    block advance through {e one} pass over the reversed topological edge
+    order, amortizing the edge-table traversal across the block.  The
+    workspaces must be distinct.  Per-output accounting is unchanged
+    ([propagate.backward_sweeps] still counts outputs); each non-empty
+    block bumps [propagate.backward_blocks] once.
+
+    Slab-backed workspaces swept in parallel blocks over one shared slab
+    must be {!reserve}d sequentially first (carving races otherwise). *)
+
+val reserve : workspace -> dims:Form.dims -> n:int -> unit
+(** Pre-size the workspace for sweeps of [n] vertices at [dims] — carving
+    from its slab now, outside any parallel region, so later in-region
+    sweeps never regrow.  Sweeps re-prepare themselves regardless; this
+    only front-loads the allocation. *)
+
 val scalar_summaries_into :
   workspace -> n:int -> mu:float array -> sigma:float array -> unit
 (** Fill [mu]/[sigma] (length >= [n]) with per-vertex mean and standard
     deviation of the last sweep, [nan] at unreached vertices. *)
+
+val stat_mu : int
+val stat_sigma : int
+val stat_var : int
+val stat_rand : int
+
+val stat_stride : int
+(** Layout of {!scalar_stats_into}: vertex [v]'s statistic [stat_x] lives
+    at [into.{stat_stride * v + stat_x}] (= 4 floats per vertex). *)
+
+val scalar_stats_into : workspace -> n:int -> into:Form_buf.data -> unit
+(** As {!scalar_summaries_into} plus per-vertex variance and random
+    coefficient, written into one interleaved unboxed slab row of length
+    >= [stat_stride * n] — the retained per-vertex statistics of the
+    blocked criticality screen, interleaved so a visit's scattered vertex
+    access costs one cache line instead of four.  [sigma] is [sqrt var]
+    exactly as {!Form_buf.std} computes it, so every row value is
+    bit-identical to the corresponding probe. *)
 
 val forward :
   Tgraph.t -> forms:Form.t array -> sources:int array -> Form.t option array

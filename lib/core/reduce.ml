@@ -24,12 +24,44 @@ type vertex = {
   mutable valive : bool;
 }
 
+(* Dead edges are only flagged ([alive <- false]), never surgically
+   removed from the adjacency lists: eager removal cost a full prefix
+   rebuild per kill, which went quadratic on high-fanout hubs once the
+   ~1M-gate designs arrived (a hub that accumulates F parallel edges
+   pays O(F) per duplicate killed, O(F^2) per pass).  Readers go through
+   [live], which filters flagged edges out and writes the compacted list
+   back - amortized O(deaths), and the *live* sublist order is exactly
+   what eager removal produced, so merge accumulation orders (hence
+   every model bit) are unchanged.
+
+   [stamp]/[group_cell] back parallel_pass's duplicate grouping: epoch-
+   stamped per-destination list cells replace the per-vertex Hashtbl
+   (one million table allocations per pass at scale).  [epoch] strictly
+   increases, one step per grouped vertex; a stale stamp means the cell
+   belongs to a previous vertex's grouping and is ignored. *)
 type t = {
   vertices : vertex array;
   inputs : int array;
   outputs : int array;
   mutable live_edges : int;
+  stamp : int array;
+  group_cell : edge list ref array;
+  mutable epoch : int;
 }
+
+let rec all_alive = function [] -> true | e :: r -> e.alive && all_alive r
+
+let live l = if all_alive l then l else List.filter (fun e -> e.alive) l
+
+let live_fanin v =
+  let l = live v.fanin in
+  v.fanin <- l;
+  l
+
+let live_fanout v =
+  let l = live v.fanout in
+  v.fanout <- l;
+  l
 
 let of_graph g ~forms ~keep =
   let n = Tgraph.n_vertices g in
@@ -64,6 +96,9 @@ let of_graph g ~forms ~keep =
     inputs = Array.copy g.Tgraph.inputs;
     outputs = Array.copy g.Tgraph.outputs;
     live_edges = !live;
+    stamp = Array.make n (-1);
+    group_cell = Array.make n (ref []);
+    epoch = 0;
   }
 
 let n_live_edges t = t.live_edges
@@ -73,38 +108,48 @@ let n_live_vertices t =
 
 let is_port v = v.is_input || v.is_output
 
-(* Each edge appears exactly once per adjacency list, so removal can stop
-   at the first physical match instead of filtering (and copying) the whole
-   list - kill_edge runs once per merged edge on high-fanout vertices. *)
-let rec remove_first e = function
-  | [] -> []
-  | x :: rest -> if x == e then rest else x :: remove_first e rest
-
 let kill_edge t e =
   if e.alive then begin
     e.alive <- false;
-    let s = t.vertices.(e.esrc) and d = t.vertices.(e.edst) in
-    s.fanout <- remove_first e s.fanout;
-    d.fanin <- remove_first e d.fanin;
     t.live_edges <- t.live_edges - 1
   end
 
+(* Dead-vertex cascade on a worklist: killing a vertex's edges can only
+   expose its live neighbours, so only those need rechecking - the old
+   whole-array rescan per cascade level was |V| x depth at scale.  The
+   removed set is confluent (a vertex with an empty live side stays
+   empty), so the visit order does not affect the outcome. *)
 let prune t =
   let removed = ref 0 in
-  let continue_ = ref true in
-  while !continue_ do
-    continue_ := false;
-    Array.iter
-      (fun v ->
-        if v.valive && not (is_port v) && (v.fanin = [] || v.fanout = [])
-        then begin
-          List.iter (kill_edge t) v.fanin;
-          List.iter (kill_edge t) v.fanout;
-          v.valive <- false;
-          incr removed;
-          continue_ := true
+  let q = Queue.create () in
+  let dead v = live_fanin v = [] || live_fanout v = [] in
+  let kill vi v =
+    List.iter
+      (fun e ->
+        if e.alive then begin
+          kill_edge t e;
+          let o = if e.esrc = vi then e.edst else e.esrc in
+          if t.vertices.(o).valive then Queue.add o q
         end)
-      t.vertices
+      v.fanin;
+    List.iter
+      (fun e ->
+        if e.alive then begin
+          kill_edge t e;
+          let o = if e.esrc = vi then e.edst else e.esrc in
+          if t.vertices.(o).valive then Queue.add o q
+        end)
+      v.fanout;
+    v.valive <- false;
+    incr removed
+  in
+  Array.iteri
+    (fun vi v -> if v.valive && not (is_port v) && dead v then kill vi v)
+    t.vertices;
+  while not (Queue.is_empty q) do
+    let vi = Queue.pop q in
+    let v = t.vertices.(vi) in
+    if v.valive && not (is_port v) && dead v then kill vi v
   done;
   !removed
 
@@ -113,7 +158,7 @@ let serial_pass t =
   Array.iteri
     (fun _vi v ->
       if v.valive && not (is_port v) then begin
-        match (v.fanin, v.fanout) with
+        match (live_fanin v, live_fanout v) with
         | [ e_in ], (_ :: _ as fanout) ->
             (* Forward serial merge (paper Fig. 1a): route every fanout edge
                of v directly from v's unique predecessor. *)
@@ -146,29 +191,50 @@ let serial_pass t =
     t.vertices;
   !merged
 
+(* Group a vertex's live fanout by destination exactly as the Hashtbl
+   version did: per-destination lists consed in traversal order (so each
+   group is the reversed fanout-order sublist), groups processed
+   independently.  Groups touch disjoint edge sets and kills are flag
+   writes, so inter-group processing order is immaterial to the result;
+   within a group the fold order over [rest] is preserved, which is what
+   fixes the Clark-max accumulation order and hence the model bits. *)
 let parallel_pass t =
   let merged = ref 0 in
   Array.iter
     (fun v ->
-      if v.valive && v.fanout <> [] then begin
-        let by_dst = Hashtbl.create 7 in
-        List.iter
-          (fun e ->
-            let prev = try Hashtbl.find by_dst e.edst with Not_found -> [] in
-            Hashtbl.replace by_dst e.edst (e :: prev))
-          v.fanout;
-        Hashtbl.iter
-          (fun _dst edges ->
-            match edges with
-            | [] | [ _ ] -> ()
-            | first :: rest ->
-                first.weight <-
-                  List.fold_left
-                    (fun acc e -> Form.max2 acc e.weight)
-                    first.weight rest;
-                List.iter (kill_edge t) rest;
-                merged := !merged + List.length rest)
-          by_dst
+      if v.valive then begin
+        let fanout = live_fanout v in
+        if fanout <> [] then begin
+          let ep = t.epoch in
+          t.epoch <- ep + 1;
+          let cells = ref [] in
+          List.iter
+            (fun e ->
+              let d = e.edst in
+              if t.stamp.(d) <> ep then begin
+                t.stamp.(d) <- ep;
+                let c = ref [ e ] in
+                t.group_cell.(d) <- c;
+                cells := c :: !cells
+              end
+              else begin
+                let c = t.group_cell.(d) in
+                c := e :: !c
+              end)
+            fanout;
+          List.iter
+            (fun cell ->
+              match !cell with
+              | [] | [ _ ] -> ()
+              | first :: rest ->
+                  first.weight <-
+                    List.fold_left
+                      (fun acc e -> Form.max2 acc e.weight)
+                      first.weight rest;
+                  List.iter (kill_edge t) rest;
+                  merged := !merged + List.length rest)
+            !cells
+        end
       end)
     t.vertices;
   !merged

@@ -116,6 +116,16 @@ let pool_put p w =
   p.free <- w :: p.free;
   Mutex.unlock p.lock
 
+(* Snapshot of the currently checked-in scratch values.  After the join
+   barrier of a [run_tasks_pool] region every worker has returned its
+   scratch, so the snapshot is the complete set - the criticality screen
+   folds its workers' slab peaks into a resident-memory gauge this way. *)
+let pool_members p =
+  Mutex.lock p.lock;
+  let l = p.free in
+  Mutex.unlock p.lock;
+  l
+
 (* [run_tasks] drawing worker scratch from a pool instead of building it
    with a per-region [init].  Same task semantics and the same
    deterministic chunk-claiming scheme. *)
@@ -180,6 +190,21 @@ let chunk_bounds ~chunk ~n i =
   let c = max 1 chunk in
   let lo = i * c in
   (lo, min n (lo + c))
+
+(* Fan the fixed-size blocks of [0, n) out over the domain pool: block [b]
+   runs [task lo hi] with [chunk_bounds ~chunk:block ~n b].  The block
+   layout is a pure function of [n] and [block] only (never of the domain
+   count), so callers whose per-block work is deterministic get the usual
+   bit-identical merge for free — the criticality screen's blocked
+   backward tiles schedule through this. *)
+let run_blocks ?domains ~block ~n ~task () =
+  run_tasks ?domains
+    ~n_tasks:(n_chunks ~chunk:block n)
+    ~init:(fun () -> ())
+    ~task:(fun () b ->
+      let lo, hi = chunk_bounds ~chunk:block ~n b in
+      task lo hi)
+    ()
 
 (* Map [f ~chunk ~lo ~hi] over every chunk of [0, n); the result array is
    in chunk-index order regardless of the domain count. *)

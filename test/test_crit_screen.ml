@@ -3,8 +3,10 @@
    compaction, output tiling, pooled scratch) must return bit-identical
    keep / cm / exact_evals / screened_pairs versus a naive full-scan
    reference that shares only the chunk layout and the per-pair
-   arithmetic - at 1/2/4 domains, several tile sizes, and in both
-   threshold and exact modes.  Also pins the Form_buf rewrite of
+   arithmetic - at 1/2/4 domains, several tile sizes, both evaluation
+   engines (blocked fast path and per-output reference), and in both
+   threshold and exact modes.  Also pins the tile-knob parsers and their
+   precedence, and the Form_buf rewrite of
    Extract.output_load_increments against the boxed Form.scale /
    Form.max_list fold it replaced. *)
 
@@ -198,34 +200,47 @@ let prop_screen_equivalence seed =
             (fun domains ->
               List.iter
                 (fun tile ->
-                  let got =
-                    H.Criticality.compute ~exact ~domains ?tile ~delta:0.05 g
-                      ~forms
-                  in
-                  let label =
-                    Printf.sprintf
-                      "seed=%d dims=(%d,%d) exact=%b domains=%d tile=%s"
-                      seed dims.Form.n_globals dims.Form.n_pcs exact domains
-                      (match tile with None -> "all" | Some t -> string_of_int t)
-                  in
-                  if got.H.Criticality.keep <> want.H.Criticality.keep then
-                    Alcotest.failf "%s: keep mask differs" label;
-                  if not (bits_equal got.H.Criticality.cm want.H.Criticality.cm)
-                  then Alcotest.failf "%s: cm differs" label;
-                  if
-                    got.H.Criticality.exact_evals
-                    <> want.H.Criticality.exact_evals
-                  then
-                    Alcotest.failf "%s: exact_evals %d <> %d" label
-                      got.H.Criticality.exact_evals
-                      want.H.Criticality.exact_evals;
-                  if
-                    got.H.Criticality.screened_pairs
-                    <> want.H.Criticality.screened_pairs
-                  then
-                    Alcotest.failf "%s: screened_pairs %d <> %d" label
-                      got.H.Criticality.screened_pairs
-                      want.H.Criticality.screened_pairs)
+                  List.iter
+                    (fun engine ->
+                      let got =
+                        H.Criticality.compute ~exact ~domains ?tile ~engine
+                          ~delta:0.05 g ~forms
+                      in
+                      let label =
+                        Printf.sprintf
+                          "seed=%d dims=(%d,%d) exact=%b domains=%d tile=%s \
+                           engine=%s"
+                          seed dims.Form.n_globals dims.Form.n_pcs exact
+                          domains
+                          (match tile with
+                          | None -> "all"
+                          | Some t -> string_of_int t)
+                          (match engine with
+                          | `Blocked -> "blocked"
+                          | `Reference -> "reference")
+                      in
+                      if got.H.Criticality.keep <> want.H.Criticality.keep
+                      then Alcotest.failf "%s: keep mask differs" label;
+                      if
+                        not
+                          (bits_equal got.H.Criticality.cm
+                             want.H.Criticality.cm)
+                      then Alcotest.failf "%s: cm differs" label;
+                      if
+                        got.H.Criticality.exact_evals
+                        <> want.H.Criticality.exact_evals
+                      then
+                        Alcotest.failf "%s: exact_evals %d <> %d" label
+                          got.H.Criticality.exact_evals
+                          want.H.Criticality.exact_evals;
+                      if
+                        got.H.Criticality.screened_pairs
+                        <> want.H.Criticality.screened_pairs
+                      then
+                        Alcotest.failf "%s: screened_pairs %d <> %d" label
+                          got.H.Criticality.screened_pairs
+                          want.H.Criticality.screened_pairs)
+                    [ `Blocked; `Reference ])
                 [ None; Some 1; Some 3 ])
             [ 1; 2; 4 ])
         [ false; true ])
@@ -248,6 +263,72 @@ let test_tile_validation () =
     && bits_equal a.H.Criticality.cm b.H.Criticality.cm
     && a.H.Criticality.exact_evals = b.H.Criticality.exact_evals
     && a.H.Criticality.screened_pairs = b.H.Criticality.screened_pairs)
+
+(* The pure parsers behind CRIT_TILE / --crit-tile / CRIT_TILE_BUDGET_MB:
+   "auto" in any case, positive integers, and nothing else. *)
+let test_tile_parsers () =
+  let open H.Criticality in
+  let tc = Alcotest.(check (option (of_pp (fun fmt -> function
+    | Fixed n -> Format.fprintf fmt "Fixed %d" n
+    | Auto -> Format.fprintf fmt "Auto")))) in
+  tc "auto" (Some Auto) (tile_choice_of_string "auto");
+  tc "case/space-insensitive auto" (Some Auto)
+    (tile_choice_of_string "  AuTo ");
+  tc "positive int" (Some (Fixed 7)) (tile_choice_of_string "7");
+  tc "trimmed int" (Some (Fixed 128)) (tile_choice_of_string " 128 ");
+  tc "zero rejected" None (tile_choice_of_string "0");
+  tc "negative rejected" None (tile_choice_of_string "-3");
+  tc "garbage rejected" None (tile_choice_of_string "many");
+  tc "empty rejected" None (tile_choice_of_string "");
+  let bc = Alcotest.(check (option int)) in
+  bc "budget int" (Some 512) (budget_mb_of_string "512");
+  bc "budget trimmed" (Some 64) (budget_mb_of_string " 64 ");
+  bc "budget zero rejected" None (budget_mb_of_string "0");
+  bc "budget garbage rejected" None (budget_mb_of_string "big");
+  (* The auto heuristic: largest slot count fitting the budget, floored
+     at 1.  One slot costs nv*(8*stride+34) + 8*m bytes. *)
+  let tile =
+    H.Criticality.auto_tile ~budget_mb:1 ~n_vertices:1000 ~n_edges:2000
+      ~stride:10 ()
+  in
+  Alcotest.(check int) "auto_tile 1MB" (1024 * 1024 / ((1000 * 114) + 16_000))
+    tile;
+  Alcotest.(check int) "auto_tile floors at 1" 1
+    (H.Criticality.auto_tile ~budget_mb:1 ~n_vertices:10_000_000
+       ~n_edges:20_000_000 ~stride:100 ())
+
+(* Tile precedence, observed through the criticality.backward_tiles
+   counter: an explicit ?tile beats the set_tile override, which beats
+   the auto default (whose budget covers any test-sized graph in one
+   tile).  The env-variable leg of the chain is the lazy read of
+   CRIT_TILE through tile_choice_of_string, pinned above. *)
+let test_tile_precedence () =
+  let dims = { Form.n_globals = 2; n_pcs = 4 } in
+  let g, forms = Test_kernels.random_dag 7 dims in
+  let no = Array.length g.Tgraph.outputs in
+  Alcotest.(check bool) "graph has several outputs" true (no >= 2);
+  let saved = Ssta_obs.Obs.enabled () in
+  Ssta_obs.Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      H.Criticality.set_tile_auto ();
+      Ssta_obs.Obs.set_enabled saved;
+      Ssta_obs.Obs.reset ())
+    (fun () ->
+      Ssta_obs.Obs.enable ();
+      let tiles_of ?tile () =
+        Ssta_obs.Obs.reset ();
+        ignore (H.Criticality.compute ?tile ~delta:0.05 g ~forms);
+        Ssta_obs.Obs.find_counter "criticality.backward_tiles"
+      in
+      Alcotest.(check int) "auto default: one tile at test scale" 1
+        (tiles_of ());
+      H.Criticality.set_tile 1;
+      Alcotest.(check int) "set_tile overrides the default" no (tiles_of ());
+      Alcotest.(check int) "?tile beats set_tile" 1 (tiles_of ~tile:no ());
+      H.Criticality.set_tile_auto ();
+      Alcotest.(check int) "set_tile_auto restores the heuristic" 1
+        (tiles_of ()))
 
 (* Extract.output_load_increments was rewritten on Form_buf in-place
    kernels; it must reproduce the boxed Form.scale list + Form.max_list
@@ -305,6 +386,10 @@ let suites =
           "cone screen = naive reference (keep/cm/counters, all modes)";
         Alcotest.test_case "tile validation and oversize" `Quick
           test_tile_validation;
+        Alcotest.test_case "tile knob parsers (CRIT_TILE / budget)" `Quick
+          test_tile_parsers;
+        Alcotest.test_case "tile precedence: ?tile > set_tile > auto" `Quick
+          test_tile_precedence;
       ] );
     ( "crit_screen.output_load",
       [

@@ -126,6 +126,48 @@ let prop_quad_stats seed =
     dim_cases;
   true
 
+(* The per-visit covariance gather of the blocked screen: both the lone
+   kernel and the two-lane batch must agree with the Form.covariance
+   probes bit for bit — the batch is pure instruction scheduling, never a
+   different accumulation. *)
+let prop_cov4 seed =
+  List.iter
+    (fun dims ->
+      let rng = Rng.create ~seed in
+      for _ = 1 to 25 do
+        let forms = Array.init 7 (fun _ -> random_form rng dims) in
+        let buf = Form_buf.of_forms dims forms in
+        let check ~ia ~ie ~ir ~im (got : float array) base =
+          let c name x y =
+            if x <> y then
+              Alcotest.failf "cov4 %s: %h <> %h (probe)" name x y
+          in
+          c "ar" got.(base + Form_buf.cov4_ar)
+            (Form.covariance forms.(ia) forms.(ir));
+          c "em" got.(base + Form_buf.cov4_em)
+            (Form.covariance forms.(ie) forms.(im));
+          c "am" got.(base + Form_buf.cov4_am)
+            (Form.covariance forms.(ia) forms.(im));
+          c "rm" got.(base + Form_buf.cov4_rm)
+            (Form.covariance forms.(ir) forms.(im))
+        in
+        let lone = Array.make Form_buf.cov4_size nan in
+        Form_buf.cov4_into ~a:buf ~ia:0 ~e:buf ~ie:1 ~r:buf ~ir:2 ~m:buf
+          ~im:6 ~into:lone;
+        check ~ia:0 ~ie:1 ~ir:2 ~im:6 lone 0;
+        (* Two independent lanes sharing the m slot, exactly as the screen
+           batches survivors of one walk. *)
+        let batched =
+          Array.make (Form_buf.cov4_lanes * Form_buf.cov4_size) nan
+        in
+        Form_buf.cov4_batch2_into ~a:buf ~e:buf ~r:buf ~m:buf ~im:6
+          ~srcs:[| 0; 3 |] ~dsts:[| 2; 5 |] ~edges:[| 1; 4 |] ~into:batched;
+        check ~ia:0 ~ie:1 ~ir:2 ~im:6 batched 0;
+        check ~ia:3 ~ie:4 ~ir:5 ~im:6 batched Form_buf.cov4_size
+      done)
+    dim_cases;
+  true
+
 (* The scratch-array Clark must be bit-identical to the record-returning
    original, including the constant-difference degenerate branch. *)
 let prop_clark_into seed =
@@ -251,6 +293,46 @@ let prop_workspace_reuse seed =
           H.Propagate.backward_to_into ws g ~forms:fbuf o;
           if not (sweep_equal n ws reference) then ok := false)
         g.Tgraph.outputs)
+    dim_cases;
+  !ok
+
+(* Blocked multi-output backward propagation: every workspace of a block
+   must be bit-identical to its own backward_to_into sweep, whatever the
+   block size and wherever the block boundaries fall - the tentpole
+   guarantee the tiled criticality screen's backward phase rests on. *)
+let prop_backward_block seed =
+  let ok = ref true in
+  List.iteri
+    (fun k dims ->
+      let g, forms = random_dag (seed + (1000 * k)) dims in
+      let fbuf = Form_buf.of_forms dims forms in
+      let n = Tgraph.n_vertices g in
+      let outs = g.Tgraph.outputs in
+      let no = Array.length outs in
+      let reference =
+        Array.map
+          (fun o ->
+            let ws = H.Propagate.create_workspace () in
+            H.Propagate.backward_to_into ws g ~forms:fbuf o;
+            Array.init n (fun v -> H.Propagate.ws_form ws v))
+          outs
+      in
+      List.iter
+        (fun block ->
+          let wss =
+            Array.init no (fun _ -> H.Propagate.create_workspace ())
+          in
+          let lo = ref 0 in
+          while !lo < no do
+            let hi = min no (!lo + block) in
+            H.Propagate.backward_block_into wss g ~forms:fbuf ~outs ~lo:!lo
+              ~hi;
+            lo := hi
+          done;
+          for j = 0 to no - 1 do
+            if not (sweep_equal n wss.(j) reference.(j)) then ok := false
+          done)
+        [ 1; 3; max no 1 ])
     dim_cases;
   !ok
 
@@ -388,6 +470,8 @@ let suites =
           "fused add_then_max agrees with max2 o add (bit-exact)";
         test prop_scalar_probes "scalar probes agree with Form";
         test prop_quad_stats "fused moment gather agrees with probes";
+        test prop_cov4
+          "cov4 gather and two-lane batch agree with probes (bit-exact)";
         test prop_clark_into "clark_max_into agrees with clark_max";
         test prop_slab_carving
           "slab-carved buffers match fresh buffers (bit-exact)";
@@ -398,6 +482,8 @@ let suites =
         test prop_workspace_reuse
           "reused workspace reproduces pure forward/backward exactly";
         test prop_forward_all_matches "forward_into from all inputs";
+        test prop_backward_block
+          "blocked backward = per-output sweeps at every block size";
         test prop_forward_cone
           "cone-restricted sweep matches full sweep (bit-exact)";
       ] );
