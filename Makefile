@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-smoke bench-gate bench-crit bench-par bench-batch bench-large bench-serve check ci fmt fmt-check clean
+.PHONY: all build test bench bench-smoke bench-gate bench-crit bench-par bench-batch bench-large bench-serve chaos check ci fmt fmt-check clean
 
 all: build
 
@@ -93,6 +93,17 @@ bench-serve: build
 	GATE_TIME_TOL=$${GATE_TIME_TOL:-0.5} \
 	  $(DUNE) exec bench/check_regression.exe -- \
 	  BENCH_serve.json _build/BENCH_serve_run.json
+
+# Chaos harness: crash the daemon at each seeded injection point
+# (post-response, torn WAL append, durable-but-unanswered, torn model
+# spill), restart it on the same state directory, and require the
+# replayed stream to be byte-identical to an uninterrupted run.  The
+# structural verdict fields are compared against the committed golden.
+chaos: build
+	$(DUNE) exec bin/hssta.exe -- chaos \
+	  --corpus bench/serve_recovery_corpus_c1908.jsonl \
+	  --dir _build/_chaos -o _build/chaos_verdicts.jsonl
+	cmp _build/chaos_verdicts.jsonl test/golden/chaos_verdicts.jsonl
 
 check: build test bench-smoke
 

@@ -125,6 +125,10 @@ let classify key =
     | Some i -> (
         match String.sub key (i + 1) (String.length key - i - 1) with
         | "s" -> (Timing, 0.005)
+        (* [_ms] keys are one-shot phase spans (daemon crash recovery):
+           scheduler jitter on a single measurement easily exceeds the
+           relative band near a few ms, hence the absolute slack. *)
+        | "ms" -> (Timing, 5.0)
         | "us" | "ns" -> (Timing, 0.0)
         | "mb" -> (Timing, 64.0)
         | "speedup" -> (Ratio, 0.0)

@@ -806,8 +806,41 @@ let serve_cmd =
     Arg.(
       value & opt_all string [] & info [ "preload" ] ~docv:"CIRCUIT" ~doc)
   in
-  let run () () () () () socket preload =
-    let t = Serve.create () in
+  let cache_dir_arg =
+    let doc =
+      "Durable state directory: characterized models spill to \
+       $(docv)/models (checksummed, atomically renamed into place), \
+       committed session changes append to the write-ahead log \
+       $(docv)/wal.jsonl before the response is sent, and checkpoints \
+       land in $(docv)/checkpoint.  A daemon restarted on the same \
+       directory replays checkpoint + WAL and answers the remaining \
+       request stream byte-identically to one that never crashed."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~env:(Cmd.Env.info "HSSTA_CACHE_DIR")
+          ~docv:"DIR" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Backpressure bound: requests beyond the first $(docv) of a \
+       pipelined group are shed unprocessed with an \
+       ok:false/overloaded:true response carrying a retry_after_ms hint."
+    in
+    Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Checkpoint the session state and truncate the WAL every $(docv) \
+       records (bounds both WAL growth and recovery replay time)."
+    in
+    Arg.(value & opt int 64 & info [ "wal-checkpoint" ] ~docv:"N" ~doc)
+  in
+  let run () () () () () socket preload cache_dir max_queue checkpoint_every
+      =
+    let t = Serve.create ?cache_dir ~max_queue ~checkpoint_every () in
     try Serve.run_daemon ~socket ~preload t
     with Unix.Unix_error (e, fn, arg) ->
       Printf.eprintf "hssta serve: %s: %s(%s)\n%!" (Unix.error_message e) fn
@@ -820,10 +853,12 @@ let serve_cmd =
          "Run the persistent analysis daemon: load characterized models \
           once, answer design-level quantile/path/what-if queries over a \
           unix-domain socket (JSONL, one request object per line) until a \
-          shutdown request")
+          shutdown request, SIGTERM, or SIGINT (all drain in-flight work, \
+          flush a checkpoint when --cache-dir is set, and exit 0)")
     Term.(
       const run $ setup_logs $ setup_domains $ setup_obs $ setup_crit_tile
-      $ setup_robust $ socket_arg $ preload_arg)
+      $ setup_robust $ socket_arg $ preload_arg $ cache_dir_arg
+      $ max_queue_arg $ checkpoint_arg)
 
 let client_cmd =
   let replay_arg =
@@ -854,7 +889,21 @@ let client_cmd =
     in
     Arg.(value & flag & info [ "pipeline" ] ~doc)
   in
-  let run () () socket replay_file out latency_out pipeline =
+  let retry_arg =
+    let doc =
+      "Resend a request shed with an overloaded response up to $(docv) \
+       times, sleeping the daemon's retry_after_ms hint scaled by seeded \
+       exponential backoff with jitter between attempts (sequential mode \
+       only)."
+    in
+    Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N" ~doc)
+  in
+  let retry_seed_arg =
+    let doc = "Seed for the retry backoff jitter." in
+    Arg.(value & opt int 42 & info [ "retry-seed" ] ~docv:"SEED" ~doc)
+  in
+  let run () () socket replay_file out latency_out pipeline retry retry_seed
+      =
     let requests =
       let ic = open_in replay_file in
       let rec go acc =
@@ -868,7 +917,7 @@ let client_cmd =
       go []
     in
     let responses, lat, total =
-      Serve.replay ~pipeline ~socket ~requests ()
+      Serve.replay ~pipeline ~retry ~retry_seed ~socket ~requests ()
     in
     (match out with
     | None -> List.iter print_endline responses
@@ -898,7 +947,80 @@ let client_cmd =
           daemon, recording the response stream and per-request latencies")
     Term.(
       const run $ setup_logs $ setup_obs $ socket_arg $ replay_arg $ out_arg
-      $ latency_arg $ pipeline_arg)
+      $ latency_arg $ pipeline_arg $ retry_arg $ retry_seed_arg)
+
+let chaos_cmd =
+  let corpus_arg =
+    let doc =
+      "Request corpus (JSONL, must end with a shutdown request) replayed \
+       against every crashed-and-restarted daemon and the uninterrupted \
+       reference."
+    in
+    Arg.(
+      required & opt (some file) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let dir_arg =
+    let doc = "Scratch directory for per-case daemon state." in
+    Arg.(
+      value & opt string "_chaos" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the deterministic verdict JSONL to $(docv) (default stdout)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_arg =
+    let doc = "WAL checkpoint cadence passed to every spawned daemon." in
+    Arg.(value & opt int 3 & info [ "wal-checkpoint" ] ~docv:"N" ~doc)
+  in
+  let run () () corpus dir out checkpoint_every =
+    let module Chaos = Ssta_robust_inject.Chaos in
+    let verdicts =
+      Chaos.run ~exe:Sys.executable_name ~corpus_path:corpus ~dir
+        ~checkpoint_every ()
+    in
+    let doc = Chaos.jsonl_of_verdicts verdicts in
+    (match out with
+    | None -> print_string doc
+    | Some path ->
+        let oc = open_out path in
+        output_string oc doc;
+        close_out oc);
+    List.iter
+      (fun (v : Chaos.verdict) ->
+        Printf.eprintf
+          "hssta chaos: %-14s answered=%-2d recovered=%b identical=%b \
+           recovery=%.1f ms\n\
+           %!"
+          v.Chaos.label v.Chaos.answered v.Chaos.recovered v.Chaos.identical
+          v.Chaos.recovery_ms)
+      verdicts;
+    let bad =
+      List.filter
+        (fun (v : Chaos.verdict) ->
+          not (v.Chaos.recovered && v.Chaos.identical))
+        verdicts
+    in
+    if bad <> [] then (
+      Printf.eprintf "hssta chaos: %d/%d cases FAILED\n%!" (List.length bad)
+        (List.length verdicts);
+      exit 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash/recovery harness: for each seeded crash class \
+          (HSSTA_CRASH_AT after the Nth response, mid-WAL-append, after \
+          the WAL fsync, mid-model-spill) boot a durable daemon, replay \
+          the corpus until the process dies, restart it on the same \
+          state directory, replay the unanswered tail, and verify the \
+          concatenated response stream is byte-identical to an \
+          uninterrupted run; emits one deterministic verdict JSON object \
+          per case and exits non-zero if any case fails to recover")
+    Term.(
+      const run $ setup_logs $ setup_robust $ corpus_arg $ dir_arg $ out_arg
+      $ checkpoint_arg)
 
 let () =
   let info =
@@ -911,7 +1033,7 @@ let () =
         list_cmd; sta_cmd; extract_cmd; criticality_cmd; hier_cmd;
         batch_cmd; paths_cmd; corners_cmd; model_cmd; model_info_cmd;
         inject_cmd; read_cmd; report_checks_cmd; emit_cmd;
-        fuzz_frontend_cmd; serve_cmd; client_cmd;
+        fuzz_frontend_cmd; serve_cmd; client_cmd; chaos_cmd;
       ]
   in
   (* Cmdliner's usage errors (unknown flags, missing arguments) exit 124

@@ -282,6 +282,10 @@ let run ?domains ?(mode = Delay) ?(screen = false) base scenarios =
       Par.run_tasks_pool ?domains ~n_tasks:s_n ~pool
         ~task:(fun scr k ->
           Obs.with_span "batch.scenario" @@ fun () ->
+          (* Cooperative cancellation point: a serve request deadline
+             expiring mid-batch aborts between scenarios, never inside a
+             sweep (Par joins all workers before re-raising). *)
+          Ssta_robust.Deadline.check ~operation:"batch.scenario";
           let s = scenarios.(k) in
           set_scenario base scr k s;
           Propagate.forward_into scr.ws g ~forms:scr.sforms ~sources:inputs;
@@ -309,6 +313,7 @@ let run ?domains ?(mode = Delay) ?(screen = false) base scenarios =
       in
       Par.run_tasks_pool ?domains ~n_tasks:(s_n * n_ichunks) ~pool
         ~task:(fun scr t ->
+          Ssta_robust.Deadline.check ~operation:"batch.io";
           let k = t / n_ichunks and c = t mod n_ichunks in
           let s = scenarios.(k) in
           set_scenario base scr k s;

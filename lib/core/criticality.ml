@@ -628,6 +628,10 @@ let compute ?(exact = false) ?domains ?tile ?(engine = `Blocked) ~delta g
      every domain count.  Only the cone/compaction counters and the RSS
      depend on the tile size. *)
   for t = 0 to n_tiles - 1 do
+    (* Cooperative cancellation point: an armed serve-request deadline
+       aborts the screen between output tiles - never inside a tile, so
+       per-chunk screening state is never left half-built. *)
+    Ssta_robust.Deadline.check ~operation:"criticality.tile";
     let t_lo, t_hi = Par.chunk_bounds ~chunk:tile_sz ~n:no t in
     let tn = t_hi - t_lo in
     let touts = Array.sub outputs t_lo tn in

@@ -1,0 +1,74 @@
+(* Seeded crash points for the chaos/recovery harness.
+
+   HSSTA_CRASH_AT="<point>:<n>" arms exactly one named crash point; the
+   n-th time execution reaches [tick point] the process dies immediately
+   via [Unix._exit exit_code] - no at_exit handlers, no buffered-channel
+   flushes, no socket shutdown - the closest portable approximation of
+   kill -9 that a test can schedule deterministically.
+
+   Points currently wired in (lib/serve):
+   - "request":     after the n-th response has been written to the client
+                    (clean request boundary);
+   - "wal_append":  mid-way through appending the n-th WAL record - only
+                    the first half of the framed line has been written, so
+                    the survivor must detect and truncate a torn record;
+   - "wal_sync":    after the n-th WAL record is fully written and flushed
+                    but before the response is sent - the survivor must
+                    dedupe the re-sent request against the logged one;
+   - "cache_write": mid-way through spilling the n-th model-cache entry
+                    (temp file half-written, rename never happened) - the
+                    survivor must ignore the orphan and recompute.
+
+   Unarmed cost is one ref load ([tick] is a no-op unless HSSTA_CRASH_AT
+   is set), so the hooks stay in production paths permanently. *)
+
+type spec = { point : string; index : int }
+
+let exit_code = 42
+
+let parse s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let point = String.sub s 0 i in
+      let n = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt n with
+      | Some index when index >= 1 && point <> "" -> Some { point; index }
+      | _ -> None)
+
+let armed : spec option ref =
+  ref
+    (match Sys.getenv_opt "HSSTA_CRASH_AT" with
+    | None -> None
+    | Some s -> (
+        match parse (String.trim s) with
+        | Some _ as sp -> sp
+        | None ->
+            Printf.eprintf
+              "HSSTA_CRASH_AT: expected <point>:<n> with n >= 1, got %S; \
+               ignoring\n\
+               %!"
+              s;
+            None))
+
+let arm ~point ~index = armed := Some { point; index }
+let disarm () = armed := None
+
+let hits : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let tick point =
+  match !armed with
+  | None -> ()
+  | Some spec ->
+      if String.equal spec.point point then begin
+        let c =
+          match Hashtbl.find_opt hits point with
+          | Some c -> c
+          | None ->
+              let c = ref 0 in
+              Hashtbl.add hits point c;
+              c
+        in
+        incr c;
+        if !c >= spec.index then Unix._exit exit_code
+      end

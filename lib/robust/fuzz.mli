@@ -38,6 +38,12 @@ type ctx
     once under [Strict] to guarantee the corpus starts from accepted
     inputs. *)
 
+val mutate : klass -> Ssta_gauss.Rng.t -> string -> string
+(** Apply one seeded mutation of the given class to a document.  Exposed
+    for other durability surfaces (the serve WAL / disk-cache fuzz in
+    [test/test_serve.ml]) so every file format in the repository is
+    fuzzed by the same primitives. *)
+
 val make_ctx : string -> ctx
 (** [make_ctx circuit] renders the named bundled circuit through
     {!Ssta_frontend.Design.of_netlist} with a representative SDC. *)

@@ -112,26 +112,50 @@ let counters () =
   Mutex.unlock registry_lock;
   List.sort (fun (a, _) (b, _) -> compare a b) all
 
-let reset () =
-  Mutex.lock registry_lock;
-  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
-  Mutex.unlock registry_lock
-
 let count c _ctx =
   Atomic.incr c.cell;
   Obs.incr c.obs
 
-(* Warn-mode logging is rate-limited: degenerate inputs can fire per edge
-   in extraction-scale loops, and stderr is not the place for millions of
-   lines.  The counters keep the exact totals. *)
-let warn_budget = Atomic.make 20
+(* Warn-mode logging is rate-limited *per subsystem*: degenerate inputs
+   can fire per edge in extraction-scale loops, and stderr is not the
+   place for millions of lines - but one hot fault class (say, a storm of
+   torn WAL records) must not exhaust the budget of every other
+   subsystem's first warning.  The counters keep the exact totals. *)
+let warn_budget_per_subsystem = 20
+let warn_budgets : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+let warn_lock = Mutex.create ()
+
+let warn_budget subsystem =
+  Mutex.lock warn_lock;
+  let b =
+    match Hashtbl.find_opt warn_budgets subsystem with
+    | Some b -> b
+    | None ->
+        let b = Atomic.make warn_budget_per_subsystem in
+        Hashtbl.add warn_budgets subsystem b;
+        b
+  in
+  Mutex.unlock warn_lock;
+  b
+
+let warn_reset () =
+  Mutex.lock warn_lock;
+  Hashtbl.iter (fun _ b -> Atomic.set b warn_budget_per_subsystem) warn_budgets;
+  Mutex.unlock warn_lock
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_lock;
+  warn_reset ()
 
 let warn_log ctx =
-  let left = Atomic.fetch_and_add warn_budget (-1) in
+  let left = Atomic.fetch_and_add (warn_budget ctx.subsystem) (-1) in
   if left > 0 then Printf.eprintf "robust: repaired %s\n%!" (to_string ctx)
   else if left = 0 then
     Printf.eprintf
-      "robust: further repair warnings suppressed (see robust.* counters)\n%!"
+      "robust: further %s repair warnings suppressed (see robust.* counters)\n%!"
+      ctx.subsystem
 
 let repair c ctx =
   match !policy_ref with

@@ -9,6 +9,9 @@ module Yield = Hier_ssta.Yield
 module Batch = Ssta_batch.Batch
 module Json = Ssta_json.Json
 module Robust = Ssta_robust.Robust
+module Deadline = Ssta_robust.Deadline
+module Crash = Ssta_robust.Crash
+module Rng = Ssta_gauss.Rng
 module Obs = Ssta_obs.Obs
 module FDesign = Ssta_frontend.Design
 module FSdc = Ssta_frontend.Sdc
@@ -25,6 +28,12 @@ let c_shared = Obs.counter "serve.shared_sweeps"
 let c_whatif_incr = Obs.counter "serve.whatif_incremental"
 let c_whatif_full = Obs.counter "serve.whatif_full"
 let g_queue_depth = Obs.gauge "serve.queue_depth"
+let c_disk_hits = Obs.counter "serve.cache_disk_hits"
+let c_wal_records = Obs.counter "serve.wal_records"
+let c_recoveries = Obs.counter "serve.recoveries"
+let c_shed = Obs.counter "serve.shed"
+let c_timeouts = Obs.counter "serve.timeouts"
+let g_wal_bytes = Obs.gauge "serve.wal_bytes"
 let c_protocol_repairs = Robust.counter "robust.protocol_repairs"
 
 let protocol_repair ~operation ?indices ?values detail =
@@ -34,8 +43,17 @@ let protocol_repair ~operation ?indices ?values detail =
 (* ------------------------------------------------------------------ *)
 (* Engine state                                                       *)
 
+(* How the current session was created - recorded so the WAL and the
+   checkpoint can restore it after a crash.  [Files] keeps the paths the
+   client sent; replaying a load_files record re-reads those files, which
+   is the documented recovery contract for external designs. *)
+type origin =
+  | Bundled of string
+  | Files of { verilog : string; liberty : string; sdc : string option }
+
 type session = {
   design : string;
+  origin : origin;
   build : Build.t;
   forms : Form.t array;  (** current edge forms (what-if edits applied) *)
   fbuf : Form_buf.t;  (** the same forms, packed for the sweep kernels *)
@@ -43,6 +61,9 @@ type session = {
   dirty : Bytes.t;  (** per-vertex dirty mask scratch *)
   mutable base : Batch.base option;  (** lazy, over the pristine forms *)
   mutable edited : bool;  (** committed edits pending a [revert] *)
+  committed : (int, Form.t) Hashtbl.t;
+      (** committed edge edits (absolute forms) - the checkpoint's diff
+          against the pristine build *)
   sdc : FSdc.t option;
       (** constraints of a [load_files] design; the report op defaults
           its reference clock to the SDC period *)
@@ -50,13 +71,42 @@ type session = {
 
 type t = {
   cache : (string, Build.t) Hashtbl.t;  (** content hash -> model *)
+  store : Store.t option;  (** durable cache + WAL, None without --cache-dir *)
+  mutable max_queue : int;  (** pending-request bound before shedding *)
   mutable session : session option;
   mutable stop : bool;
+  mutable pending_wal : (string * Json.t) list option;
+      (** armed by a state-changing op: the kind-specific WAL record
+          fields; handle_parsed adds the request digest and response and
+          appends after the response is built, before it is sent *)
+  mutable pending_spill : (string * Build.t) option;
+      (** freshly characterized model awaiting its disk spill (deferred to
+          after the WAL append so crash recovery replays observably) *)
+  mutable last_commit : (string * string) option;
+      (** request digest + response of the last WAL-logged request *)
+  mutable dedup : (string * string) option;
+      (** set by recovery: a re-sent logged-but-unanswered request gets
+          its logged response back instead of being applied twice *)
+  mutable ewma_ms : float;  (** smoothed per-request service time *)
 }
 
-let create () = { cache = Hashtbl.create 7; session = None; stop = false }
+let make ?cache_dir ?(max_queue = 256) ?(checkpoint_every = 64) () =
+  {
+    cache = Hashtbl.create 7;
+    store = Option.map (Store.open_store ~checkpoint_every) cache_dir;
+    max_queue;
+    session = None;
+    stop = false;
+    pending_wal = None;
+    pending_spill = None;
+    last_commit = None;
+    dedup = None;
+    ewma_ms = 1.0;
+  }
+
 let stopped t = t.stop
 let cache_size t = Hashtbl.length t.cache
+let set_max_queue t n = t.max_queue <- max 1 n
 
 (* ------------------------------------------------------------------ *)
 (* Content-hashed model cache                                         *)
@@ -111,19 +161,65 @@ let netlist_of_name name =
       Robust.fail ~subsystem:"serve" ~operation:"load"
         ("unknown design (not bundled, not a .bench path): " ^ m)
 
+(* Disk entries hold a marshaled Build.t (plain records and float/int
+   arrays all the way down).  Store.load_model has already verified the
+   length+checksum trailer, so Marshal only ever sees bytes that were
+   written whole; a version-skewed payload that still unmarshals wrong
+   is caught by the same quarantine path. *)
+let model_of_payload ~digest payload =
+  match (Marshal.from_string payload 0 : Build.t) with
+  | b -> Some b
+  | exception _ ->
+      Robust.repair Store.c_cache_corrupt
+        (Robust.context ~subsystem:"serve.cache" ~operation:"unmarshal"
+           (Printf.sprintf "model cache entry %s.model does not unmarshal"
+              digest));
+      None
+
+(* The freshly characterized model is *not* spilled here: the spill is
+   deferred (t.pending_spill) until after the request's WAL record is
+   durable, so the crash harness sees a consistent order - a torn WAL
+   append implies the spill never happened either, and a re-sent load
+   recomputes exactly like the uninterrupted run did. Recovery replay
+   and preload flush the spill immediately instead. *)
 let characterize_cached t nl =
   let key = digest_of_netlist nl in
   match Hashtbl.find_opt t.cache key with
   | Some b ->
       Obs.incr c_cache_hits;
       (b, true)
-  | None ->
-      Obs.incr c_cache_misses;
-      let b = Obs.with_span "serve.characterize" (fun () -> Build.characterize nl) in
-      Hashtbl.add t.cache key b;
-      (b, false)
+  | None -> (
+      let from_disk =
+        match t.store with
+        | None -> None
+        | Some st -> (
+            match Store.load_model st ~digest:key with
+            | None -> None
+            | Some payload -> model_of_payload ~digest:key payload)
+      in
+      match from_disk with
+      | Some b ->
+          Obs.incr c_cache_hits;
+          Obs.incr c_disk_hits;
+          Hashtbl.add t.cache key b;
+          (b, true)
+      | None ->
+          Obs.incr c_cache_misses;
+          let b =
+            Obs.with_span "serve.characterize" (fun () -> Build.characterize nl)
+          in
+          Hashtbl.add t.cache key b;
+          if t.store <> None then t.pending_spill <- Some (key, b);
+          (b, false))
 
-let fresh_session ?sdc ~design (build : Build.t) =
+let flush_spill t =
+  match (t.pending_spill, t.store) with
+  | Some (digest, b), Some st ->
+      t.pending_spill <- None;
+      ignore (Store.spill_model st ~digest (Marshal.to_string b []))
+  | _ -> t.pending_spill <- None
+
+let fresh_session ?sdc ~origin ~design (build : Build.t) =
   let g = build.Build.graph in
   let forms = Array.copy build.Build.forms in
   let dims =
@@ -135,6 +231,7 @@ let fresh_session ?sdc ~design (build : Build.t) =
   Propagate.forward_into ws g ~forms:fbuf ~sources:g.Tgraph.inputs;
   {
     design;
+    origin;
     build;
     forms;
     fbuf;
@@ -142,13 +239,14 @@ let fresh_session ?sdc ~design (build : Build.t) =
     dirty = Bytes.create (Tgraph.n_vertices g);
     base = None;
     edited = false;
+    committed = Hashtbl.create 7;
     sdc;
   }
 
 let load_design t name =
   let nl = netlist_of_name name in
   let build, cached = characterize_cached t nl in
-  t.session <- Some (fresh_session ~design:name build);
+  t.session <- Some (fresh_session ~origin:(Bundled name) ~design:name build);
   cached
 
 let session_exn t ~operation =
@@ -234,6 +332,8 @@ let op_load t ~op j =
   let cached = load_design t name in
   let s = session_exn t ~operation:op in
   let g = s.build.Build.graph in
+  t.pending_wal <-
+    Some [ ("kind", Json.Str "load"); ("design", Json.Str name) ];
   [
     ("design", Json.Str name);
     ("cached", Json.Bool cached);
@@ -246,6 +346,16 @@ let op_load t ~op j =
    enter the same cached-characterization path as bundled designs (the
    digest covers structure and cell numbers, so a re-read of the same
    files is a cache hit). *)
+let do_load_files t ~verilog ~liberty ~sdc:sdc_path =
+  let d = FDesign.load_files ~verilog ~liberty ?sdc:sdc_path () in
+  let low = FDesign.lower d in
+  let nl = low.FDesign.netlist in
+  let build, cached = characterize_cached t nl in
+  let sdc = d.FDesign.sdc in
+  let origin = Files { verilog; liberty; sdc = sdc_path } in
+  t.session <- Some (fresh_session ~sdc ~origin ~design:nl.N.name build);
+  (nl, build, sdc, cached)
+
 let op_load_files t j =
   let operation = "load_files" in
   let file key =
@@ -262,12 +372,14 @@ let op_load_files t j =
         protocol_repair ~operation "sdc must be a path string; ignored";
         None
   in
-  let d = FDesign.load_files ~verilog ~liberty ?sdc:sdc_path () in
-  let low = FDesign.lower d in
-  let nl = low.FDesign.netlist in
-  let build, cached = characterize_cached t nl in
-  let sdc = d.FDesign.sdc in
-  t.session <- Some (fresh_session ~sdc ~design:nl.N.name build);
+  let nl, build, sdc, cached = do_load_files t ~verilog ~liberty ~sdc:sdc_path in
+  t.pending_wal <-
+    Some
+      ([ ("kind", Json.Str "load_files");
+         ("verilog", Json.Str verilog);
+         ("liberty", Json.Str liberty);
+       ]
+      @ match sdc_path with None -> [] | Some p -> [ ("sdc", Json.Str p) ]);
   let g = build.Build.graph in
   [
     ("design", Json.Str nl.N.name);
@@ -418,6 +530,46 @@ let op_paths t j =
 
 type edit = { edge : int; prev : Form.t; next : Form.t }
 
+(* Canonical forms round-trip through JSON exactly: Json prints floats
+   with %.17g, which reconstructs every binary64 bit-for-bit, so a WAL
+   replay reproduces the committed forms - and therefore the sweep -
+   bit-identically. *)
+let form_json (f : Form.t) =
+  let arr a = Json.Arr (Array.to_list (Array.map (fun x -> Json.Num x) a)) in
+  Json.Obj
+    [
+      ("mean", Json.Num f.Form.mean);
+      ("rand", Json.Num f.Form.rand);
+      ("g", arr f.Form.globals);
+      ("p", arr f.Form.pcs);
+    ]
+
+let form_of_json ~operation j =
+  let num key =
+    match Json.find key j with
+    | Some (Json.Num v) -> v
+    | _ ->
+        Robust.fail ~subsystem:"serve.wal" ~operation
+          (Printf.sprintf "logged form has no numeric %S field" key)
+  in
+  let arr key =
+    match Json.find key j with
+    | Some (Json.Arr l) ->
+        Array.of_list
+          (List.map
+             (function
+               | Json.Num v -> v
+               | _ ->
+                   Robust.fail ~subsystem:"serve.wal" ~operation
+                     (Printf.sprintf "logged form %S array is not numeric" key))
+             l)
+    | _ ->
+        Robust.fail ~subsystem:"serve.wal" ~operation
+          (Printf.sprintf "logged form has no %S array" key)
+  in
+  Form.make ~mean:(num "mean") ~globals:(arr "g") ~pcs:(arr "p")
+    ~rand:(num "rand")
+
 let parse_edit ~operation g forms idx j =
   match j with
   | Json.Obj _ ->
@@ -513,7 +665,29 @@ let op_whatif t j =
             ("committed", Json.Bool commit);
           ]
   in
-  if commit then s.edited <- true
+  if commit then begin
+    s.edited <- true;
+    (* The committed diff is tracked as absolute forms: the WAL record
+       and the checkpoint both replay [set this edge to exactly these
+       coefficients], so recovery is independent of the edit operator
+       (scale/add/set) that produced the form. *)
+    List.iter (fun e -> Hashtbl.replace s.committed e.edge e.next) edits;
+    t.pending_wal <-
+      Some
+        [
+          ("kind", Json.Str "whatif");
+          ( "edits",
+            Json.Arr
+              (List.map
+                 (fun e ->
+                   Json.Obj
+                     [
+                       ("edge", Json.Num (float_of_int e.edge));
+                       ("form", form_json e.next);
+                     ])
+                 edits) );
+        ]
+  end
   else begin
     (* Roll back: restoring the previous forms is just another edit with
        the same dirty set, so the incremental update restores the sweep
@@ -533,6 +707,8 @@ let op_revert t =
     s.build.Build.forms;
   Propagate.forward_into s.ws g ~forms:s.fbuf ~sources:g.Tgraph.inputs;
   s.edited <- false;
+  Hashtbl.reset s.committed;
+  t.pending_wal <- Some [ ("kind", Json.Str "revert") ];
   [ ("design", Json.Str s.design); ("reverted", Json.Bool true) ]
 
 let op_batch t j =
@@ -581,6 +757,20 @@ let op_stats t =
       ( "batched_requests",
         Json.Num (float_of_int (Obs.counter_value c_batched)) );
       ("shared_sweeps", Json.Num (float_of_int (Obs.counter_value c_shared)));
+      ("durable", Json.Bool (t.store <> None));
+      ( "cache_disk_hits",
+        Json.Num (float_of_int (Obs.counter_value c_disk_hits)) );
+      ("wal_records", Json.Num (float_of_int (Obs.counter_value c_wal_records)));
+      ( "wal_bytes",
+        Json.Num
+          (float_of_int
+             (match t.store with
+             | Some st -> st.Store.wal_bytes
+             | None -> 0)) );
+      ("recoveries", Json.Num (float_of_int (Obs.counter_value c_recoveries)));
+      ("shed", Json.Num (float_of_int (Obs.counter_value c_shed)));
+      ("timeouts", Json.Num (float_of_int (Obs.counter_value c_timeouts)));
+      ("max_queue", Json.Num (float_of_int t.max_queue));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -614,6 +804,75 @@ let respond_error ~id c =
 
 let request_id j = match Json.find "id" j with Some v -> v | None -> Json.Null
 
+(* ---- durability plumbing ------------------------------------------ *)
+
+(* Flush the full session spec (origin + committed-edit diff) and the
+   exactly-once dedup pair into the checkpoint file, then truncate the
+   WAL: recovery replay cost is bounded by the checkpoint cadence. *)
+let checkpoint t =
+  match t.store with
+  | None -> ()
+  | Some st ->
+      let session_field =
+        match t.session with
+        | None -> Json.Null
+        | Some s ->
+            let origin_fields =
+              match s.origin with
+              | Bundled name ->
+                  [ ("kind", Json.Str "bundled"); ("design", Json.Str name) ]
+              | Files { verilog; liberty; sdc } ->
+                  [
+                    ("kind", Json.Str "files");
+                    ("verilog", Json.Str verilog);
+                    ("liberty", Json.Str liberty);
+                  ]
+                  @ ( match sdc with
+                    | None -> []
+                    | Some p -> [ ("sdc", Json.Str p) ] )
+            in
+            let edits =
+              Hashtbl.fold (fun e f acc -> (e, f) :: acc) s.committed []
+              |> List.sort (fun (a, _) (b, _) -> compare a b)
+              |> List.map (fun (e, f) ->
+                     Json.Obj
+                       [
+                         ("edge", Json.Num (float_of_int e));
+                         ("form", form_json f);
+                       ])
+            in
+            Json.Obj (origin_fields @ [ ("edits", Json.Arr edits) ])
+      in
+      let commit_fields =
+        match t.last_commit with
+        | None -> []
+        | Some (req, resp) ->
+            [ ("last_req", Json.Str req); ("last_resp", Json.Str resp) ]
+      in
+      ignore (Store.write_checkpoint st (("session", session_field) :: commit_fields))
+
+(* Write-ahead contract: the record of a state-changing request becomes
+   durable after the response is computed but *before* it is sent, so an
+   acknowledged edit can never be lost - and an unacknowledged one is
+   either absent from the log (the client re-sends, the replay re-applies)
+   or present with its response (the dedup pair answers the re-send
+   without double-applying). *)
+let wal_append_pending t ~raw resp =
+  match (t.pending_wal, t.store) with
+  | Some fields, Some st ->
+      t.pending_wal <- None;
+      let digest = Digest.to_hex (Digest.string raw) in
+      let fields =
+        fields @ [ ("req", Json.Str digest); ("resp", Json.Str resp) ]
+      in
+      ignore (Store.append st fields);
+      t.last_commit <- Some (digest, resp);
+      Obs.incr c_wal_records;
+      Obs.gauge_max g_wal_bytes st.Store.wal_bytes;
+      if st.Store.records_since_ckpt >= st.Store.checkpoint_every then
+        checkpoint t
+  | _ -> t.pending_wal <- None
+
 let dispatch t op j =
   match op with
   | "load" | "swap" -> op_load t ~op j
@@ -628,6 +887,9 @@ let dispatch t op j =
   | "ping" -> [ ("pong", Json.Bool true) ]
   | "shutdown" ->
       t.stop <- true;
+      (* Flush the final checkpoint now, while the state is known-good:
+         the daemon's exit path only closes the socket. *)
+      checkpoint t;
       [ ("stopping", Json.Bool true) ]
   | other ->
       Robust.fail ~subsystem:"serve" ~operation:"dispatch"
@@ -636,35 +898,232 @@ let dispatch t op j =
             whatif/revert/batch/stats/ping/shutdown)"
            other)
 
-let handle_parsed t j =
+let respond_timeout ~id c =
+  Obs.incr c_timeouts;
+  Obs.incr c_errors;
+  respond ~id
+    [ ("ok", Json.Bool false); ("timeout", Json.Bool true); ("error", error_json c) ]
+
+let request_deadline_ms j =
+  match Json.find "deadline_ms" j with
+  | None | Some Json.Null -> None
+  | Some (Json.Num v) when v >= 0.0 && Robust.is_finite v -> Some v
+  | Some _ ->
+      protocol_repair ~operation:"dispatch"
+        "deadline_ms must be a non-negative number; ignored";
+      None
+
+let handle_parsed ?raw t j =
   let id = request_id j in
   let op = match Json.str_field ~default:"" "op" j with Ok v -> v | Error _ -> "" in
-  try
-    if op = "" then
-      Robust.fail ~subsystem:"serve" ~operation:"dispatch"
-        "request has no \"op\" field";
-    let fields =
-      Obs.with_span ("serve.op." ^ op) (fun () -> dispatch t op j)
-    in
-    respond ~id (("ok", Json.Bool true) :: ("op", Json.Str op) :: fields)
-  with
-  | Robust.Error c -> respond_error ~id c
-  | e ->
-      respond_error ~id
-        (Robust.context ~subsystem:"serve" ~operation:(if op = "" then "dispatch" else op)
-           ("unexpected exception: " ^ Printexc.to_string e))
+  let raw = match raw with Some r -> r | None -> Json.to_string j in
+  t.pending_wal <- None;
+  match t.dedup with
+  | Some (req_digest, resp)
+    when String.equal req_digest (Digest.to_hex (Digest.string raw)) ->
+      (* Exactly-once across the crash window: the WAL logged this request
+         (with its response) but the dead daemon never answered it, and
+         recovery already replayed its effect.  Answer the logged response
+         without applying twice.  Relies on clients using unique request
+         ids, which make the raw-line digest unique. *)
+      t.dedup <- None;
+      resp
+  | _ -> (
+      t.dedup <- None;
+      try
+        if op = "" then
+          Robust.fail ~subsystem:"serve" ~operation:"dispatch"
+            "request has no \"op\" field";
+        let deadline_ms = request_deadline_ms j in
+        let fields =
+          Deadline.with_deadline_ms deadline_ms (fun () ->
+              Deadline.check ~operation:op;
+              Obs.with_span ("serve.op." ^ op) (fun () -> dispatch t op j))
+        in
+        let resp =
+          respond ~id (("ok", Json.Bool true) :: ("op", Json.Str op) :: fields)
+        in
+        wal_append_pending t ~raw resp;
+        flush_spill t;
+        resp
+      with
+      | Robust.Error c when c.Robust.subsystem = "deadline" ->
+          t.pending_wal <- None;
+          t.pending_spill <- None;
+          respond_timeout ~id c
+      | Robust.Error c ->
+          t.pending_wal <- None;
+          t.pending_spill <- None;
+          respond_error ~id c
+      | e ->
+          t.pending_wal <- None;
+          t.pending_spill <- None;
+          respond_error ~id
+            (Robust.context ~subsystem:"serve"
+               ~operation:(if op = "" then "dispatch" else op)
+               ("unexpected exception: " ^ Printexc.to_string e)))
 
 let handle_line t line =
   Obs.incr c_requests;
   Obs.with_span "serve.request" (fun () ->
       match Json.parse line with
-      | Ok j -> handle_parsed t j
+      | Ok j -> handle_parsed ~raw:line t j
       | Error msg -> (
           try
             protocol_repair ~operation:"parse" msg;
             respond_error ~id:Json.Null
               (Robust.context ~subsystem:"serve" ~operation:"parse" msg)
           with Robust.Error c -> respond_error ~id:Json.Null c))
+
+(* ---- recovery ------------------------------------------------------ *)
+
+let edits_of_json ~operation j =
+  match Json.find "edits" j with
+  | Some (Json.Arr items) ->
+      List.map
+        (fun ej ->
+          let edge =
+            match Json.find "edge" ej with
+            | Some (Json.Num v) -> int_of_float v
+            | _ ->
+                Robust.fail ~subsystem:"serve.wal" ~operation
+                  "logged edit has no numeric edge field"
+          in
+          let form =
+            match Json.find "form" ej with
+            | Some fj -> form_of_json ~operation fj
+            | None ->
+                Robust.fail ~subsystem:"serve.wal" ~operation
+                  "logged edit has no form object"
+          in
+          (edge, form))
+        items
+  | _ ->
+      Robust.fail ~subsystem:"serve.wal" ~operation "record has no edits array"
+
+(* Replayed commits apply absolute forms through the same incremental
+   update path a live commit uses; the incremental sweep is bit-identical
+   to the full re-sweep (the pinned lib/serve invariant), so the
+   recovered arrival state matches the uninterrupted run's exactly. *)
+let apply_absolute_edits t ~operation edits =
+  let s = session_exn t ~operation in
+  let g = s.build.Build.graph in
+  let eds =
+    List.map
+      (fun (edge, next) ->
+        if edge < 0 || edge >= Tgraph.n_edges g then
+          Robust.fail ~subsystem:"serve.wal" ~operation ~indices:[ edge ]
+            "logged edit edge is out of range for the recovered design";
+        { edge; prev = s.forms.(edge); next })
+      edits
+  in
+  if eds <> [] then begin
+    ignore (apply_edits s ~incremental:true eds);
+    List.iter (fun e -> Hashtbl.replace s.committed e.edge e.next) eds;
+    s.edited <- true
+  end
+
+let record_dedup t j =
+  match (Json.find "req" j, Json.find "resp" j) with
+  | Some (Json.Str d), Some (Json.Str r) -> t.last_commit <- Some (d, r)
+  | _ -> ()
+
+let apply_record t j =
+  let operation = "replay" in
+  (match Json.str_field ~default:"" "kind" j with
+  | Ok "load" -> (
+      match Json.find "design" j with
+      | Some (Json.Str name) ->
+          ignore (load_design t name);
+          flush_spill t
+      | _ ->
+          Robust.fail ~subsystem:"serve.wal" ~operation
+            "load record has no design field")
+  | Ok "load_files" -> (
+      let str key =
+        match Json.find key j with Some (Json.Str s) -> Some s | _ -> None
+      in
+      match (str "verilog", str "liberty") with
+      | Some verilog, Some liberty ->
+          ignore (do_load_files t ~verilog ~liberty ~sdc:(str "sdc"));
+          flush_spill t
+      | _ ->
+          Robust.fail ~subsystem:"serve.wal" ~operation
+            "load_files record is missing verilog/liberty paths")
+  | Ok "whatif" -> apply_absolute_edits t ~operation (edits_of_json ~operation j)
+  | Ok "revert" ->
+      if t.session <> None then begin
+        ignore (op_revert t);
+        t.pending_wal <- None
+      end
+  | Ok k ->
+      Robust.fail ~subsystem:"serve.wal" ~operation
+        (Printf.sprintf "unknown WAL record kind %S" k)
+  | Error msg -> Robust.fail ~subsystem:"serve.wal" ~operation msg);
+  record_dedup t j
+
+let restore_checkpoint t j =
+  let operation = "checkpoint" in
+  (match Json.find "session" j with
+  | None | Some Json.Null -> ()
+  | Some sj ->
+      let str key =
+        match Json.find key sj with Some (Json.Str s) -> Some s | _ -> None
+      in
+      (match str "kind" with
+      | Some "bundled" -> (
+          match str "design" with
+          | Some name ->
+              ignore (load_design t name);
+              flush_spill t
+          | None ->
+              Robust.fail ~subsystem:"serve.wal" ~operation
+                "bundled checkpoint has no design field")
+      | Some "files" -> (
+          match (str "verilog", str "liberty") with
+          | Some verilog, Some liberty ->
+              ignore (do_load_files t ~verilog ~liberty ~sdc:(str "sdc"));
+              flush_spill t
+          | _ ->
+              Robust.fail ~subsystem:"serve.wal" ~operation
+                "files checkpoint is missing verilog/liberty paths")
+      | _ ->
+          Robust.fail ~subsystem:"serve.wal" ~operation
+            "checkpoint session has no recognized kind");
+      apply_absolute_edits t ~operation (edits_of_json ~operation sj));
+  match (Json.find "last_req" j, Json.find "last_resp" j) with
+  | Some (Json.Str d), Some (Json.Str r) -> t.last_commit <- Some (d, r)
+  | _ -> ()
+
+(* Startup recovery: restore the checkpointed session, then replay every
+   WAL record past the checkpoint sequence number.  Store.replay_wal has
+   already truncated the log at the first torn/invalid record (or raised,
+   under Strict); a well-framed record that fails to *apply* degrades to
+   the prefix state through the same robust policy. *)
+let recover t =
+  match t.store with
+  | None -> ()
+  | Some st ->
+      let ckpt = Store.read_checkpoint st in
+      let records = Store.replay_wal st in
+      let ckpt_seq = match ckpt with None -> 0 | Some (seq, _) -> seq in
+      let tail = List.filter (fun (seq, _) -> seq > ckpt_seq) records in
+      st.Store.wal_seq <- max st.Store.wal_seq ckpt_seq;
+      if ckpt <> None || tail <> [] then begin
+        Obs.with_span "serve.recover" (fun () ->
+            (match ckpt with
+            | None -> ()
+            | Some (_, j) -> restore_checkpoint t j);
+            try List.iter (fun (_, j) -> apply_record t j) tail
+            with Robust.Error c -> Robust.repair Store.c_wal_truncated c);
+        Obs.incr c_recoveries;
+        t.dedup <- t.last_commit
+      end
+
+let create ?cache_dir ?max_queue ?checkpoint_every () =
+  let t = make ?cache_dir ?max_queue ?checkpoint_every () in
+  recover t;
+  t
 
 (* ---- pipelined batching ------------------------------------------- *)
 
@@ -743,8 +1202,46 @@ let handle_quantile_group t group =
              degrades to that structured error. *)
           List.map (fun (j, _) -> respond_error ~id:(request_id j) c) decoded)
 
+(* Load shedding: a structured refusal, not a dropped connection.  The
+   retry-after hint is the queue bound times the smoothed per-request
+   service time - roughly how long the backlog ahead of a retry needs. *)
+let overloaded_response t line =
+  Obs.incr c_shed;
+  let id =
+    match Json.parse line with Ok j -> request_id j | Error _ -> Json.Null
+  in
+  let retry_after =
+    Float.ceil (Float.max 1.0 (float_of_int t.max_queue *. t.ewma_ms))
+  in
+  respond ~id
+    [
+      ("ok", Json.Bool false);
+      ("overloaded", Json.Bool true);
+      ("retry_after_ms", Json.Num retry_after);
+      ( "error",
+        error_json
+          (Robust.context ~subsystem:"serve" ~operation:"admission"
+             ~indices:[ t.max_queue ]
+             "pending-request queue is full; request shed") );
+    ]
+
+let rec take_n n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: tl ->
+      let a, b = take_n (n - 1) tl in
+      (x :: a, b)
+
 let handle_lines t lines =
-  Obs.gauge_max g_queue_depth (List.length lines);
+  let n = List.length lines in
+  Obs.gauge_max g_queue_depth n;
+  (* Bounded admission: everything past the queue cap is shed up front
+     with a structured overloaded response (responses stay in request
+     order - the shed tail is the newest work). *)
+  let accepted, shed =
+    if n <= t.max_queue then (lines, []) else take_n t.max_queue lines
+  in
+  let t0 = Unix.gettimeofday () in
   (* Split into maximal runs of batchable quantile requests vs. singles,
      preserving order. *)
   let flush_group acc group =
@@ -765,9 +1262,19 @@ let handle_lines t lines =
         | Error _ ->
             let acc = flush_group acc group in
             (handle_line t line :: acc, []))
-      ([], []) lines
+      ([], []) accepted
   in
-  List.rev (flush_group acc group)
+  let responses = List.rev (flush_group acc group) in
+  (match accepted with
+  | [] -> ()
+  | _ ->
+      let per_ms =
+        (Unix.gettimeofday () -. t0)
+        *. 1000.0
+        /. float_of_int (List.length accepted)
+      in
+      t.ewma_ms <- (0.8 *. t.ewma_ms) +. (0.2 *. per_ms));
+  responses @ List.map (overloaded_response t) shed
 
 (* ------------------------------------------------------------------ *)
 (* Daemon: unix-domain socket, JSONL framing                          *)
@@ -802,18 +1309,27 @@ let serve_connection t fd =
   in
   let eof = ref false in
   while (not !eof) && not t.stop do
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    (* EINTR means a SIGTERM/SIGINT drain request arrived mid-read: all
+       previously received requests have already been answered (groups
+       are handled and written before the next read), so re-checking
+       [t.stop] here completes the drain without dropping anything. *)
+    let n =
+      try Unix.read fd chunk 0 (Bytes.length chunk)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> if t.stop then 0 else -1
+    in
     if n = 0 then begin
       eof := true;
       (* A final unterminated line still counts as a request. *)
       if Buffer.length pending > 0 then begin
         let line = Buffer.contents pending in
         Buffer.clear pending;
-        if String.trim line <> "" then
-          write_all fd (handle_line t line ^ "\n")
+        if String.trim line <> "" then begin
+          write_all fd (handle_line t line ^ "\n");
+          Crash.tick "request"
+        end
       end
     end
-    else begin
+    else if n > 0 then begin
       Buffer.add_subbytes pending chunk 0 n;
       let lines =
         extract_lines () |> List.filter (fun l -> String.trim l <> "")
@@ -822,33 +1338,48 @@ let serve_connection t fd =
       | [] -> ()
       | lines ->
           let responses = handle_lines t lines in
-          write_all fd (String.concat "\n" responses ^ "\n")
+          write_all fd (String.concat "\n" responses ^ "\n");
+          (* The "request" crash point counts *answered* requests: it
+             fires only after the response bytes reached the socket. *)
+          List.iter (fun _ -> Crash.tick "request") responses
     end
   done
 
+(* The daemon exits 0 on graceful shutdown: either a {"op":"shutdown"}
+   request (which flushed a final checkpoint in dispatch) or SIGTERM /
+   SIGINT, which set the stop flag, let the in-flight request group
+   finish, flush a final checkpoint and close + remove the socket. *)
 let run_daemon ?(socket = "hssta.sock") ?(preload = []) t =
+  let drain = Sys.Signal_handle (fun _ -> t.stop <- true) in
+  (try Sys.set_signal Sys.sigterm drain with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint drain with Invalid_argument _ | Sys_error _ -> ());
   List.iter
     (fun name ->
       let nl = netlist_of_name name in
-      ignore (characterize_cached t nl))
+      ignore (characterize_cached t nl);
+      flush_spill t)
     preload;
   if Sys.file_exists socket then Sys.remove socket;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
+      checkpoint t;
+      (match t.store with Some st -> Store.close st | None -> ());
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Sys.remove socket with Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX socket);
       Unix.listen sock 8;
       while not t.stop do
-        let fd, _ = Unix.accept sock in
-        Fun.protect
-          ~finally:(fun () ->
-            try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            try serve_connection t fd
-            with Unix.Unix_error _ -> (* client went away mid-stream *) ())
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                try serve_connection t fd
+                with Unix.Unix_error _ -> (* client went away mid-stream *) ())
       done)
 
 (* ------------------------------------------------------------------ *)
@@ -885,7 +1416,14 @@ let rec read_line r =
           Buffer.add_subbytes r.buf r.chunk 0 n;
           read_line r)
 
-let replay ?(pipeline = false) ~socket ~requests () =
+(* [retry] > 0 re-sends a request answered with a structured overloaded
+   response up to that many times, sleeping a seeded exponential backoff
+   with jitter between attempts: delay_k = hint * 2^k * (0.5 + U[0,1)),
+   where hint is the server's retry_after_ms (25 ms when absent).  Only
+   meaningful in sequential mode; a pipelined replay sends everything up
+   front, so there is nothing left to pace. *)
+let replay ?(pipeline = false) ?(retry = 0) ?(retry_seed = 42) ~socket
+    ~requests () =
   let fd = connect_retry socket in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -907,20 +1445,45 @@ let replay ?(pipeline = false) ~socket ~requests () =
         (List.rev !responses, [||], Unix.gettimeofday () -. t0)
       end
       else begin
+        let rng = Rng.create ~seed:retry_seed in
         let lat = Array.make (List.length requests) 0.0 in
+        let overload_hint resp =
+          match Json.parse resp with
+          | Error _ -> None
+          | Ok j -> (
+              match Json.find "overloaded" j with
+              | Some (Json.Bool true) -> (
+                  match Json.find "retry_after_ms" j with
+                  | Some (Json.Num ms) when ms > 0.0 -> Some ms
+                  | _ -> Some 25.0)
+              | _ -> None)
+        in
         let responses =
           List.mapi
             (fun i req ->
               let s = Unix.gettimeofday () in
-              write_all fd (req ^ "\n");
-              let resp =
-                match read_line r with
-                | Some line -> line
-                | None ->
-                    Robust.fail ~subsystem:"serve" ~operation:"replay"
-                      ~indices:[ i ]
-                      "daemon closed the connection mid-replay"
+              let rec attempt k =
+                write_all fd (req ^ "\n");
+                let resp =
+                  match read_line r with
+                  | Some line -> line
+                  | None ->
+                      Robust.fail ~subsystem:"serve" ~operation:"replay"
+                        ~indices:[ i ]
+                        "daemon closed the connection mid-replay"
+                in
+                match overload_hint resp with
+                | Some hint when k < retry ->
+                    let backoff =
+                      hint
+                      *. Float.pow 2.0 (float_of_int k)
+                      *. (0.5 +. Rng.uniform rng)
+                    in
+                    Unix.sleepf (backoff /. 1000.0);
+                    attempt (k + 1)
+                | _ -> resp
               in
+              let resp = attempt 0 in
               lat.(i) <- Unix.gettimeofday () -. s;
               resp)
             requests

@@ -64,7 +64,28 @@ type t
 (** Engine state: the model cache plus the current session (design,
     current edge forms, resident arrival sweep, lazy batch base). *)
 
-val create : unit -> t
+val create :
+  ?cache_dir:string -> ?max_queue:int -> ?checkpoint_every:int -> unit -> t
+(** [cache_dir] makes the engine {e durable}: characterized models spill
+    to [cache_dir/models/<hash>.model] (checksummed, written via temp
+    file + atomic rename, lazily re-loaded on [load]/[swap] across
+    process restarts), committed state changes ([load], [swap] as load,
+    committed [whatif], [revert]) append to a write-ahead log
+    [cache_dir/wal.jsonl] {e before} the response is sent, and every
+    [checkpoint_every] WAL records (default 64) the session state is
+    checkpointed to [cache_dir/checkpoint] and the WAL truncated.
+    [create] replays checkpoint + WAL, so an engine restarted after a
+    crash answers the remaining request stream byte-identically to a
+    process that never died; a WAL record torn by the crash is truncated
+    away (counter [robust.wal_truncated]; [Strict] raises instead), and
+    a corrupt cache entry or checkpoint is quarantined to [*.corrupt]
+    and recomputed ([robust.cache_corrupt] / [robust.checkpoint_corrupt]).
+
+    [max_queue] (default 256) bounds each pipelined request group:
+    requests beyond it are shed unprocessed with an
+    [{"ok":false,"overloaded":true,"retry_after_ms":…}] response. *)
+
+val set_max_queue : t -> int -> unit
 
 val stopped : t -> bool
 (** Whether a [shutdown] request has been processed. *)
@@ -97,6 +118,8 @@ val run_daemon : ?socket:string -> ?preload:string list -> t -> unit
 
 val replay :
   ?pipeline:bool ->
+  ?retry:int ->
+  ?retry_seed:int ->
   socket:string ->
   requests:string list ->
   unit ->
@@ -107,4 +130,24 @@ val replay :
     seconds per request.  [~pipeline:true] writes the whole corpus, then
     half-closes and drains — per-request latencies are not defined
     (the array is empty) but batching on the daemon side is exercised.
-    Returns (responses, latencies, total wall seconds). *)
+    [~retry:n] (sequential mode) resends a request shed with an
+    [overloaded] response up to [n] times, sleeping the daemon's
+    [retry_after_ms] hint scaled by seeded ([retry_seed]) exponential
+    backoff with jitter between attempts; the recorded latency spans all
+    attempts.  Returns (responses, latencies, total wall seconds). *)
+
+(** {1 Raw client plumbing}
+
+    Exposed for the chaos harness ({!Ssta_robust_inject.Chaos}), which
+    needs a sequential client that survives the daemon dying
+    mid-request. *)
+
+type reader
+
+val connect_retry : string -> Unix.file_descr
+(** Connect to a unix socket path, retrying while the daemon boots
+    (15 s budget). *)
+
+val reader : Unix.file_descr -> reader
+val read_line : reader -> string option
+val write_all : Unix.file_descr -> string -> unit

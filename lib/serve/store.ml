@@ -1,0 +1,363 @@
+(* Durable state for the serve daemon: a disk model cache, an ECO
+   write-ahead log, and a checkpoint file, all under one state
+   directory (--cache-dir / HSSTA_CACHE_DIR).
+
+   Layout:
+     <dir>/models/<digest>.model   marshaled Build.t, one per content hash
+     <dir>/wal.jsonl               framed JSONL records of committed edits
+     <dir>/checkpoint              one framed JSONL line (atomic rename)
+
+   Every durable artifact is self-verifying:
+   - model files carry a magic header plus a trailer with the payload
+     length and its MD5, so truncation and bit-flips are both caught
+     *before* Marshal.from_string ever runs;
+   - WAL and checkpoint lines are framed as "<md5-of-payload> <payload>",
+     so a torn append (the crash harness produces them on demand) is
+     detected and the log truncated at the first bad record;
+   - all whole-file writes go through temp-file + atomic rename, so a
+     crash mid-write leaves an orphan .tmp (swept on open), never a
+     half-written live file.
+
+   Corruption handling follows the lib/robust policy: quarantine the bad
+   file (rename to *.corrupt, preserving the evidence), fire the
+   structured repair counter, and let Strict raise / Repair recompute. *)
+
+module Robust = Ssta_robust.Robust
+module Crash = Ssta_robust.Crash
+module Json = Ssta_json.Json
+
+let c_cache_corrupt = Robust.counter "robust.cache_corrupt"
+let c_wal_truncated = Robust.counter "robust.wal_truncated"
+let c_checkpoint_corrupt = Robust.counter "robust.checkpoint_corrupt"
+
+type t = {
+  dir : string;
+  models_dir : string;
+  wal_path : string;
+  ckpt_path : string;
+  checkpoint_every : int;
+  mutable wal_oc : out_channel option;
+  mutable wal_seq : int;  (** last sequence number written or replayed *)
+  mutable wal_bytes : int;  (** current on-disk WAL size *)
+  mutable records_since_ckpt : int;
+}
+
+(* ---- small file helpers ------------------------------------------- *)
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Quarantine preserves the corrupt bytes next to the live path for
+   post-mortems; a pre-existing quarantine file is clobbered (the newest
+   evidence wins). *)
+let quarantine path =
+  try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ()
+
+(* ---- line framing: "<md5hex(payload)> <payload>" ------------------- *)
+
+let frame payload = Digest.to_hex (Digest.string payload) ^ " " ^ payload
+
+let unframe line =
+  let n = String.length line in
+  if n < 34 || line.[32] <> ' ' then None
+  else
+    let sum = String.sub line 0 32 in
+    let payload = String.sub line 33 (n - 33) in
+    if String.equal (Digest.to_hex (Digest.string payload)) sum then
+      Some payload
+    else None
+
+(* ---- open ---------------------------------------------------------- *)
+
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun e ->
+          if Filename.check_suffix e ".tmp" then
+            try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries
+
+let open_store ?(checkpoint_every = 64) dir =
+  let models_dir = Filename.concat dir "models" in
+  mkdir_p models_dir;
+  (* Orphan temp files are the residue of a crash mid-write: the rename
+     never happened, so they are dead weight, never live state. *)
+  sweep_tmp dir;
+  sweep_tmp models_dir;
+  let wal_path = Filename.concat dir "wal.jsonl" in
+  {
+    dir;
+    models_dir;
+    wal_path;
+    ckpt_path = Filename.concat dir "checkpoint";
+    checkpoint_every;
+    wal_oc = None;
+    wal_seq = 0;
+    wal_bytes = file_size wal_path;
+    records_since_ckpt = 0;
+  }
+
+let close t =
+  match t.wal_oc with
+  | None -> ()
+  | Some oc ->
+      t.wal_oc <- None;
+      close_out_noerr oc
+
+(* ---- durable model cache ------------------------------------------ *)
+
+let model_magic = "hssta-model-cache v1\n"
+
+(* Trailer: "\n%016d %s\n" = newline + 16-digit payload length + space +
+   32-hex MD5 + newline. Fixed 51 bytes, parsed from the end. *)
+let trailer_len = 51
+
+let model_path t digest = Filename.concat t.models_dir (digest ^ ".model")
+
+(* Spill is best-effort: a full disk or read-only cache dir must degrade
+   to an undurable cache, not kill the request that triggered the
+   characterization.  The crash point sits after the first half of the
+   payload is flushed, so the harness gets a genuinely torn temp file. *)
+let spill_model t ~digest payload =
+  let path = model_path t digest in
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc model_magic;
+       let n = String.length payload in
+       let half = n / 2 in
+       output_substring oc payload 0 half;
+       flush oc;
+       Crash.tick "cache_write";
+       output_substring oc payload half (n - half);
+       output_string oc (Printf.sprintf "\n%016d %s\n" n (Digest.to_hex (Digest.string payload)));
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    true
+  with Sys_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+
+(* Validate an entry end to end before handing back the payload:
+   corrupt/truncated files are quarantined and reported through the
+   robust policy (Strict raises after the quarantine, Repair returns
+   None so the caller recomputes). *)
+let load_model t ~digest =
+  let path = model_path t digest in
+  if not (Sys.file_exists path) then None
+  else
+    let raw = try Some (read_file path) with Sys_error _ -> None in
+    let payload =
+      match raw with
+      | None -> None
+      | Some raw ->
+          let mlen = String.length model_magic in
+          let n = String.length raw in
+          if n < mlen + trailer_len then None
+          else if not (String.equal (String.sub raw 0 mlen) model_magic) then
+            None
+          else
+            let trailer = String.sub raw (n - trailer_len) trailer_len in
+            let payload = String.sub raw mlen (n - mlen - trailer_len) in
+            if trailer.[0] <> '\n' || trailer.[17] <> ' ' || trailer.[50] <> '\n'
+            then None
+            else
+              let len = int_of_string_opt (String.sub trailer 1 16) in
+              let sum = String.sub trailer 18 32 in
+              if
+                len = Some (String.length payload)
+                && String.equal sum (Digest.to_hex (Digest.string payload))
+              then Some payload
+              else None
+    in
+    match payload with
+    | Some _ -> payload
+    | None ->
+        quarantine path;
+        Robust.repair c_cache_corrupt
+          (Robust.context ~subsystem:"serve.cache" ~operation:"load_model"
+             (Printf.sprintf
+                "corrupt or truncated model cache entry %s.model (quarantined)"
+                digest));
+        None
+
+(* ---- write-ahead log ---------------------------------------------- *)
+
+let wal_oc t =
+  match t.wal_oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.wal_path
+      in
+      t.wal_oc <- Some oc;
+      oc
+
+(* Append one record. The payload fields get the next sequence number
+   prepended; the framed line is written in two flushed halves with the
+   torn-write crash point between them, then flushed again with the
+   post-durability crash point after it - exactly the two failure modes
+   recovery must survive. *)
+let append t fields =
+  let seq = t.wal_seq + 1 in
+  let payload =
+    Json.to_string (Json.Obj (("seq", Json.Num (float_of_int seq)) :: fields))
+  in
+  let line = frame payload in
+  let oc = wal_oc t in
+  let n = String.length line in
+  let half = n / 2 in
+  output_substring oc line 0 half;
+  flush oc;
+  Crash.tick "wal_append";
+  output_substring oc line half (n - half);
+  output_char oc '\n';
+  flush oc;
+  Crash.tick "wal_sync";
+  t.wal_seq <- seq;
+  t.wal_bytes <- t.wal_bytes + n + 1;
+  t.records_since_ckpt <- t.records_since_ckpt + 1;
+  seq
+
+(* Read back the log: every well-framed, well-formed record with a
+   strictly increasing "seq" field, in order.  The first bad line (torn
+   frame, checksum mismatch, unparseable JSON, non-monotonic seq)
+   truncates the log at its byte offset - under Strict the structured
+   error is raised instead (after the truncation decision is made but
+   before any truncation happens, so the evidence survives). *)
+let replay_wal t =
+  if not (Sys.file_exists t.wal_path) then []
+  else begin
+    close t;
+    let raw = read_file t.wal_path in
+    let n = String.length raw in
+    let records = ref [] in
+    let prev_seq = ref 0 in
+    let pos = ref 0 in
+    let bad = ref None in
+    while !bad = None && !pos < n do
+      let stop =
+        match String.index_from_opt raw !pos '\n' with
+        | Some i -> i
+        | None -> n (* unterminated final line: torn append *)
+      in
+      let line = String.sub raw !pos (stop - !pos) in
+      let record =
+        match unframe line with
+        | None -> None
+        | Some payload -> (
+            match Json.parse payload with
+            | Error _ -> None
+            | Ok j -> (
+                match Json.find "seq" j with
+                | Some (Json.Num s)
+                  when float_of_int (int_of_float s) = s
+                       && int_of_float s > !prev_seq ->
+                    Some (int_of_float s, j)
+                | _ -> None))
+      in
+      match record with
+      | Some (seq, j) when stop < n ->
+          prev_seq := seq;
+          records := (seq, j) :: !records;
+          pos := stop + 1
+      | _ -> bad := Some !pos
+    done;
+    (match !bad with
+    | None -> ()
+    | Some off ->
+        Robust.repair c_wal_truncated
+          (Robust.context ~subsystem:"serve.wal" ~operation:"replay"
+             ~indices:[ off; List.length !records ]
+             (Printf.sprintf
+                "torn or invalid WAL record at byte %d; truncating (%d valid \
+                 record(s) kept)"
+                off (List.length !records)));
+        (try Unix.truncate t.wal_path off with Unix.Unix_error _ -> ()));
+    t.wal_seq <- !prev_seq;
+    t.wal_bytes <- file_size t.wal_path;
+    List.rev !records
+  end
+
+(* ---- checkpoint ---------------------------------------------------- *)
+
+(* The checkpoint is a single framed line holding the full recovered
+   session spec at a known WAL sequence number.  Written atomically,
+   then the WAL is truncated to zero: replay cost is bounded by the
+   checkpoint cadence, not by daemon uptime. *)
+let write_checkpoint t fields =
+  let payload =
+    Json.to_string
+      (Json.Obj (("seq", Json.Num (float_of_int t.wal_seq)) :: fields))
+  in
+  let tmp = t.ckpt_path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc (frame payload);
+       output_char oc '\n';
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp t.ckpt_path;
+    close t;
+    (try Unix.truncate t.wal_path 0 with Unix.Unix_error _ -> ());
+    t.wal_bytes <- 0;
+    t.records_since_ckpt <- 0;
+    true
+  with Sys_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+
+let read_checkpoint t =
+  if not (Sys.file_exists t.ckpt_path) then None
+  else
+    let raw = try Some (read_file t.ckpt_path) with Sys_error _ -> None in
+    let parsed =
+      match raw with
+      | None -> None
+      | Some raw -> (
+          let line =
+            match String.index_opt raw '\n' with
+            | Some i -> String.sub raw 0 i
+            | None -> raw
+          in
+          match unframe line with
+          | None -> None
+          | Some payload -> (
+              match Json.parse payload with
+              | Ok j -> (
+                  match Json.find "seq" j with
+                  | Some (Json.Num s) when s >= 0.0 -> Some (int_of_float s, j)
+                  | _ -> None)
+              | Error _ -> None))
+    in
+    match parsed with
+    | Some _ -> parsed
+    | None ->
+        quarantine t.ckpt_path;
+        Robust.repair c_checkpoint_corrupt
+          (Robust.context ~subsystem:"serve.wal" ~operation:"read_checkpoint"
+             "corrupt checkpoint file (quarantined); recovering from WAL only");
+        None

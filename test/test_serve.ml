@@ -351,6 +351,417 @@ let test_batch_op_policies () =
       load_small t;
       ignore (check_err "strict batch rejects defective scenario" (bad_batch t)))
 
+(* ------------------------------------------------------------------ *)
+(* Durability: disk model cache, ECO write-ahead log, crash recovery   *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d = Printf.sprintf "_durable_%d" !n in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let chop_bytes path n =
+  let len = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (max 0 (len - n))
+
+let drop_log dir =
+  List.iter
+    (fun f ->
+      let p = Filename.concat dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "wal.jsonl"; "checkpoint" ]
+
+let model_files dir =
+  Sys.readdir (Filename.concat dir "models")
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".model")
+
+let load_c432 = req [ ("op", Json.Str "load"); ("design", Json.Str "c432") ]
+
+let cached_of label resp =
+  let j = check_ok label resp in
+  match Json.bool_field "cached" j with
+  | Ok b -> b
+  | Error m -> Alcotest.failf "%s: %s" label m
+
+(* A model characterized by one engine is picked up from disk by the
+   next engine on the same cache dir (the WAL is dropped in between so
+   the hit comes from the spill file, not from recovery replay). *)
+let test_disk_cache_warm_restart () =
+  let dir = fresh_dir () in
+  let t1 = Serve.create ~cache_dir:dir () in
+  Alcotest.(check bool)
+    "first load characterizes" false
+    (cached_of "load 1" (Serve.handle_line t1 load_c432));
+  Alcotest.(check int) "one spill file" 1 (List.length (model_files dir));
+  drop_log dir;
+  let t2 = Serve.create ~cache_dir:dir () in
+  Alcotest.(check int) "nothing resident before load" 0 (Serve.cache_size t2);
+  Alcotest.(check bool)
+    "warm restart loads from disk" true
+    (cached_of "load 2" (Serve.handle_line t2 load_c432));
+  Alcotest.(check int) "model resident after disk hit" 1 (Serve.cache_size t2)
+
+(* Corrupt spill files: under Repair they are quarantined and the model
+   recomputed (and re-spilled); under Strict the load degrades to a
+   structured error response and the engine survives. *)
+let test_cache_corruption () =
+  let dir = fresh_dir () in
+  let t1 = Serve.create ~cache_dir:dir () in
+  ignore (check_ok "seed load" (Serve.handle_line t1 load_c432));
+  let model = Filename.concat (Filename.concat dir "models")
+      (List.hd (model_files dir)) in
+  let corrupt_count () = List.assoc "robust.cache_corrupt" (Robust.counters ()) in
+  (* bit flip in the middle of the payload *)
+  flip_byte model ((Unix.stat model).Unix.st_size / 2);
+  drop_log dir;
+  with_policy Robust.Repair (fun () ->
+      let before = corrupt_count () in
+      let t2 = Serve.create ~cache_dir:dir () in
+      Alcotest.(check bool)
+        "bit-flipped entry recomputed" false
+        (cached_of "load after flip" (Serve.handle_line t2 load_c432));
+      Alcotest.(check bool)
+        "corruption counted" true
+        (corrupt_count () > before);
+      Alcotest.(check bool)
+        "corrupt file quarantined" true
+        (Sys.file_exists (model ^ ".corrupt")));
+  (* t2 re-spilled the model; now truncate it *)
+  chop_bytes model 64;
+  drop_log dir;
+  with_policy Robust.Repair (fun () ->
+      let t3 = Serve.create ~cache_dir:dir () in
+      Alcotest.(check bool)
+        "truncated entry recomputed" false
+        (cached_of "load after chop" (Serve.handle_line t3 load_c432)));
+  chop_bytes model 64;
+  drop_log dir;
+  with_policy Robust.Strict (fun () ->
+      let t4 = Serve.create ~cache_dir:dir () in
+      ignore (check_err "strict corrupt cache" (Serve.handle_line t4 load_c432));
+      ignore
+        (check_ok "engine survives"
+           (Serve.handle_line t4 (req [ ("op", Json.Str "ping") ]))))
+
+(* The ECO corpus shared by the recovery tests: committed edits, a
+   transient edit, a revert, reads in between.  Index 5 is the standard
+   crash split; the request at index 3 writes the last WAL record of the
+   prefix (the torn-tail test relies on both). *)
+let eco_corpus =
+  [
+    req [ ("id", Json.Num 1.0); ("op", Json.Str "load"); ("design", Json.Str "c432") ];
+    req
+      [
+        ("id", Json.Num 2.0);
+        ("op", Json.Str "whatif");
+        ( "edits",
+          Json.Arr [ Json.Obj [ ("edge", Json.Num 10.0); ("scale", Json.Num 1.3) ] ] );
+        ("commit", Json.Bool true);
+      ];
+    req [ ("id", Json.Num 3.0); ("op", Json.Str "quantile"); ("yield", Json.Num 0.99) ];
+    req
+      [
+        ("id", Json.Num 4.0);
+        ("op", Json.Str "whatif");
+        ( "edits",
+          Json.Arr
+            [
+              Json.Obj [ ("edge", Json.Num 20.0); ("add", Json.Num 5.0) ];
+              Json.Obj [ ("edge", Json.Num 30.0); ("set", Json.Num 77.0) ];
+            ] );
+        ("commit", Json.Bool true);
+      ];
+    req [ ("id", Json.Num 5.0); ("op", Json.Str "paths"); ("k", Json.Num 2.0) ];
+    req [ ("id", Json.Num 6.0); ("op", Json.Str "quantile"); ("yield", Json.Num 0.9) ];
+    req
+      [
+        ("id", Json.Num 7.0);
+        ("op", Json.Str "whatif");
+        ( "edits",
+          Json.Arr [ Json.Obj [ ("edge", Json.Num 40.0); ("scale", Json.Num 0.8) ] ] );
+        ("commit", Json.Bool true);
+      ];
+    req [ ("id", Json.Num 8.0); ("op", Json.Str "revert") ];
+    req [ ("id", Json.Num 9.0); ("op", Json.Str "quantile") ];
+    req
+      [
+        ("id", Json.Num 10.0);
+        ("op", Json.Str "whatif");
+        ( "edits",
+          Json.Arr [ Json.Obj [ ("edge", Json.Num 10.0); ("scale", Json.Num 1.5) ] ] );
+      ];
+    req [ ("id", Json.Num 11.0); ("op", Json.Str "quantile") ];
+  ]
+
+let reference_stream () =
+  let t = Serve.create () in
+  List.map (Serve.handle_line t) eco_corpus
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+(* Process a prefix on one durable engine, abandon it (a crash keeps the
+   WAL: every record is flushed before the response is returned), build
+   a second engine on the same dir, and check the remaining responses
+   are byte-identical to an engine that never died. *)
+let recovery_tail_identical ~split =
+  let reference = reference_stream () in
+  let dir = fresh_dir () in
+  let t1 = Serve.create ~cache_dir:dir ~checkpoint_every:3 () in
+  ignore (List.map (Serve.handle_line t1) (take split eco_corpus));
+  let t2 = Serve.create ~cache_dir:dir ~checkpoint_every:3 () in
+  Alcotest.(check (list string))
+    (Printf.sprintf "recovered tail identical (split %d)" split)
+    (drop split reference)
+    (List.map (Serve.handle_line t2) (drop split eco_corpus))
+
+let test_recovery_bit_identity () =
+  recovery_tail_identical ~split:5;
+  (* split 4: the last prefix record is the id-4 commit; exercises a
+     recovery whose WAL ends exactly on a committed edit *)
+  recovery_tail_identical ~split:4
+
+let test_recovery_bit_identity_domains () =
+  List.iter
+    (fun d -> Par.with_domains d (fun () -> recovery_tail_identical ~split:5))
+    [ 1; 4 ]
+
+(* A WAL record torn mid-append (simulated by chopping bytes off the
+   file) is truncated away under Repair - the client re-sends the
+   unacknowledged request and the stream converges - and is a structured
+   startup error under Strict. *)
+let test_wal_torn_tail () =
+  let reference = reference_stream () in
+  let truncated_count () =
+    List.assoc "robust.wal_truncated" (Robust.counters ())
+  in
+  let setup () =
+    let dir = fresh_dir () in
+    let t1 = Serve.create ~cache_dir:dir () in
+    ignore (List.map (Serve.handle_line t1) (take 4 eco_corpus));
+    (* last WAL record = the id-4 commit (request index 3); tear it *)
+    chop_bytes (Filename.concat dir "wal.jsonl") 10;
+    dir
+  in
+  with_policy Robust.Repair (fun () ->
+      let dir = setup () in
+      let before = truncated_count () in
+      let t2 = Serve.create ~cache_dir:dir () in
+      Alcotest.(check bool)
+        "torn record counted" true
+        (truncated_count () > before);
+      Alcotest.(check (list string))
+        "re-sent torn request + tail identical" (drop 3 reference)
+        (List.map (Serve.handle_line t2) (drop 3 eco_corpus)));
+  with_policy Robust.Strict (fun () ->
+      let dir = setup () in
+      match Serve.create ~cache_dir:dir () with
+      | _ -> Alcotest.fail "strict engine accepted a torn WAL"
+      | exception Robust.Error c ->
+          Alcotest.(check string)
+            "structured torn-WAL error" "serve.wal" c.Robust.subsystem)
+
+(* A bit flip in the first WAL record fails its checksum: under Repair
+   the whole log from that point is dropped and the engine starts
+   clean (still serving models from the disk cache). *)
+let test_wal_bit_flip () =
+  let dir = fresh_dir () in
+  let t1 = Serve.create ~cache_dir:dir () in
+  ignore (List.map (Serve.handle_line t1) (take 4 eco_corpus));
+  flip_byte (Filename.concat dir "wal.jsonl") 40;
+  with_policy Robust.Repair (fun () ->
+      let before = List.assoc "robust.wal_truncated" (Robust.counters ()) in
+      let t2 = Serve.create ~cache_dir:dir () in
+      Alcotest.(check bool)
+        "flipped record counted" true
+        (List.assoc "robust.wal_truncated" (Robust.counters ()) > before);
+      Alcotest.(check int) "recovered state empty" 0 (Serve.cache_size t2);
+      Alcotest.(check bool)
+        "models still served from disk" true
+        (cached_of "load after flip" (Serve.handle_line t2 load_c432)))
+
+(* Deadlines: an expired per-request deadline turns into a structured
+   timeout response (never a wedged or dead engine), and the
+   cancellation points inside Batch.run observe an armed deadline. *)
+let test_deadline_timeout_response () =
+  let t = Serve.create () in
+  load_small t;
+  let timed fields = req (fields @ [ ("deadline_ms", Json.Num 0.0) ]) in
+  let check_timeout label resp =
+    let j = check_err label resp in
+    match Json.bool_field "timeout" j with
+    | Ok true -> ()
+    | _ -> Alcotest.failf "%s: expected timeout:true, got %s" label resp
+  in
+  check_timeout "quantile deadline"
+    (Serve.handle_line t
+       (timed
+          [
+            ("op", Json.Str "quantile");
+            ("scenario", Json.Obj [ ("corner", Json.Str "slow") ]);
+          ]));
+  check_timeout "batch deadline"
+    (Serve.handle_line t
+       (timed
+          [
+            ("op", Json.Str "batch");
+            ("scenarios", Json.Arr [ Json.Obj [ ("corner", Json.Str "slow") ] ]);
+          ]));
+  (* the deadline is per-request: the engine is immediately usable *)
+  ignore
+    (check_ok "engine alive after timeouts"
+       (Serve.handle_line t (req [ ("op", Json.Str "quantile") ])))
+
+let test_deadline_cancels_batch_run () =
+  let module Batch = Ssta_batch.Batch in
+  let module Deadline = Ssta_robust.Deadline in
+  let base =
+    Batch.prepare (Ssta_timing.Build.characterize (Ssta_circuit.Iscas.build "c432"))
+  in
+  let scenarios = Batch.default_scenarios 3 in
+  Deadline.arm_at 0.0;
+  (match Batch.run ~domains:2 base scenarios with
+  | _ ->
+      Deadline.disarm ();
+      Alcotest.fail "Batch.run ignored an expired deadline"
+  | exception Robust.Error c ->
+      Deadline.disarm ();
+      Alcotest.(check string) "deadline subsystem" "deadline" c.Robust.subsystem);
+  (* disarmed: same call completes *)
+  ignore (Batch.run ~domains:2 base scenarios)
+
+(* Fuzzed durable state: WAL and disk-cache files mangled by the shared
+   mutation primitives (byte truncation, token mutation, line shuffle).
+   The contract mirrors the frontend fuzz: under Repair the engine
+   always starts and serves (mangled records are truncated/quarantined
+   and recomputed); under Strict it either works or raises/returns a
+   structured Robust error - no other exception may escape. *)
+let test_wal_cache_fuzz () =
+  let module Fuzz = Ssta_robust_inject.Fuzz in
+  let module Rng = Ssta_gauss.Rng in
+  let read_all path = In_channel.with_open_bin path In_channel.input_all in
+  let write_all path doc =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc doc)
+  in
+  (* seed state: one load + two committed edits *)
+  let dir0 = fresh_dir () in
+  let t0 = Serve.create ~cache_dir:dir0 () in
+  ignore (List.map (Serve.handle_line t0) (take 4 eco_corpus));
+  let model_name = List.hd (model_files dir0) in
+  let wal_doc = read_all (Filename.concat dir0 "wal.jsonl") in
+  let model_doc =
+    read_all (Filename.concat (Filename.concat dir0 "models") model_name)
+  in
+  let classes = [ Fuzz.Byte_truncate; Fuzz.Token_mutate; Fuzz.Line_shuffle ] in
+  let structured f =
+    match f () with
+    | () -> ()
+    | exception Robust.Error _ -> ()
+    | exception e ->
+        Alcotest.failf "non-structured exception escaped: %s"
+          (Printexc.to_string e)
+  in
+  let fuzz_one ~case ~klass ~policy ~target =
+    let rng = Rng.create ~seed:(0xD15C lxor (case * 7) lxor Hashtbl.hash target) in
+    let dir = fresh_dir () in
+    Unix.mkdir (Filename.concat dir "models") 0o755;
+    (match target with
+    | `Wal ->
+        (* intact model + mangled WAL *)
+        write_all (Filename.concat (Filename.concat dir "models") model_name)
+          model_doc;
+        write_all (Filename.concat dir "wal.jsonl")
+          (Fuzz.mutate klass rng wal_doc)
+    | `Model ->
+        (* mangled model, no WAL: the load must detect it *)
+        write_all (Filename.concat (Filename.concat dir "models") model_name)
+          (Fuzz.mutate klass rng model_doc));
+    with_policy policy (fun () ->
+        structured (fun () ->
+            let t = Serve.create ~cache_dir:dir () in
+            let resp = Serve.handle_line t load_c432 in
+            match Json.bool_field "ok" (parse_resp resp) with
+            | Ok true -> ()
+            | Ok false when policy = Robust.Strict ->
+                (* must still be a structured error, engine alive *)
+                ignore (check_err "strict fuzz error" resp);
+                ignore
+                  (check_ok "engine alive"
+                     (Serve.handle_line t (req [ ("op", Json.Str "ping") ])))
+            | _ -> Alcotest.failf "repair-mode load failed on fuzzed state: %s" resp))
+  in
+  List.iter
+    (fun target ->
+      List.iter
+        (fun klass ->
+          for case = 0 to 3 do
+            fuzz_one ~case ~klass ~policy:Robust.Repair ~target;
+            fuzz_one ~case ~klass ~policy:Robust.Strict ~target
+          done)
+        classes)
+    [ `Wal; `Model ]
+
+(* Backpressure: requests beyond the queue bound are shed in order with
+   a structured overloaded response and a positive retry hint. *)
+let test_queue_overflow_sheds () =
+  let t = Serve.create ~max_queue:2 () in
+  let ping i = req [ ("id", Json.Num (float_of_int i)); ("op", Json.Str "ping") ] in
+  let responses = Serve.handle_lines t (List.init 5 ping) in
+  Alcotest.(check int) "every request answered" 5 (List.length responses);
+  let overloaded r =
+    match Json.bool_field "overloaded" (parse_resp r) with Ok b -> b | _ -> false
+  in
+  Alcotest.(check (list bool))
+    "first max_queue served, tail shed in order"
+    [ false; false; true; true; true ]
+    (List.map overloaded responses);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (float 0.0))
+        "ids echoed in request order" (float_of_int i)
+        (num "id" "id" (parse_resp r)))
+    responses;
+  let shed = List.filteri (fun i _ -> i >= 2) responses in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "positive retry hint" true
+        (num "retry hint" "retry_after_ms" (parse_resp r) >= 1.0))
+    shed;
+  (* raising the bound un-sheds *)
+  Serve.set_max_queue t 8;
+  Alcotest.(check int) "no shedding under the bound" 0
+    (List.length (List.filter overloaded (Serve.handle_lines t (List.init 5 ping))))
+
 let suites =
   [
     ( "serve.incremental",
@@ -375,5 +786,25 @@ let suites =
           test_responses_identical_across_domains;
         Alcotest.test_case "batch op strict/repair" `Quick
           test_batch_op_policies;
+      ] );
+    ( "serve.durability",
+      [
+        Alcotest.test_case "disk cache warm restart" `Quick
+          test_disk_cache_warm_restart;
+        Alcotest.test_case "cache corruption quarantined" `Quick
+          test_cache_corruption;
+        Alcotest.test_case "crash recovery bit-identical" `Quick
+          test_recovery_bit_identity;
+        Alcotest.test_case "recovery bit-identical across domains" `Quick
+          test_recovery_bit_identity_domains;
+        Alcotest.test_case "torn WAL repair/strict" `Quick test_wal_torn_tail;
+        Alcotest.test_case "bit-flipped WAL dropped" `Quick test_wal_bit_flip;
+        Alcotest.test_case "fuzzed WAL/cache files" `Quick test_wal_cache_fuzz;
+        Alcotest.test_case "deadline timeout response" `Quick
+          test_deadline_timeout_response;
+        Alcotest.test_case "deadline cancels Batch.run" `Quick
+          test_deadline_cancels_batch_run;
+        Alcotest.test_case "queue overflow sheds" `Quick
+          test_queue_overflow_sheds;
       ] );
   ]
